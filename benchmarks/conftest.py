@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment driver (timed via pytest-benchmark), prints the
+same rows/series the paper reports, and asserts the DESIGN.md §4 shape
+targets. Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute *fn* exactly once under pytest-benchmark timing.
+
+    The experiment drivers are deterministic simulations; repeating them
+    only re-times identical work, so a single round keeps the harness fast
+    while still producing a wall-clock figure for the run.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's capture so ``-s`` shows the paper tables."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _emit

@@ -1,0 +1,54 @@
+"""Ablation — multi-GPU strong scaling (Section 7 future work, implemented).
+
+Strong-scaling curves (1/2/4/8 A100s over NVLink) for a small, a medium,
+and two large tensors. Expected picture: communication latency caps the
+small tensors while the large ones approach linear scaling — quantifying
+when the paper's planned multi-GPU extension would pay off.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.data.frostt import get_dataset
+from repro.machine.multigpu import MultiGpuModel
+
+from conftest import run_once
+
+COUNTS = (1, 2, 4, 8)
+TENSORS = ("uber", "nell2", "delicious", "amazon")
+
+
+def _curves():
+    model = MultiGpuModel("a100")
+    out = {}
+    for name in TENSORS:
+        stats = get_dataset(name).stats()
+        curve = model.scaling_curve(stats, 32, counts=COUNTS)
+        out[name] = {n: (est.total, est.communication_seconds) for n, est in curve.items()}
+    return out
+
+
+def test_multigpu_strong_scaling(benchmark, emit):
+    curves = run_once(benchmark, _curves)
+
+    rows = []
+    for name, curve in curves.items():
+        base = curve[1][0]
+        rows.append(
+            [name]
+            + [f"{base / curve[n][0]:.2f}x ({curve[n][1] * 1e3:.1f}ms comm)" for n in COUNTS]
+        )
+    emit(
+        format_table(
+            ["tensor"] + [f"{n} GPU" for n in COUNTS],
+            rows,
+            title="Ablation: multi-GPU strong scaling (A100 + NVLink, R=32)",
+        )
+    )
+
+    # Large tensors scale; small ones are latency-bound.
+    for name in ("delicious", "amazon"):
+        assert curves[name][1][0] / curves[name][8][0] > 5.0, name
+    assert curves["uber"][1][0] / curves["uber"][8][0] < 2.0
+    # Communication never exceeds compute for the large tensors at 8 GPUs.
+    for name in ("delicious", "amazon"):
+        total, comm = curves[name][8]
+        assert comm < 0.5 * total, name

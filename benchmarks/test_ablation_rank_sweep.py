@@ -1,0 +1,55 @@
+"""Ablation — rank sweep R ∈ {16, 32, 64} (the paper's evaluated ranks).
+
+Section 5.1 runs every experiment at ranks 16/32/64. This bench sweeps the
+rank on the Delicious statistics and checks the analytic consequences: the
+arithmetic intensity (Eq. 5) and therefore the end-to-end GPU advantage
+grow with rank, and the per-iteration time scales superlinearly in R on
+both devices.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.baselines.splatt import splatt_cstf
+from repro.core import cstf
+from repro.core.config import CstfConfig
+from repro.data.frostt import get_dataset
+
+from conftest import run_once
+
+RANKS = (16, 32, 64)
+
+
+def _sweep():
+    stats = get_dataset("delicious").stats()
+    out = []
+    for rank in RANKS:
+        gpu = cstf(
+            stats,
+            CstfConfig(rank=rank, max_iters=1, update="cuadmm", device="h100",
+                       mttkrp_format="blco", compute_fit=False),
+        )
+        cpu = splatt_cstf(stats, rank=rank, max_iters=1)
+        out.append((rank, cpu.per_iteration_seconds(), gpu.per_iteration_seconds()))
+    return out
+
+
+def test_rank_sweep_delicious(benchmark, emit):
+    rows = run_once(benchmark, _sweep)
+
+    emit(
+        format_table(
+            ["rank", "SPLATT s/iter", "cSTF-GPU s/iter", "speedup"],
+            [[r, f"{c:.3f}", f"{g:.3f}", f"{c / g:.2f}x"] for r, c, g in rows],
+            title="Ablation: rank sweep on Delicious (H100 vs CPU)",
+        )
+    )
+
+    times_gpu = [g for _, _, g in rows]
+    times_cpu = [c for _, c, _ in rows]
+    # Per-iteration time grows with rank on both devices.
+    assert times_gpu == sorted(times_gpu)
+    assert times_cpu == sorted(times_cpu)
+    # Doubling R at least doubles GPU time (traffic is ∝ R, flops ∝ R²).
+    assert times_gpu[2] > 2.0 * times_gpu[0]
+    # GPU wins at every rank.
+    for r, c, g in rows:
+        assert c > g, f"rank {r}"

@@ -1,0 +1,52 @@
+"""Ablation — the CPU/GPU/heterogeneous decision model (Section 7 future
+work, implemented here).
+
+For every Table 2 tensor, print the predicted per-iteration time of each
+strategy and the planner's choice. The expected picture: the GPU wins
+everywhere except VAST, whose length-2 mode poisons the GPU MTTKRP with
+atomic contention — there the planner routes MTTKRP to the CPU and keeps
+the update on the GPU, beating both pure strategies.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.data.frostt import FROSTT_TABLE2
+from repro.scheduler.decision import plan_execution
+
+from conftest import run_once
+
+
+def _plan_all():
+    return {ds.name: plan_execution(ds.stats(), rank=32) for ds in FROSTT_TABLE2}
+
+
+def test_scheduler_decisions(benchmark, emit):
+    plans = run_once(benchmark, _plan_all)
+
+    rows = [
+        [
+            name,
+            f"{p.alternatives['cpu'] * 1e3:.1f} ms",
+            f"{p.alternatives['gpu'] * 1e3:.1f} ms",
+            f"{min(p.alternatives['het:mttkrp=cpu'], p.alternatives['het:update=cpu']) * 1e3:.1f} ms",
+            p.strategy,
+            f"{p.advantage():.2f}x",
+        ]
+        for name, p in plans.items()
+    ]
+    emit(
+        format_table(
+            ["tensor", "cpu", "gpu", "best hybrid", "chosen", "vs best pure"],
+            rows,
+            title="Ablation: execution-strategy decision model (A100 + Ice Lake, R=32)",
+        )
+    )
+
+    # The GPU is the right default at scale (the paper's thesis)...
+    for name in ("flickr", "delicious", "nell1", "amazon", "enron", "nell2"):
+        assert plans[name].strategy == "gpu", name
+    # ...and the planner finds the one tensor where heterogeneity pays.
+    assert plans["vast"].strategy == "het:mttkrp=cpu"
+    assert plans["vast"].advantage() > 1.2
+    # The planner never loses to a pure strategy.
+    for name, p in plans.items():
+        assert p.advantage() >= 1.0 - 1e-12, name

@@ -1,0 +1,76 @@
+"""Ablation — streaming ingest vs batch refit (the [33] extension).
+
+Measures the simulated cost of one streaming ingest step against refitting
+the accumulated tensor from scratch with the batch driver, as the stream
+grows. The streaming advantage should widen with the horizon (refit cost
+grows with T, ingest cost stays flat).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core import cstf
+from repro.streaming import StreamingCstf
+from repro.tensor.coo import SparseTensor
+
+from conftest import run_once
+
+SPATIAL = (60, 45)
+RANK = 4
+
+
+def _slabs(steps, seed=11):
+    rng = np.random.default_rng(seed)
+    a = rng.exponential(size=(SPATIAL[0], RANK))
+    b = rng.exponential(size=(SPATIAL[1], RANK))
+    out = []
+    for _ in range(steps):
+        w = np.abs(rng.normal(size=RANK)) + 0.1
+        out.append(SparseTensor.from_dense(np.einsum("ir,jr,r->ij", a, b, w)))
+    return out
+
+
+def _accumulate(slabs):
+    idx, vals = [], []
+    for t, slab in enumerate(slabs):
+        idx.append(np.column_stack([slab.indices, np.full(slab.nnz, t, dtype=np.int64)]))
+        vals.append(slab.values)
+    return SparseTensor(np.vstack(idx), np.concatenate(vals), SPATIAL + (len(slabs),))
+
+
+def _compare():
+    horizons = (10, 20, 40)
+    slabs = _slabs(max(horizons))
+    stream = StreamingCstf(SPATIAL, rank=RANK, seed=1)
+    per_step = {}
+    for t, slab in enumerate(slabs, start=1):
+        step = stream.ingest(slab)
+        if t in horizons:
+            per_step[t] = step.seconds
+    rows = []
+    for t in horizons:
+        refit = cstf(
+            _accumulate(slabs[:t]), rank=RANK, update="cuadmm", max_iters=10,
+            compute_fit=False,
+        )
+        rows.append((t, per_step[t], refit.timeline.total_seconds()))
+    return rows
+
+
+def test_streaming_vs_refit(benchmark, emit):
+    rows = run_once(benchmark, _compare)
+
+    emit(
+        format_table(
+            ["horizon T", "ingest step (s)", "batch refit (s)", "advantage"],
+            [[t, f"{s:.3e}", f"{r:.3e}", f"{r / s:.1f}x"] for t, s, r in rows],
+            title="Ablation: streaming ingest vs batch refit (simulated A100)",
+        )
+    )
+
+    for t, step_s, refit_s in rows:
+        assert step_s < refit_s, f"T={t}"
+    # The advantage widens with the horizon.
+    advantages = [r / s for _, s, r in rows]
+    assert advantages == sorted(advantages)
+    assert advantages[-1] > 5.0

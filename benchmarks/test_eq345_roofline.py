@@ -1,0 +1,51 @@
+"""Equations 3–5 — the ADMM work/traffic/arithmetic-intensity analysis.
+
+Paper values (Section 3.3): W = 19IR + 2IR² flops, Q = 22IR + R² words,
+and I≫R arithmetic intensities of 0.29, 0.47 and 0.83 flop/byte for
+R = 16, 32, 64 — all below every device's balance point, so ADMM is
+bandwidth-bound (the motivation for full GPU offload).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.roofline import admm_arithmetic_intensity, admm_flops, admm_words
+from repro.experiments.figures import eq345_arithmetic_intensity
+from repro.machine.spec import A100, H100, ICELAKE_XEON
+
+from conftest import run_once
+
+PAPER_AI = {16: 0.29, 32: 0.47, 64: 0.83}
+
+
+def test_eq345_arithmetic_intensity(benchmark, emit):
+    ai = run_once(benchmark, eq345_arithmetic_intensity)
+
+    rows = []
+    for rank, value in ai.items():
+        rows.append(
+            [
+                f"R={rank}",
+                f"{admm_flops(10**6, rank):.3e}",
+                f"{admm_words(10**6, rank):.3e}",
+                f"{value:.3f}",
+                f"{PAPER_AI[rank]:.2f}",
+            ]
+        )
+    emit(
+        format_table(
+            ["rank", "W (flops, I=1e6)", "Q (words, I=1e6)", "AI (flop/byte)", "paper"],
+            rows,
+            title="Equations 3-5: ADMM cost analysis",
+        )
+    )
+
+    for rank, paper in PAPER_AI.items():
+        assert ai[rank] == pytest.approx(paper, abs=0.01)
+        # The finite-I value converges to the limit.
+        assert admm_arithmetic_intensity(10**8, rank) == pytest.approx(ai[rank], rel=1e-2)
+
+    # Bandwidth-bound on every device in Table 1.
+    for spec in (A100, H100, ICELAKE_XEON):
+        balance = spec.peak_flops / spec.mem_bandwidth
+        assert max(ai.values()) < balance, spec.name

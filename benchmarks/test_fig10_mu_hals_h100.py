@@ -1,0 +1,31 @@
+"""Figure 10 — MU and HALS speedups over modified PLANC, H100.
+
+Same setup as Figure 9 on the H100. Paper result: geometric means 8.89×
+(MU) and 7.78× (HALS), above the A100's.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.figures import fig9_10_mu_hals_speedup
+
+from conftest import run_once
+
+
+def test_fig10_mu_hals_h100(benchmark, emit):
+    h100 = run_once(benchmark, fig9_10_mu_hals_speedup, device="h100", rank=32)
+    a100 = fig9_10_mu_hals_speedup(device="a100", rank=32)
+
+    for method, paper_gmean in (("mu", 8.89), ("hals", 7.78)):
+        series = h100[method]
+        emit(
+            format_table(
+                ["tensor", "PLANC (CPU) s/iter", "cSTF-GPU s/iter", "speedup"],
+                series.as_rows(),
+                title=f"Figure 10 ({method.upper()}): GPU vs PLANC, H100, R=32   [paper gmean {paper_gmean}x]",
+            )
+        )
+
+    for method in ("mu", "hals"):
+        assert h100[method].gmean > a100[method].gmean, (
+            f"{method}: H100 must beat A100 (paper: 8.89 vs 6.42, 7.78 vs 5.90)"
+        )
+        assert h100[method].gmean > 2.0

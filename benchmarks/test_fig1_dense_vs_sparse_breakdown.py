@@ -1,0 +1,38 @@
+"""Figure 1 — execution-time breakdown: dense vs sparse constrained TF.
+
+Paper setup: PLANC with the ADMM update, R = 32; dense synthetic
+400×200×100×50 tensor vs the Delicious sparse tensor, on the CPU.
+Paper result: MTTKRP dominates DenseTF; the ADMM UPDATE dominates SparseTF.
+"""
+
+from repro.analysis.breakdown import breakdown_row
+from repro.analysis.reporting import format_table
+from repro.core.trace import PHASES
+from repro.experiments.figures import fig1_dense_vs_sparse_breakdown
+
+from conftest import run_once
+
+
+def test_fig1_dense_vs_sparse_breakdown(benchmark, emit):
+    results = run_once(benchmark, fig1_dense_vs_sparse_breakdown, rank=32)
+
+    rows = []
+    for b in results:
+        rows.append(
+            [b.label]
+            + [f"{100.0 * b.fractions[p]:5.1f}%" for p in PHASES]
+            + [b.dominant]
+        )
+    emit(
+        format_table(
+            ["config"] + list(PHASES) + ["dominant"],
+            rows,
+            title="Figure 1: constrained TF phase breakdown (CPU, ADMM, R=32)",
+        )
+    )
+
+    dense, sparse = results
+    assert dense.dominant == "MTTKRP", "dense TF must be MTTKRP-bound"
+    assert dense.fractions["MTTKRP"] > 0.6
+    assert sparse.dominant == "UPDATE", "sparse TF must be UPDATE-bound"
+    assert sparse.fractions["UPDATE"] > 0.5

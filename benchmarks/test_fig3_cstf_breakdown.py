@@ -1,0 +1,35 @@
+"""Figure 3 — cSTF phase breakdown on the three largest tensors.
+
+Paper setup: the modified-PLANC CPU implementation, ADMM, R = 32, on
+Flickr, Delicious and NELL1 (the three largest nonzero counts below
+Amazon's memory limit).
+Paper result: the ADMM UPDATE phase dominates on all three.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.trace import PHASES
+from repro.experiments.figures import fig3_cstf_breakdown
+
+from conftest import run_once
+
+
+def test_fig3_cstf_breakdown(benchmark, emit):
+    results = run_once(benchmark, fig3_cstf_breakdown, rank=32)
+
+    rows = [
+        [b.label] + [f"{100.0 * b.fractions[p]:5.1f}%" for p in PHASES]
+        for b in results
+    ]
+    emit(
+        format_table(
+            ["tensor"] + list(PHASES),
+            rows,
+            title="Figure 3: cSTF breakdown on Flickr / Delicious / NELL1 (CPU, ADMM, R=32)",
+        )
+    )
+
+    assert [b.label for b in results] == ["flickr", "delicious", "nell1"]
+    for b in results:
+        assert b.dominant == "UPDATE", b.label
+        assert b.fractions["UPDATE"] > 0.5, b.label
+        assert b.fractions["MTTKRP"] > 0.05, "MTTKRP must still be visible"

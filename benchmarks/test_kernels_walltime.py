@@ -1,0 +1,85 @@
+"""Host wall-time microbenchmarks of the actual NumPy kernels.
+
+Unlike the figure benches (which report *simulated* device time), these
+time the real vectorized kernels on a scaled Delicious analogue — useful
+for regression-tracking the host implementations themselves with
+pytest-benchmark's statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.frostt import get_dataset
+from repro.kernels.mttkrp_alto import mttkrp_alto
+from repro.kernels.mttkrp_blco import mttkrp_blco
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.kernels.mttkrp_csf import mttkrp_csf
+from repro.tensor.alto import AltoTensor
+from repro.tensor.blco import BlcoTensor
+from repro.tensor.csf import CsfTensor
+from repro.updates.admm import AdmmUpdate, cuadmm
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tensor = get_dataset("delicious").load_scaled(seed=0, max_dim=1500, target_nnz=40_000)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((d, 32)) for d in tensor.shape]
+    return tensor, factors
+
+
+def test_mttkrp_coo_walltime(benchmark, workload):
+    tensor, factors = workload
+    out = benchmark(mttkrp_coo, tensor, factors, 0)
+    assert out.shape == (tensor.shape[0], 32)
+
+
+def test_mttkrp_alto_walltime(benchmark, workload):
+    tensor, factors = workload
+    alto = AltoTensor.from_coo(tensor)
+    out = benchmark(mttkrp_alto, alto, factors, 0)
+    assert np.allclose(out, mttkrp_coo(tensor, factors, 0))
+
+
+def test_mttkrp_blco_walltime(benchmark, workload):
+    tensor, factors = workload
+    blco = BlcoTensor.from_coo(tensor)
+    out = benchmark(mttkrp_blco, blco, factors, 0)
+    assert np.allclose(out, mttkrp_coo(tensor, factors, 0))
+
+
+def test_mttkrp_csf_walltime(benchmark, workload):
+    tensor, factors = workload
+    csf = CsfTensor.from_coo(tensor, root_mode=0)
+    out = benchmark(mttkrp_csf, csf, factors, 0)
+    assert np.allclose(out, mttkrp_coo(tensor, factors, 0))
+
+
+def test_blco_construction_walltime(benchmark, workload):
+    tensor, _ = workload
+    blco = benchmark(BlcoTensor.from_coo, tensor)
+    assert blco.nnz == tensor.nnz
+
+
+def test_csf_construction_walltime(benchmark, workload):
+    tensor, _ = workload
+    csf = benchmark(CsfTensor.from_coo, tensor, 0)
+    assert csf.nnz == tensor.nnz
+
+
+@pytest.mark.parametrize("factory", [AdmmUpdate, cuadmm], ids=["admm", "cuadmm"])
+def test_admm_update_walltime(benchmark, workload, factory):
+    from repro.kernels.gram import gram_chain
+    from repro.machine.executor import Executor
+
+    tensor, factors = workload
+    m_mat = mttkrp_coo(tensor, factors, 0)
+    s_mat = gram_chain(factors, skip=0)
+    update = factory(inner_iters=10)
+
+    def run():
+        state = update.init_state(tensor.shape, 32)
+        return update.update(Executor("a100"), 0, m_mat, s_mat, factors[0], state)
+
+    out = benchmark(run)
+    assert (out >= 0).all()

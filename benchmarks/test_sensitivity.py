@@ -1,0 +1,46 @@
+"""Robustness study — the headline conclusion vs the calibration constants.
+
+Halves and doubles every calibrated (non-Table-1) constant on each device
+side and re-evaluates the Figure 5 geometric mean. The paper's qualitative
+conclusion (the GPU framework wins, decisively on the large tensors) must
+survive every perturbation — otherwise the reproduction would merely be an
+artifact of the calibration.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.sensitivity import sensitivity_study
+
+from conftest import run_once
+
+# A representative subset keeps the sweep quick (32 model evaluations).
+DATASETS = ("uber", "enron", "delicious", "amazon")
+
+
+def test_conclusions_robust_to_constants(benchmark, emit):
+    rows = run_once(
+        benchmark, sensitivity_study, rank=32, datasets=DATASETS,
+        factors=(0.5, 2.0),
+    )
+
+    emit(
+        format_table(
+            ["constant", "×", "side", "Fig-5 gmean", "GPU wins", "large group wins"],
+            [
+                [r.field, r.factor, r.device, f"{r.gmean:.2f}x",
+                 "yes" if r.gpu_wins_overall else "NO",
+                 "yes" if r.large_group_wins else "NO"]
+                for r in rows
+            ],
+            title="Sensitivity: Figure 5 gmean under ±2x constant perturbations",
+        )
+    )
+
+    gmeans = [r.gmean for r in rows]
+    emit(f"gmean range across perturbations: {min(gmeans):.2f}x - {max(gmeans):.2f}x")
+
+    # The qualitative conclusions never flip.
+    assert all(r.gpu_wins_overall for r in rows)
+    assert all(r.large_group_wins for r in rows)
+    # And the quantitative story stays in the same decade.
+    assert min(gmeans) > 1.5
+    assert max(gmeans) < 50.0

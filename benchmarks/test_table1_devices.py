@@ -1,0 +1,42 @@
+"""Table 1 — hardware and software setup.
+
+Prints the modeled device roster and asserts the Table 1 facts the cost
+model depends on: equal HBM bandwidth across the GPUs, the H100's larger
+caches, and the CPU's much lower bandwidth.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.machine.spec import A100, H100, ICELAKE_XEON
+
+from conftest import run_once
+
+
+def _roster():
+    return [A100, H100, ICELAKE_XEON]
+
+
+def test_table1_device_roster(benchmark, emit):
+    devices = run_once(benchmark, _roster)
+    rows = [
+        [
+            d.name,
+            d.kind,
+            f"{d.peak_flops / 1e12:.1f} TF/s",
+            f"{d.mem_bandwidth / 1e9:.0f} GB/s",
+            f"{d.cache_bytes / 1e6:.1f} MB",
+        ]
+        for d in devices
+    ]
+    emit(
+        format_table(
+            ["device", "kind", "fp64 peak", "bandwidth", "cache"],
+            rows,
+            title="Table 1: modeled hardware",
+        )
+    )
+
+    a100, h100, cpu = devices
+    assert a100.mem_bandwidth == h100.mem_bandwidth == 2039e9
+    assert h100.cache_bytes == (28.5 + 50.0) * 1e6
+    assert a100.cache_bytes == (20.3 + 40.0) * 1e6
+    assert cpu.mem_bandwidth < a100.mem_bandwidth / 5

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Network anomaly detection with nonnegative tensor factorization.
+
+One of the paper's motivating applications (cybersecurity / anomaly
+detection): model network flow logs as a (source, destination, hour) count
+tensor, factorize with nonnegativity constraints so the components are
+interpretable traffic patterns, and flag the hours whose observed traffic
+deviates most from the low-rank reconstruction.
+
+The synthetic scenario plants three periodic background patterns (office
+hours, nightly backups, a chatty service pair) plus a burst of scanning
+traffic from one host during two specific hours. The scan does not fit any
+low-rank pattern, so its hours surface with the highest residuals.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import SparseTensor, cstf
+
+N_SRC, N_DST, N_HOURS = 60, 60, 72
+SCAN_SRC = 7
+SCAN_HOURS = (31, 32)
+
+
+def build_traffic_tensor(seed: int = 3) -> SparseTensor:
+    rng = np.random.default_rng(seed)
+    counts = np.zeros((N_SRC, N_DST, N_HOURS))
+
+    hours = np.arange(N_HOURS)
+    office = np.maximum(np.sin((hours % 24 - 6) / 12 * np.pi), 0.0)  # 9-to-5 bump
+    nightly = ((hours % 24) == 2).astype(float)                      # backup window
+
+    # Pattern 1: workstations -> servers during office hours.
+    workstations = rng.choice(N_SRC, 25, replace=False)
+    servers = rng.choice(N_DST, 5, replace=False)
+    for s in workstations:
+        for d in servers:
+            counts[s, d] += rng.poisson(4) * office
+
+    # Pattern 2: backup clients -> one storage host at night.
+    for s in rng.choice(N_SRC, 15, replace=False):
+        counts[s, servers[0]] += rng.poisson(20) * nightly
+
+    # Pattern 3: a constantly chatty service pair.
+    counts[3, 9] += rng.poisson(8, size=N_HOURS)
+
+    # The anomaly: one host scanning many destinations in two hours.
+    for d in range(N_DST):
+        for h in SCAN_HOURS:
+            counts[SCAN_SRC, d, h] += rng.poisson(6)
+
+    noise = rng.poisson(0.02, size=counts.shape)
+    return SparseTensor.from_dense(counts + noise)
+
+
+def hourly_residuals(tensor: SparseTensor, model) -> np.ndarray:
+    """Sum of squared residuals per hour, over the stored nonzeros."""
+    predicted = model.values_at(tensor.indices)
+    residual_sq = (tensor.values - predicted) ** 2
+    out = np.zeros(N_HOURS)
+    np.add.at(out, tensor.indices[:, 2], residual_sq)
+    return out
+
+
+def main() -> None:
+    tensor = build_traffic_tensor()
+    print(f"traffic tensor: {tensor}")
+
+    result = cstf(
+        tensor, rank=3, update="cuadmm", device="a100", max_iters=40, tol=1e-6, seed=1
+    )
+    print(f"nonnegative CP fit: {result.fit:.3f} ({result.iterations} iterations)")
+
+    residuals = hourly_residuals(tensor, result.kruskal)
+    threshold = residuals.mean() + 3 * residuals.std()
+    flagged = np.flatnonzero(residuals > threshold)
+
+    print("\nper-hour anomaly score (top 5):")
+    for h in np.argsort(residuals)[::-1][:5]:
+        marker = " <-- planted scan" if h in SCAN_HOURS else ""
+        print(f"  hour {h:3d}: {residuals[h]:10.1f}{marker}")
+
+    print(f"\nflagged hours (>mean+3sd): {sorted(flagged.tolist())}")
+    print(f"planted scan hours:         {sorted(SCAN_HOURS)}")
+    hits = set(SCAN_HOURS) & set(flagged.tolist())
+    print("detection:", "SUCCESS" if hits == set(SCAN_HOURS) else f"partial ({hits})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Custom constraints through the proximity-operator plug-in point.
+
+The paper picks AO-ADMM precisely because "ADMM supports various types of
+constraints, such as sparsity (L1 norm) and smoothness" (Section 3.2) —
+the constraint enters only through the proximity operator of line 7.
+
+This example factorizes one tensor under four different constraints using
+the *same* cuADMM machinery:
+
+1. plain nonnegativity,
+2. nonnegativity + L1 (sparse factors),
+3. box constraints (bounded activations),
+4. a hand-rolled custom operator registered on the spot (nonnegative with
+   a per-column cap — e.g. budget-limited topic intensities).
+
+Run:  python examples/custom_constraint.py
+"""
+
+import numpy as np
+
+from repro import cstf, planted_sparse_cp
+from repro.linalg.proximal import ProximalOperator
+from repro.updates.admm import AdmmUpdate
+
+
+def capped_nonneg(cap: float) -> ProximalOperator:
+    """Projection onto { 0 <= x <= cap } — a custom constraint in 3 lines."""
+
+    def fn(x, rho):
+        return np.clip(x, 0.0, cap)
+
+    return ProximalOperator(name=f"capped_nonneg({cap})", fn=fn)
+
+
+def sparsity(factors) -> float:
+    return float(np.mean([np.mean(np.asarray(f) <= 1e-10) for f in factors]))
+
+
+def main() -> None:
+    tensor, _ = planted_sparse_cp((35, 28, 21), rank=4, factor_sparsity=0.6, seed=8)
+    # Rescale values into O(1) so bound-type constraints are meaningful for
+    # this data (a bounded factor model cannot represent huge entries).
+    tensor = tensor.scale_values(1.0 / float(tensor.values.max()))
+    print(f"input: {tensor}\n")
+
+    configs = [
+        ("nonneg", AdmmUpdate(constraint="nonneg", fuse_ops=True, preinvert=True)),
+        (
+            "nonneg + L1",
+            AdmmUpdate(
+                constraint="nonneg_l1", constraint_params={"alpha": 0.01},
+                fuse_ops=True, preinvert=True,
+            ),
+        ),
+        (
+            "box [0, 1]",
+            AdmmUpdate(
+                constraint="box", constraint_params={"lo": 0.0, "hi": 1.0},
+                fuse_ops=True, preinvert=True,
+            ),
+        ),
+        (
+            "custom cap",
+            AdmmUpdate(constraint=capped_nonneg(0.8), fuse_ops=True, preinvert=True),
+        ),
+    ]
+
+    print(f"{'constraint':14s} {'fit':>7s} {'factor sparsity':>16s} {'max entry':>10s}")
+    for label, update in configs:
+        result = cstf(tensor, rank=4, update=update, max_iters=40, seed=2)
+        max_entry = max(float(f.max()) for f in result.kruskal.factors)
+        print(
+            f"{label:14s} {result.fit:7.3f} {100 * sparsity(result.kruskal.factors):15.1f}% "
+            f"{max_entry:10.3f}"
+        )
+
+    print("\nNote how L1 raises factor sparsity and the box/cap constraints")
+    print("bound the entries — all through the same fused cuADMM kernels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Systems tour: planning where and how to run a factorization.
+
+Walks the paper's Section 7 future work as implemented here. For each
+Table 2 tensor (at paper scale, through the analytic machine model):
+
+1. structural diagnosis (`repro.analysis.dataset_report`),
+2. device-memory residency check (`repro.machine.memory`),
+3. the CPU/GPU/heterogeneous decision (`repro.scheduler`),
+4. and, for the largest tensor, the multi-GPU scaling outlook
+   (`repro.machine.multigpu`).
+
+Run:  python examples/execution_planning.py
+"""
+
+from repro.analysis.dataset_report import analyze
+from repro.data.frostt import FROSTT_TABLE2, get_dataset
+from repro.machine.memory import footprint
+from repro.machine.multigpu import MultiGpuModel
+from repro.scheduler import plan_execution
+
+RANK = 32
+
+
+def main() -> None:
+    print(f"{'tensor':10s} {'group':7s} {'bottleneck':10s} {'fits 80GB':9s} "
+          f"{'plan':16s} {'s/iter':>9s} {'vs pure':>8s}")
+    print("-" * 78)
+    for ds in FROSTT_TABLE2:
+        stats = ds.stats()
+        report = analyze(stats, rank=RANK)
+        fp = footprint(stats, RANK)
+        plan = plan_execution(stats, rank=RANK)
+        print(
+            f"{ds.name:10s} {report.size_group():7s} "
+            f"{'UPDATE' if report.update_bound() else 'MTTKRP':10s} "
+            f"{'yes' if fp.resident else 'NO':9s} "
+            f"{plan.strategy:16s} {plan.predicted_seconds:9.3f} "
+            f"{plan.advantage():7.2f}x"
+        )
+
+    print("\nMulti-GPU outlook for Amazon (1.7B nonzeros, A100 + NVLink):")
+    model = MultiGpuModel("a100")
+    stats = get_dataset("amazon").stats()
+    base = model.estimate(stats, RANK, 1).total
+    for n in (1, 2, 4, 8):
+        est = model.estimate(stats, RANK, n)
+        print(f"  {n} GPU: {est.total:7.3f} s/iter  "
+              f"(speedup {base / est.total:4.2f}x, "
+              f"comm {est.communication_seconds * 1e3:6.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

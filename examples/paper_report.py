@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline evaluation in one run.
+
+Prints every table and figure of the evaluation section through the
+analytic machine model at the paper's own dataset scales (Table 2): the
+dense-vs-sparse breakdown (Fig 1), the cSTF breakdown (Fig 3), the cuADMM
+optimization study (Fig 4), the end-to-end speedups on both GPUs (Figs
+5/6), the per-kernel speedups (Figs 7/8), the MU/HALS study (Figs 9/10),
+and the arithmetic-intensity analysis (Eqs 3-5).
+
+Run:  python examples/paper_report.py        (~1 minute)
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.trace import PHASES
+from repro.experiments.figures import (
+    eq345_arithmetic_intensity,
+    fig1_dense_vs_sparse_breakdown,
+    fig3_cstf_breakdown,
+    fig4_cuadmm_optimizations,
+    fig5_6_end_to_end_speedup,
+    fig7_8_kernel_speedups,
+    fig9_10_mu_hals_speedup,
+    table2_datasets,
+)
+
+
+def section(title: str) -> None:
+    print("\n" + "#" * 72)
+    print(f"# {title}")
+    print("#" * 72)
+
+
+def main() -> None:
+    section("Table 2 - datasets")
+    rows = [
+        [r["name"], " x ".join(f"{d:,}" for d in r["dims"]), f"{r['nnz']:,}", f"{r['density']:.1e}"]
+        for r in table2_datasets()
+    ]
+    print(format_table(["tensor", "dims", "nnz", "density"], rows))
+
+    section("Figure 1 - dense vs sparse constrained TF breakdown (CPU, ADMM)")
+    rows = [
+        [b.label] + [f"{100 * b.fractions[p]:.1f}%" for p in PHASES]
+        for b in fig1_dense_vs_sparse_breakdown()
+    ]
+    print(format_table(["config"] + list(PHASES), rows))
+
+    section("Figure 3 - cSTF breakdown, three largest tensors (CPU, ADMM)")
+    rows = [
+        [b.label] + [f"{100 * b.fractions[p]:.1f}%" for p in PHASES]
+        for b in fig3_cstf_breakdown()
+    ]
+    print(format_table(["tensor"] + list(PHASES), rows))
+
+    section("Figure 4 - cuADMM optimizations (H100, single ADMM iteration)")
+    rows = [
+        [r.dataset, r.mode, f"{r.rows:,}", f"{r.speedup_of:.2f}x", f"{r.speedup_pi:.2f}x",
+         f"{r.speedup_both:.2f}x"]
+        for r in fig4_cuadmm_optimizations(inner_iters=1)
+    ]
+    print(format_table(["tensor", "mode", "rows", "OF", "PI", "OF+PI"], rows))
+
+    for device, fig, paper in (("a100", "Figure 5", "5.10x / max 41.59x"),
+                               ("h100", "Figure 6", "7.01x / max 58.05x")):
+        section(f"{fig} - end-to-end speedup vs SPLATT ({device.upper()}) [paper gmean {paper}]")
+        series = fig5_6_end_to_end_speedup(device=device)
+        print(format_table(["tensor", "CPU s/iter", "GPU s/iter", "speedup"], series.as_rows()))
+
+    for device, fig in (("a100", "Figure 7"), ("h100", "Figure 8")):
+        section(f"{fig} - MTTKRP vs ADMM kernel speedups ({device.upper()})")
+        rows = [
+            [r.dataset, f"{r.mttkrp_speedup:.2f}x", f"{r.admm_speedup:.2f}x"]
+            for r in fig7_8_kernel_speedups(device=device)
+        ]
+        print(format_table(["tensor", "MTTKRP", "ADMM"], rows))
+
+    for device, fig, paper in (("a100", "Figure 9", "MU 6.42x / HALS 5.90x"),
+                               ("h100", "Figure 10", "MU 8.89x / HALS 7.78x")):
+        section(f"{fig} - MU & HALS vs PLANC ({device.upper()}) [paper gmean {paper}]")
+        for method, series in fig9_10_mu_hals_speedup(device=device).items():
+            print(f"\n[{method.upper()}]")
+            print(format_table(["tensor", "CPU s/iter", "GPU s/iter", "speedup"], series.as_rows()))
+
+    section("Equations 3-5 - ADMM arithmetic intensity [paper: 0.29 / 0.47 / 0.83]")
+    for rank, ai in eq345_arithmetic_intensity().items():
+        print(f"  R={rank:<3d} AI = {ai:.3f} flop/byte")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: constrained sparse tensor factorization in a few lines.
+
+Generates an exactly low-rank nonnegative sparse tensor, factorizes it with
+the fully optimized cuADMM update on the simulated H100, and reports the
+fit trajectory, the recovered factors' match with the planted ground truth,
+and the paper-style per-phase breakdown of simulated device time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import cstf, factor_match_score, planted_sparse_cp, KruskalTensor
+from repro.analysis.breakdown import phase_fractions
+from repro.core.trace import PHASES
+
+
+def main() -> None:
+    # A 40x32x24 sparse tensor that really is rank 4 (so fit -> 1.0).
+    tensor, planted = planted_sparse_cp(
+        (40, 32, 24), rank=4, factor_sparsity=0.5, seed=42
+    )
+    print(f"input: {tensor}")
+
+    result = cstf(
+        tensor,
+        rank=4,
+        update="cuadmm",       # ADMM + operation fusion + pre-inversion
+        device="h100",         # simulated NVIDIA H100 (Table 1)
+        mttkrp_format="blco",  # the GPU sparse format (Nguyen et al.)
+        max_iters=60,
+        tol=1e-7,
+        seed=0,
+    )
+
+    print(f"\nconverged: {result.converged} after {result.iterations} iterations")
+    print(f"fit: {result.fits[0]:.4f} -> {result.fit:.4f}")
+    fms = factor_match_score(result.kruskal, KruskalTensor(planted))
+    print(f"factor match score vs planted truth: {fms:.4f}")
+
+    print("\nsimulated H100 time per phase (Algorithm 1):")
+    fractions = phase_fractions(result.timeline)
+    for phase in PHASES:
+        seconds = result.timeline.seconds(phase)
+        print(f"  {phase:10s} {seconds * 1e3:8.3f} ms  ({100 * fractions[phase]:5.1f} %)")
+    print(f"  per-iteration: {result.per_iteration_seconds() * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

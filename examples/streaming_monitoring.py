@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Streaming factorization for live monitoring.
+
+Extension demo: a (sensor, channel) measurement matrix arrives every tick;
+:class:`repro.streaming.StreamingCstf` maintains a nonnegative CP model
+incrementally. The underlying process drifts slowly, and midway through the
+stream a regime change replaces one latent pattern — the per-slice fit dips
+at the change point and recovers as the forgetting factor washes the old
+regime out, all at a small fraction of the cost of refitting.
+
+Run:  python examples/streaming_monitoring.py
+"""
+
+import numpy as np
+
+from repro.streaming import StreamingCstf
+from repro.tensor.coo import SparseTensor
+
+SENSORS, CHANNELS, RANK, STEPS = 40, 30, 3, 120
+CHANGE_POINT = 60
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    factors = [rng.exponential(size=(SENSORS, RANK)), rng.exponential(size=(CHANNELS, RANK))]
+
+    stream = StreamingCstf(
+        (SENSORS, CHANNELS), rank=RANK, update="cuadmm", device="a100",
+        forgetting=0.9, inner_iters=6, seed=3,
+    )
+
+    fits, costs = [], []
+    for t in range(STEPS):
+        if t == CHANGE_POINT:
+            # Regime change: component 0 is replaced by a new pattern.
+            factors[0][:, 0] = rng.exponential(size=SENSORS)
+            factors[1][:, 0] = rng.exponential(size=CHANNELS)
+        weights = np.abs(rng.normal(size=RANK)) + 0.1
+        slab = np.einsum("ir,jr,r->ij", factors[0], factors[1], weights)
+        step = stream.ingest(SparseTensor.from_dense(slab))
+        fits.append(step.slice_fit)
+        costs.append(step.seconds)
+
+    def mean(xs):
+        return float(np.mean(xs))
+
+    print(f"steps ingested: {stream.steps_ingested}, model {stream.model()}")
+    print(f"fit before change (steps 45-59):  {mean(fits[45:60]):.3f}")
+    print(f"fit right after change (60-67):   {mean(fits[60:68]):.3f}   <- dip")
+    print(f"fit after re-adaptation (105-119): {mean(fits[105:]):.3f}")
+    print(f"mean simulated cost per step: {mean(costs) * 1e3:.3f} ms")
+
+    dipped = mean(fits[60:68]) < mean(fits[45:60]) - 0.03
+    recovered = mean(fits[105:]) > mean(fits[60:68])
+    print("regime change detected and re-adapted:",
+          "YES" if (dipped and recovered) else "NO")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Trend analysis: extracting temporal topics from (user, item, week) data.
+
+Another application from the paper's introduction: interpretable trend
+extraction from multi-way interaction data. We plant three user cohorts
+with distinct item tastes and distinct temporal profiles (rising, fading,
+seasonal), factorize the count tensor under nonnegativity with three
+different update methods (cuADMM, MU, HALS), and show that each recovers
+the same interpretable temporal profiles.
+
+Run:  python examples/trend_analysis.py
+"""
+
+import numpy as np
+
+from repro import SparseTensor, cstf
+
+N_USERS, N_ITEMS, N_WEEKS = 80, 50, 26
+
+
+def build_interactions(seed: int = 5):
+    rng = np.random.default_rng(seed)
+    weeks = np.arange(N_WEEKS)
+    profiles = {
+        "rising": weeks / N_WEEKS,
+        "fading": 1.0 - weeks / N_WEEKS,
+        "seasonal": 0.5 * (1 + np.sin(weeks / N_WEEKS * 4 * np.pi)),
+    }
+
+    counts = np.zeros((N_USERS, N_ITEMS, N_WEEKS))
+    cohorts = np.array_split(rng.permutation(N_USERS), 3)
+    item_sets = np.array_split(rng.permutation(N_ITEMS), 3)
+    for (name, profile), users, items in zip(profiles.items(), cohorts, item_sets):
+        for u in users:
+            for i in rng.choice(items, size=max(2, len(items) // 3), replace=False):
+                counts[u, i] += rng.poisson(3) * profile
+    counts += rng.poisson(0.01, size=counts.shape)
+    return SparseTensor.from_dense(counts), profiles
+
+
+def correlate(profile: np.ndarray, component: np.ndarray) -> float:
+    p = profile - profile.mean()
+    c = component - component.mean()
+    denom = np.linalg.norm(p) * np.linalg.norm(c)
+    return float(p @ c / denom) if denom > 0 else 0.0
+
+
+def main() -> None:
+    tensor, profiles = build_interactions()
+    print(f"interaction tensor: {tensor}\n")
+
+    for method in ("cuadmm", "mu", "hals"):
+        iters = 150 if method == "mu" else 50  # MU converges more slowly
+        result = cstf(
+            tensor, rank=3, update=method, device="a100", max_iters=iters, seed=2
+        )
+        time_factors = result.kruskal.factors[2]  # the week-mode factor
+
+        print(f"== {method}: fit {result.fit:.3f}, "
+              f"{result.per_iteration_seconds() * 1e3:.2f} ms/iter simulated ==")
+        for name, profile in profiles.items():
+            best = max(
+                (abs(correlate(profile, time_factors[:, r])) for r in range(3)),
+            )
+            status = "recovered" if best > 0.8 else "weak"
+            print(f"  {name:9s} trend: best |corr| = {best:.3f}  [{status}]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Calibrate the free machine-model constants against Figure 5 of the paper.
+
+The device peaks/bandwidths/caches come from Table 1; what Table 1 does not
+give are achievable-efficiency constants (stream/gather/random fractions,
+format locality). This script grid-searches those against the paper's
+published per-tensor A100 end-to-end speedups (Figure 5) in log space, and
+reports the best setting plus the resulting per-tensor table for both GPUs.
+
+Run:  python scripts/calibrate.py
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.data.frostt import FROSTT_TABLE2
+from repro.machine import spec as spec_mod
+from repro.machine import analytic as analytic_mod
+from repro.baselines.splatt import splatt_cstf
+from repro.core import cstf
+from repro.core.config import CstfConfig
+
+# Paper Figure 5 (A100, R=32) per-tensor end-to-end speedups vs SPLATT.
+PAPER_A100 = {
+    "nips": 2.11,
+    "uber": 1.47,
+    "chicago": 1.55,
+    "vast": 2.60,
+    "enron": 3.99,
+    "nell2": 2.43,
+    "flickr": 12.61,
+    "delicious": 24.74,
+    "nell1": 7.52,
+    "amazon": 41.59,
+}
+
+
+def model_speedups(device: str) -> dict[str, float]:
+    out = {}
+    for ds in FROSTT_TABLE2:
+        stats = ds.stats()
+        cpu = splatt_cstf(stats, rank=32, max_iters=1)
+        gpu = cstf(
+            stats,
+            CstfConfig(
+                rank=32, max_iters=1, update="cuadmm", device=device,
+                mttkrp_format="blco", compute_fit=False,
+            ),
+        )
+        out[ds.name] = cpu.per_iteration_seconds() / gpu.per_iteration_seconds()
+    return out
+
+
+def loss(speedups: dict[str, float]) -> float:
+    return sum((math.log(speedups[k]) - math.log(v)) ** 2 for k, v in PAPER_A100.items())
+
+
+def set_params(cpu_stream, cpu_gather, cpu_random, gpu_gather, gpu_random, blco_loc, csf_loc):
+    spec_mod.A100 = spec_mod.A100.with_(
+        gather_efficiency=gpu_gather, random_efficiency=gpu_random
+    )
+    spec_mod.H100 = spec_mod.H100.with_(
+        gather_efficiency=min(gpu_gather * 1.08, 1.0), random_efficiency=gpu_random * 1.25
+    )
+    spec_mod.ICELAKE_XEON = spec_mod.ICELAKE_XEON.with_(
+        stream_efficiency=cpu_stream,
+        gather_efficiency=cpu_gather,
+        random_efficiency=cpu_random,
+    )
+    spec_mod._DEVICES.update(
+        a100=spec_mod.A100, h100=spec_mod.H100,
+        icelake=spec_mod.ICELAKE_XEON, cpu=spec_mod.ICELAKE_XEON, xeon=spec_mod.ICELAKE_XEON,
+    )
+    analytic_mod.MTTKRP_LOCALITY["blco"] = blco_loc
+    analytic_mod.MTTKRP_LOCALITY["csf"] = csf_loc
+
+
+def main():
+    grid = {
+        "cpu_stream": [0.45, 0.6, 0.8],
+        "cpu_gather": [0.35, 0.5],
+        "cpu_random": [0.08, 0.14, 0.22, 0.35],
+        "gpu_gather": [0.45, 0.6],
+        "gpu_random": [0.06, 0.10, 0.16],
+        "blco_loc": [0.1, 0.3, 0.6],
+        "csf_loc": [0.03, 0.06, 0.15],
+    }
+    best = None
+    keys = list(grid)
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        set_params(**params)
+        try:
+            sp = model_speedups("a100")
+            score = loss(sp)
+        except Exception:
+            continue
+        if best is None or score < best[0]:
+            best = (score, params, sp)
+            print(f"loss={score:.3f}  {params}")
+    score, params, sp = best
+    print("\nBEST:", params, "loss:", round(score, 3))
+    set_params(**params)
+    for dev in ("a100", "h100"):
+        table = model_speedups(dev)
+        gmean = math.exp(sum(math.log(v) for v in table.values()) / len(table))
+        print(f"\n{dev}: gmean={gmean:.2f}")
+        for k, v in table.items():
+            target = PAPER_A100[k] if dev == "a100" else None
+            print(f"  {k:10s} {v:7.2f}x" + (f"   (paper {target})" if target else ""))
+
+
+if __name__ == "__main__":
+    main()

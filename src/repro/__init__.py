@@ -1,0 +1,66 @@
+"""cSTF-Py: constrained sparse tensor factorization for massively parallel
+architectures — a full reproduction of Soh, Kannan, Sao & Choi (ICPP '24).
+
+The package implements the paper's GPU-resident cSTF framework and every
+substrate it depends on, with real NumPy numerics and a roofline machine
+simulator standing in for the A100/H100/Xeon testbed:
+
+- sparse tensor formats: COO, CSF (SPLATT), ALTO, BLCO (:mod:`repro.tensor`)
+- MTTKRP kernels per format (:mod:`repro.kernels`)
+- the AO driver of Algorithm 1 (:mod:`repro.core`)
+- update methods: ADMM, cuADMM (operation fusion + pre-inversion), HALS,
+  MU, ALS, APG (:mod:`repro.updates`)
+- the machine model (:mod:`repro.machine`), CPU baselines
+  (:mod:`repro.baselines`), and the per-figure experiment drivers
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import cstf, planted_sparse_cp
+>>> tensor, _ = planted_sparse_cp((30, 25, 20), rank=4, seed=0)
+>>> result = cstf(tensor, rank=4, update="cuadmm", max_iters=30)
+>>> result.fit > 0.9
+True
+"""
+
+from repro.core.config import CstfConfig
+from repro.core.cstf import CstfResult, cstf
+from repro.core.kruskal import KruskalTensor, factor_match_score
+from repro.data.frostt import FROSTT_TABLE2, get_dataset
+from repro.machine.analytic import TensorStats
+from repro.machine.executor import Executor
+from repro.machine.spec import A100, H100, ICELAKE_XEON, DeviceSpec, get_device
+from repro.tensor.coo import SparseTensor
+from repro.tensor.synthetic import (
+    planted_nonneg_cp,
+    planted_sparse_cp,
+    random_sparse,
+    scaled_frostt_analogue,
+)
+from repro.updates.base import get_update
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cstf",
+    "CstfConfig",
+    "CstfResult",
+    "KruskalTensor",
+    "factor_match_score",
+    "SparseTensor",
+    "TensorStats",
+    "Executor",
+    "DeviceSpec",
+    "A100",
+    "H100",
+    "ICELAKE_XEON",
+    "get_device",
+    "get_update",
+    "get_dataset",
+    "FROSTT_TABLE2",
+    "random_sparse",
+    "planted_nonneg_cp",
+    "planted_sparse_cp",
+    "scaled_frostt_analogue",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Analysis utilities: the paper's cost equations, breakdowns, speedups.
+
+- :mod:`repro.analysis.roofline` — Equations 3–5 (ADMM work, traffic,
+  arithmetic intensity).
+- :mod:`repro.analysis.breakdown` — phase breakdowns in the style of
+  Figures 1 and 3.
+- :mod:`repro.analysis.speedup` — speedup series and geometric means in the
+  style of Figures 4–10.
+- :mod:`repro.analysis.reporting` — plain-text tables for the benchmark
+  harness output.
+"""
+
+from repro.analysis.roofline import admm_flops, admm_words, admm_arithmetic_intensity
+from repro.analysis.breakdown import phase_fractions, breakdown_row
+from repro.analysis.speedup import geometric_mean, speedup_series
+from repro.analysis.reporting import format_table
+from repro.analysis.dataset_report import DatasetReport, analyze
+from repro.analysis.roofline_points import RooflinePoint, ridge_point, roofline_points
+
+__all__ = [
+    "admm_flops",
+    "admm_words",
+    "admm_arithmetic_intensity",
+    "phase_fractions",
+    "breakdown_row",
+    "geometric_mean",
+    "speedup_series",
+    "format_table",
+    "DatasetReport",
+    "analyze",
+    "RooflinePoint",
+    "ridge_point",
+    "roofline_points",
+]

@@ -1,0 +1,30 @@
+"""Phase breakdowns in the style of the paper's Figures 1 and 3."""
+
+from __future__ import annotations
+
+from repro.core.trace import PHASES
+from repro.machine.counters import Timeline
+
+__all__ = ["phase_fractions", "breakdown_row", "dominant_phase"]
+
+
+def phase_fractions(timeline: Timeline) -> dict[str, float]:
+    """Fraction of the four timed phases (FIT and anything else excluded),
+    renormalized so the four sum to 1.0."""
+    seconds = {p: timeline.seconds(p) for p in PHASES}
+    total = sum(seconds.values())
+    if total <= 0.0:
+        return {p: 0.0 for p in PHASES}
+    return {p: s / total for p, s in seconds.items()}
+
+
+def dominant_phase(timeline: Timeline) -> str:
+    """Name of the largest timed phase."""
+    fractions = phase_fractions(timeline)
+    return max(fractions, key=fractions.get)
+
+
+def breakdown_row(label: str, timeline: Timeline) -> list[str]:
+    """A formatted table row: label plus the four phase percentages."""
+    fractions = phase_fractions(timeline)
+    return [label] + [f"{100.0 * fractions[p]:5.1f}%" for p in PHASES]

@@ -1,0 +1,100 @@
+"""Per-dataset structural reports: the statistics behind the paper's story.
+
+For a tensor (or its paper-scale statistics), derive the quantities that
+predict where it lands in the evaluation figures:
+
+- **factor rows** ΣIₙ — the UPDATE phase's size (big → big GPU ADMM gains);
+- **nnz / ΣIₙ** — the MTTKRP-vs-UPDATE balance of Figure 1's argument;
+- **mode imbalance** max/min dim — VAST-style contention risk;
+- **fiber statistics** (per-mode mean nonzeros per index and the Gini
+  coefficient of the fiber histogram) — load-balance skew;
+- **working-set bytes** per rank — the cache-fit boundary that separates
+  the small/medium/large groups of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.analytic import TensorStats
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import check_rank
+
+__all__ = ["DatasetReport", "analyze"]
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a nonneg histogram (0 = balanced, →1 = skewed)."""
+    counts = np.sort(np.asarray(counts, dtype=np.float64))
+    total = counts.sum()
+    if total <= 0 or counts.size <= 1:
+        return 0.0
+    cum = np.cumsum(counts)
+    # Standard formula: 1 - 2 * area under the Lorenz curve.
+    lorenz_area = float((cum / total).sum() / counts.size) - 0.5 / counts.size
+    return max(0.0, 1.0 - 2.0 * lorenz_area)
+
+
+@dataclass(frozen=True)
+class DatasetReport:
+    shape: tuple[int, ...]
+    nnz: int
+    factor_rows: int
+    nnz_per_factor_row: float
+    mode_imbalance: float
+    contention_risk: float
+    """nnz / (shortest mode × 32): the serialized atomic chain length of the
+    BLCO accumulate — ≫1 flags a VAST-style outlier mode."""
+
+    fiber_gini: tuple[float, ...]
+    """Per-mode Gini of the nonzeros-per-index histogram (NaN when only
+    statistics, not data, are available)."""
+
+    factor_working_set_mb: float
+    """H+U+M bytes at the given rank — the Figure 4 size-group axis."""
+
+    def size_group(self) -> str:
+        """The Figure 4 grouping by factor-matrix size."""
+        if self.factor_rows < 50_000:
+            return "small"
+        if self.factor_rows < 1_000_000:
+            return "medium"
+        return "large"
+
+    def update_bound(self) -> bool:
+        """Heuristic for Figure 1/3: with ten 26-pass ADMM inner iterations
+        against a single nnz-driven MTTKRP pass, the update dominates when
+        its traffic (≈260·ΣIₙ·R words) exceeds the MTTKRP's (≈(N−1)·R·nnz)."""
+        ndim = len(self.shape)
+        return 260.0 * self.factor_rows > (ndim - 1) * self.nnz * 1.0
+
+
+def analyze(tensor, rank: int = 32) -> DatasetReport:
+    """Build a report from a :class:`SparseTensor` or :class:`TensorStats`."""
+    rank = check_rank(rank)
+    if isinstance(tensor, SparseTensor):
+        shape = tensor.shape
+        nnz = tensor.nnz
+        gini = tuple(
+            _gini(tensor.mode_fiber_counts(m)) for m in range(tensor.ndim)
+        )
+    elif isinstance(tensor, TensorStats):
+        shape = tensor.shape
+        nnz = tensor.nnz
+        gini = tuple(float("nan") for _ in shape)
+    else:
+        raise TypeError(f"expected SparseTensor or TensorStats, got {type(tensor).__name__}")
+
+    factor_rows = int(sum(shape))
+    return DatasetReport(
+        shape=tuple(shape),
+        nnz=int(nnz),
+        factor_rows=factor_rows,
+        nnz_per_factor_row=nnz / factor_rows,
+        mode_imbalance=max(shape) / min(shape),
+        contention_risk=nnz / (min(shape) * 32.0),
+        fiber_gini=gini,
+        factor_working_set_mb=3.0 * factor_rows * rank * 8.0 / 1e6,
+    )

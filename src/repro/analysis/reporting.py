@@ -1,0 +1,30 @@
+"""Plain-text tables for the benchmark harness output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render an aligned ASCII table (headers + rows of strings)."""
+    headers = [str(h) for h in headers]
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if i >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""The paper's ADMM cost analysis (Section 3.3, Equations 3–5).
+
+For one ADMM inner iteration on an I×R factor:
+
+- Equation 3 — work:   ``W = 19·I·R + 2·I·R²`` flops
+  (19·I·R from the matrix-addition-class kernels, 2·I·R² from the solve).
+- Equation 4 — traffic: ``Q = 22·I·R + R²`` words
+  (reads+writes of H, U, M and intermediates, plus the R×R system).
+- Equation 5 — arithmetic intensity: ``AI = W / (8·Q)`` flop/byte, which
+  for I ≫ R approaches ``(19 + 2R) / (22·8)`` — 0.29 / 0.47 / 0.83 at
+  R = 16 / 32 / 64. The paper concludes ADMM is bandwidth-bound, hence the
+  HBM-rich GPU offload.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "admm_flops",
+    "admm_words",
+    "admm_arithmetic_intensity",
+    "admm_arithmetic_intensity_limit",
+]
+
+_BYTES_PER_WORD = 8  # double precision, as in the paper
+
+
+def admm_flops(rows: int, rank: int) -> float:
+    """Equation 3: flops of one ADMM inner iteration."""
+    rows = check_positive_int(rows, "rows")
+    rank = check_positive_int(rank, "rank")
+    return 19.0 * rows * rank + 2.0 * rows * rank * rank
+
+
+def admm_words(rows: int, rank: int) -> float:
+    """Equation 4: words moved by one ADMM inner iteration."""
+    rows = check_positive_int(rows, "rows")
+    rank = check_positive_int(rank, "rank")
+    return 22.0 * rows * rank + float(rank) * rank
+
+
+def admm_arithmetic_intensity(rows: int, rank: int) -> float:
+    """Equation 5: flop/byte of one ADMM inner iteration."""
+    return admm_flops(rows, rank) / (_BYTES_PER_WORD * admm_words(rows, rank))
+
+
+def admm_arithmetic_intensity_limit(rank: int) -> float:
+    """The I ≫ R limit the paper evaluates: ``(19 + 2R) / (22·8)``."""
+    rank = check_positive_int(rank, "rank")
+    return (19.0 + 2.0 * rank) / (22.0 * _BYTES_PER_WORD)

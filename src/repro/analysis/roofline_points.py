@@ -1,0 +1,68 @@
+"""Roofline placement of recorded kernels.
+
+Maps each retained :class:`~repro.machine.counters.KernelRecord` to a point
+(arithmetic intensity, attained GFLOP/s) under its device, plus the device's
+roofline envelope — the data behind a roofline plot of a run, and the tool
+that confirms the paper's Section 3.3 conclusion kernel-by-kernel (every
+ADMM kernel sits on the bandwidth slope, far left of the ridge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.costmodel import kernel_seconds
+from repro.machine.executor import Executor
+from repro.machine.spec import DeviceSpec
+from repro.utils.validation import require
+
+__all__ = ["RooflinePoint", "roofline_points", "ridge_point"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    name: str
+    phase: str
+    arithmetic_intensity: float
+    """flop/byte of the kernel's logical work."""
+
+    attained_gflops: float
+    """flops / simulated seconds, in GFLOP/s."""
+
+    memory_bound: bool
+    """Whether the kernel sits left of the device ridge."""
+
+
+def ridge_point(spec: DeviceSpec) -> float:
+    """The device balance point peak_flops / bandwidth (flop/byte)."""
+    return spec.peak_flops / spec.mem_bandwidth
+
+
+def roofline_points(executor: Executor, min_flops: float = 1.0) -> list[RooflinePoint]:
+    """Extract roofline points from an executor with retained records.
+
+    Kernels with fewer than *min_flops* flops (pure copies, reductions to a
+    scalar) are skipped — they have no meaningful intensity.
+    """
+    records = executor.timeline.records
+    require(
+        bool(records),
+        "no kernel records retained — construct the Executor with keep_records=True",
+    )
+    ridge = ridge_point(executor.device)
+    points = []
+    for rec in records:
+        if rec.flops < min_flops or rec.total_bytes <= 0:
+            continue
+        seconds = kernel_seconds(executor.device, rec)
+        ai = rec.flops / rec.total_bytes
+        points.append(
+            RooflinePoint(
+                name=rec.name,
+                phase=rec.phase,
+                arithmetic_intensity=ai,
+                attained_gflops=rec.flops / seconds / 1e9,
+                memory_bound=ai < ridge,
+            )
+        )
+    return points

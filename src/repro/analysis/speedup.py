@@ -1,0 +1,63 @@
+"""Speedup series and summary statistics (Figures 4–10)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = ["geometric_mean", "speedup_series", "SpeedupSeries"]
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values — the paper's summary statistic."""
+    values = [float(v) for v in values]
+    require(bool(values), "geometric mean of an empty sequence")
+    require(all(v > 0 for v in values), "geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class SpeedupSeries:
+    """A labeled speedup series with the paper's summary statistics."""
+
+    labels: tuple[str, ...]
+    baseline_seconds: tuple[float, ...]
+    optimized_seconds: tuple[float, ...]
+
+    @property
+    def speedups(self) -> tuple[float, ...]:
+        return tuple(b / o for b, o in zip(self.baseline_seconds, self.optimized_seconds))
+
+    @property
+    def gmean(self) -> float:
+        return geometric_mean(self.speedups)
+
+    @property
+    def max_speedup(self) -> float:
+        return max(self.speedups)
+
+    @property
+    def min_speedup(self) -> float:
+        return min(self.speedups)
+
+    def as_rows(self) -> list[list[str]]:
+        rows = [
+            [label, f"{base:.4e}", f"{opt:.4e}", f"{base / opt:.2f}x"]
+            for label, base, opt in zip(
+                self.labels, self.baseline_seconds, self.optimized_seconds
+            )
+        ]
+        rows.append(["GMean", "", "", f"{self.gmean:.2f}x"])
+        return rows
+
+
+def speedup_series(labels, baseline_seconds, optimized_seconds) -> SpeedupSeries:
+    """Build a :class:`SpeedupSeries`, validating lengths and positivity."""
+    labels = tuple(str(x) for x in labels)
+    base = tuple(float(x) for x in baseline_seconds)
+    opt = tuple(float(x) for x in optimized_seconds)
+    require(len(labels) == len(base) == len(opt), "series lengths disagree")
+    require(all(x > 0 for x in base + opt), "times must be positive")
+    return SpeedupSeries(labels, base, opt)

@@ -1,0 +1,15 @@
+"""CPU baselines the paper compares against.
+
+- :mod:`repro.baselines.splatt` — SPLATT-like cSTF: CSF trees (one per
+  mode), generic AO-ADMM, 26-core Ice Lake CPU model. The comparator of
+  Figures 5–8.
+- :mod:`repro.baselines.planc` — PLANC-like constrained TF: the dense
+  driver behind Figure 1's DenseTF bars, and the ALTO-based sparse CPU
+  configuration ("modified PLANC", Section 4) behind Figures 1 (SparseTF),
+  3, 9 and 10.
+"""
+
+from repro.baselines.splatt import splatt_cstf
+from repro.baselines.planc import planc_dense_tf, planc_sparse_tf
+
+__all__ = ["splatt_cstf", "planc_dense_tf", "planc_sparse_tf"]

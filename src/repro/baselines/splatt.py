@@ -1,0 +1,56 @@
+"""SPLATT-like CPU baseline: CSF MTTKRP + AO-ADMM on the Ice Lake model.
+
+SPLATT (Smith & Karypis) is the CPU state of the art for cSTF with ADMM and
+the paper's headline comparator (Figures 5 and 6). This baseline reproduces
+its algorithmic shape:
+
+- one CSF tree per mode (the ``ALLMODE`` policy) driving the tree-walk
+  MTTKRP;
+- the accelerated AO-ADMM of Smith et al. (ICPP '17): generic ADMM (no GPU
+  fusion, Cholesky solves in the inner loop — efficient on CPUs, whose
+  ``trsm_efficiency`` is high) with dual-variable warm starting;
+- 2-norm column normalization.
+
+Same driver, numerics and phase accounting as the GPU framework — only the
+device model, storage format, and update configuration differ, so speedup
+comparisons isolate exactly what the paper's do.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CstfConfig
+from repro.core.cstf import CstfResult, cstf
+from repro.updates.admm import AdmmUpdate
+
+__all__ = ["splatt_cstf"]
+
+
+def splatt_cstf(
+    tensor,
+    rank: int = 32,
+    max_iters: int = 10,
+    inner_iters: int = 10,
+    constraint="nonneg",
+    device="cpu",
+    seed=0,
+    compute_fit: bool = False,
+    tol: float = 0.0,
+) -> CstfResult:
+    """Run the SPLATT-like baseline on *tensor* (concrete or TensorStats).
+
+    Parameters mirror :func:`repro.core.cstf.cstf`; the storage format
+    (CSF), device (CPU) and update (generic ADMM) are fixed by the baseline
+    definition — pass a different ``device`` only for ablations.
+    """
+    config = CstfConfig(
+        rank=rank,
+        max_iters=max_iters,
+        tol=tol,
+        update=AdmmUpdate(constraint=constraint, inner_iters=inner_iters),
+        device=device,
+        mttkrp_format="csf",
+        normalize="2",
+        compute_fit=compute_fit,
+        seed=seed,
+    )
+    return cstf(tensor, config)

@@ -1,0 +1,47 @@
+"""The cSTF core: Kruskal model, configuration, and the AO driver.
+
+:func:`repro.core.cstf.cstf` implements Algorithm 1 of the paper — the
+alternating-optimization loop whose four phases (GRAM, MTTKRP, UPDATE,
+NORMALIZE) the evaluation figures break down. It runs in two modes:
+
+- **concrete** — a real :class:`~repro.tensor.coo.SparseTensor`; factors are
+  NumPy arrays, the fit is tracked, and simulated device time is charged per
+  kernel.
+- **analytic** — a :class:`~repro.machine.analytic.TensorStats` (paper-scale
+  metadata); the identical kernel sequence is replayed on shape-only arrays
+  so Figures 5–8 can be evaluated at FROSTT scale.
+"""
+
+from repro.core.kruskal import KruskalTensor, factor_match_score
+from repro.core.postprocess import (
+    component_similarity,
+    component_strengths,
+    effective_rank,
+    prune_components,
+    top_indices,
+)
+from repro.core.config import CstfConfig
+from repro.core.multistart import MultiStartResult, cstf_multistart
+from repro.core.cstf import CstfResult, cstf
+from repro.core.trace import PHASE_FIT, PHASE_GRAM, PHASE_MTTKRP, PHASE_NORMALIZE, PHASE_UPDATE, PHASES
+
+__all__ = [
+    "KruskalTensor",
+    "factor_match_score",
+    "component_similarity",
+    "component_strengths",
+    "effective_rank",
+    "prune_components",
+    "top_indices",
+    "CstfConfig",
+    "MultiStartResult",
+    "cstf_multistart",
+    "CstfResult",
+    "cstf",
+    "PHASES",
+    "PHASE_GRAM",
+    "PHASE_MTTKRP",
+    "PHASE_UPDATE",
+    "PHASE_NORMALIZE",
+    "PHASE_FIT",
+]

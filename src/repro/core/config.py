@@ -1,0 +1,70 @@
+"""Configuration of a cSTF run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive_int, check_rank, require
+
+__all__ = ["CstfConfig"]
+
+_FORMATS = ("coo", "csf", "alto", "blco")
+_NORMS = ("2", "max")
+
+
+@dataclass
+class CstfConfig:
+    """All knobs of the AO driver (paper defaults where applicable).
+
+    Attributes
+    ----------
+    rank:
+        Factorization rank R (the paper evaluates 16/32/64; default 32).
+    max_iters:
+        Outer AO iterations.
+    tol:
+        Stop when the fit improves by less than this between outer
+        iterations (0 disables; analytic mode always runs ``max_iters``).
+    update:
+        Update-method name or instance (see :mod:`repro.updates`).
+    device:
+        Device preset name or :class:`~repro.machine.spec.DeviceSpec`.
+    mttkrp_format:
+        Sparse format for the MTTKRP phase: ``blco`` (GPU default),
+        ``csf`` (SPLATT), ``alto`` (modified-PLANC CPU), or ``coo``.
+    normalize:
+        Column-norm convention, ``"max"`` (PLANC nonneg convention) or
+        ``"2"``.
+    compute_fit:
+        Track the model fit each outer iteration (concrete mode only).
+    seed:
+        Factor initialization seed.
+    """
+
+    rank: int = 32
+    max_iters: int = 10
+    tol: float = 0.0
+    update: object = "cuadmm"
+    device: object = "a100"
+    mttkrp_format: str = "blco"
+    normalize: str = "max"
+    compute_fit: bool = True
+    seed: object = 0
+    update_params: dict = field(default_factory=dict)
+    init_factors: object = None
+    """Optional warm start: a list of ``Iₙ×R`` arrays (or a
+    :class:`~repro.core.kruskal.KruskalTensor`) used instead of random
+    initialization. Weights of a KruskalTensor are folded into the factors."""
+
+    def __post_init__(self):
+        self.rank = check_rank(self.rank)
+        self.max_iters = check_positive_int(self.max_iters, "max_iters")
+        require(self.tol >= 0.0, "tol must be non-negative")
+        require(
+            self.mttkrp_format in _FORMATS,
+            f"mttkrp_format must be one of {_FORMATS}, got {self.mttkrp_format!r}",
+        )
+        require(
+            self.normalize in _NORMS,
+            f"normalize must be one of {_NORMS}, got {self.normalize!r}",
+        )

@@ -1,0 +1,137 @@
+"""Kruskal (CP) tensors: weighted sums of rank-1 outer products.
+
+``X̂ = Σ_r λ_r · h⁽¹⁾_r ∘ ... ∘ h⁽ᴺ⁾_r`` — the model both the constrained
+and unconstrained factorizations produce. Fit against sparse tensors is
+computed without densifying via the standard inner-product expansion::
+
+    ‖X - X̂‖² = ‖X‖² - 2⟨X, X̂⟩ + ‖X̂‖²
+
+with ``⟨X, X̂⟩`` a sum over the nonzeros and ``‖X̂‖² = λᵀ(⊛ₘ G⁽ᵐ⁾)λ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.gram import gram, hadamard_of_grams
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import require
+
+__all__ = ["KruskalTensor", "factor_match_score"]
+
+
+class KruskalTensor:
+    """A rank-R CP model: factor list plus weight vector λ."""
+
+    __slots__ = ("factors", "weights")
+
+    def __init__(self, factors, weights=None):
+        self.factors = [np.ascontiguousarray(f, dtype=np.float64) for f in factors]
+        require(len(self.factors) >= 1, "need at least one factor")
+        rank = self.factors[0].shape[1]
+        for n, f in enumerate(self.factors):
+            require(f.ndim == 2 and f.shape[1] == rank, f"factor {n} rank mismatch")
+        if weights is None:
+            weights = np.ones(rank, dtype=np.float64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        require(self.weights.shape == (rank,), "weights must be length-R")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        return self.factors[0].shape[1]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(f.shape[0] for f in self.factors)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.factors)
+
+    # ------------------------------------------------------------------ #
+    def full(self) -> np.ndarray:
+        """Dense reconstruction (test scale only)."""
+        rank = self.rank
+        out = np.zeros(self.shape, dtype=np.float64)
+        for r in range(rank):
+            component = self.weights[r]
+            block = np.array(component, dtype=np.float64)
+            for f in self.factors:
+                block = np.multiply.outer(block, f[:, r])
+            out += block
+        return out
+
+    def values_at(self, indices: np.ndarray) -> np.ndarray:
+        """Model values at ``(n, ndim)`` coordinates, vectorized."""
+        indices = np.asarray(indices, dtype=np.int64)
+        acc = np.broadcast_to(self.weights, (indices.shape[0], self.rank)).copy()
+        for mode, f in enumerate(self.factors):
+            acc *= f[indices[:, mode]]
+        return acc.sum(axis=1)
+
+    def norm_sq(self) -> float:
+        """``‖X̂‖² = λᵀ (⊛ₘ HᵐᵀHᵐ) λ`` — O(N·I·R²), no densification."""
+        chain = hadamard_of_grams([gram(f) for f in self.factors])
+        return float(self.weights @ chain @ self.weights)
+
+    def inner_with_sparse(self, tensor: SparseTensor) -> float:
+        """``⟨X, X̂⟩`` over the stored nonzeros."""
+        require(tensor.shape == self.shape, "tensor/model shape mismatch")
+        return float(np.dot(tensor.values, self.values_at(tensor.indices)))
+
+    def residual_norm_sq(self, tensor: SparseTensor) -> float:
+        """``‖X - X̂‖²`` (clipped at zero against round-off)."""
+        return max(
+            tensor.norm() ** 2 - 2.0 * self.inner_with_sparse(tensor) + self.norm_sq(), 0.0
+        )
+
+    def fit(self, tensor: SparseTensor) -> float:
+        """The standard CP fit ``1 - ‖X - X̂‖ / ‖X‖`` (1 is exact)."""
+        denom = tensor.norm()
+        require(denom > 0.0, "cannot compute fit against an all-zero tensor")
+        return 1.0 - float(np.sqrt(self.residual_norm_sq(tensor))) / denom
+
+    def normalized(self) -> "KruskalTensor":
+        """Equivalent model with unit-2-norm columns, norms folded into λ."""
+        new_factors = []
+        lam = self.weights.copy()
+        for f in self.factors:
+            norms = np.linalg.norm(f, axis=0)
+            norms = np.where(norms > 0.0, norms, 1.0)
+            new_factors.append(f / norms)
+            lam = lam * norms
+        return KruskalTensor(new_factors, lam)
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"KruskalTensor(shape={dims}, rank={self.rank})"
+
+
+def factor_match_score(a: KruskalTensor, b: KruskalTensor) -> float:
+    """Factor match score between two CP models (1.0 = same up to
+    permutation and scaling).
+
+    Components are greedily matched by the product of per-mode cosine
+    similarities; the score is the mean matched congruence. Standard
+    recovery metric for planted-factor tests.
+    """
+    require(a.shape == b.shape, "models must share a shape")
+    require(a.rank == b.rank, "models must share a rank")
+    an = a.normalized()
+    bn = b.normalized()
+    rank = a.rank
+
+    congruence = np.ones((rank, rank), dtype=np.float64)
+    for fa, fb in zip(an.factors, bn.factors):
+        congruence *= np.abs(fa.T @ fb)
+
+    remaining = set(range(rank))
+    total = 0.0
+    for r in range(rank):
+        cols = sorted(remaining)
+        scores = congruence[r, cols]
+        best = int(np.argmax(scores))
+        total += float(scores[best])
+        remaining.discard(cols[best])
+    return total / rank

@@ -1,0 +1,16 @@
+"""Phase names of the cSTF iteration, matching the paper's breakdowns.
+
+Figures 1 and 3 of the paper decompose a cSTF iteration into exactly four
+phases; the constants here are the timeline keys used everywhere. The FIT
+phase covers the optional objective evaluation, which the paper's timed
+region excludes — benchmark drivers disable it or report it separately.
+"""
+
+PHASE_GRAM = "GRAM"
+PHASE_MTTKRP = "MTTKRP"
+PHASE_UPDATE = "UPDATE"
+PHASE_NORMALIZE = "NORMALIZE"
+PHASE_FIT = "FIT"
+
+#: The paper's four timed phases, in presentation order.
+PHASES = (PHASE_GRAM, PHASE_MTTKRP, PHASE_UPDATE, PHASE_NORMALIZE)

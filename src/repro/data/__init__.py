@@ -1,0 +1,22 @@
+"""Datasets: the Table 2 FROSTT registry and the ``.tns`` text format.
+
+The paper evaluates on 10 real-world sparse tensors from FROSTT (Smith et
+al.). Those files are multi-gigabyte downloads; :mod:`repro.data.frostt`
+registers their exact published metadata (dimensions, nonzeros, density —
+the inputs the analytic cost model needs) and generates *scaled synthetic
+analogues* for concrete runs (same mode-length ordering and skewed-index
+character at test scale). :mod:`repro.data.tns` reads and writes the FROSTT
+``.tns`` interchange format so real files drop in when available.
+"""
+
+from repro.data.frostt import FrosttDataset, FROSTT_TABLE2, get_dataset, dataset_names
+from repro.data.tns import read_tns, write_tns
+
+__all__ = [
+    "FrosttDataset",
+    "FROSTT_TABLE2",
+    "get_dataset",
+    "dataset_names",
+    "read_tns",
+    "write_tns",
+]

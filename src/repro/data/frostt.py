@@ -1,0 +1,117 @@
+"""The Table 2 dataset registry: FROSTT tensors used by the paper.
+
+Each entry records the published dimensions and nonzero counts (FROSTT
+metadata, matching Table 2 of the paper) plus the paper's factor-matrix size
+group from Figure 4 (small / medium / large). Two consumers:
+
+- ``stats()`` — a :class:`~repro.machine.analytic.TensorStats` at **paper
+  scale**, feeding the analytic cost evaluation of Figures 5–8.
+- ``load_scaled()`` — a reproducible synthetic analogue at **test scale**:
+  mode lengths scaled geometrically (preserving which modes are long), with
+  skewed index histograms and log-normal values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.analytic import TensorStats
+from repro.tensor.coo import SparseTensor
+from repro.tensor.synthetic import scaled_frostt_analogue
+from repro.utils.validation import require
+
+__all__ = ["FrosttDataset", "FROSTT_TABLE2", "get_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class FrosttDataset:
+    """Metadata of one FROSTT tensor, as published (and as in Table 2)."""
+
+    name: str
+    dims: tuple[int, ...]
+    nnz: int
+    group: str
+    """Factor-matrix size group from Figure 4: small / medium / large."""
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def density(self) -> float:
+        space = 1.0
+        for d in self.dims:
+            space *= float(d)
+        return self.nnz / space
+
+    @property
+    def factor_rows(self) -> int:
+        """Total factor-matrix rows ΣIₙ — the paper's 'factor matrix size'
+        axis (drives the UPDATE phase cost and the GPU speedup)."""
+        return sum(self.dims)
+
+    def stats(self, bit_budget: int = 48) -> TensorStats:
+        """Paper-scale statistics for the analytic cost model."""
+        return TensorStats.from_dims(self.dims, self.nnz, bit_budget=bit_budget)
+
+    def scaled_shape(self, max_dim: int = 2000) -> tuple[int, ...]:
+        """Geometrically scaled dimensions: ``dᵇ`` with ``b`` chosen so the
+        longest mode lands at *max_dim*. Preserves the long/short mode
+        ordering that the paper's per-mode analysis (Fig 4) relies on."""
+        require(max_dim >= 4, "max_dim too small")
+        longest = max(self.dims)
+        if longest <= max_dim:
+            return self.dims
+        beta = math.log(max_dim) / math.log(longest)
+        return tuple(max(2, round(d**beta)) for d in self.dims)
+
+    def scaled_nnz(self, shape: tuple[int, ...], target_nnz: int = 50_000) -> int:
+        """Nonzero count for the analogue: the target, capped so the tensor
+        stays sparse (≤ 30 % of the scaled index space) and at the paper's
+        own count."""
+        space = 1.0
+        for d in shape:
+            space *= float(d)
+        return int(max(16, min(target_nnz, self.nnz, 0.3 * space)))
+
+    def load_scaled(
+        self, seed=0, max_dim: int = 2000, target_nnz: int = 50_000
+    ) -> SparseTensor:
+        """Generate the scaled synthetic analogue (deterministic per seed)."""
+        shape = self.scaled_shape(max_dim=max_dim)
+        nnz = self.scaled_nnz(shape, target_nnz=target_nnz)
+        return scaled_frostt_analogue(shape, nnz, seed=seed)
+
+
+#: Table 2 of the paper, ordered by nonzero count. Dimensions and counts are
+#: the published FROSTT values the table rounds from.
+FROSTT_TABLE2: tuple[FrosttDataset, ...] = (
+    FrosttDataset("nips", (2482, 2862, 14036, 17), 3_101_609, "small"),
+    FrosttDataset("uber", (183, 24, 1140, 1717), 3_309_490, "small"),
+    FrosttDataset("chicago", (6186, 24, 77, 32), 5_330_673, "small"),
+    FrosttDataset("vast", (165_427, 11_374, 2), 26_021_945, "medium"),
+    FrosttDataset("enron", (6066, 5699, 244_268, 1176), 54_202_099, "medium"),
+    FrosttDataset("nell2", (12_092, 9184, 28_818), 76_879_419, "medium"),
+    FrosttDataset("flickr", (319_686, 28_153_045, 1_607_191, 731), 112_890_310, "large"),
+    FrosttDataset("delicious", (532_924, 17_262_471, 2_480_308, 1443), 140_126_181, "large"),
+    FrosttDataset("nell1", (2_902_330, 2_143_368, 25_495_389), 143_599_552, "large"),
+    FrosttDataset("amazon", (4_821_207, 1_774_269, 1_805_187), 1_741_809_018, "large"),
+)
+
+_BY_NAME = {d.name: d for d in FROSTT_TABLE2}
+_ALIASES = {"deli": "delicious", "nell-1": "nell1", "nell-2": "nell2"}
+
+
+def dataset_names() -> list[str]:
+    """Registry order (Table 2 order: ascending nnz)."""
+    return [d.name for d in FROSTT_TABLE2]
+
+
+def get_dataset(name: str) -> FrosttDataset:
+    """Look a dataset up by (case-insensitive) name or alias."""
+    key = str(name).lower()
+    key = _ALIASES.get(key, key)
+    if key not in _BY_NAME:
+        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}")
+    return _BY_NAME[key]

@@ -1,0 +1,68 @@
+"""Persistence of factorization results.
+
+Saves a :class:`~repro.core.kruskal.KruskalTensor` (plus optional metadata
+such as the fit trace and configuration) to a single ``.npz`` archive, and
+loads it back. The format is plain NumPy arrays — no pickling — so archives
+are portable and safe to share.
+
+Archive layout::
+
+    weights            (R,)            float64
+    factor_0..N-1      (I_n, R)        float64
+    meta_json          ()              unicode  (JSON-encoded metadata dict)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kruskal import KruskalTensor
+from repro.utils.validation import require
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: KruskalTensor, target, metadata: dict | None = None) -> None:
+    """Write *model* (and JSON-serializable *metadata*) to ``target``.
+
+    ``target`` may be a path or a binary file object. Metadata values must
+    be JSON-serializable (numbers, strings, lists, dicts).
+    """
+    require(isinstance(model, KruskalTensor), "model must be a KruskalTensor")
+    meta = dict(metadata or {})
+    meta["format_version"] = _FORMAT_VERSION
+    meta["ndim"] = model.ndim
+    meta["rank"] = model.rank
+    arrays = {
+        "weights": model.weights,
+        "meta_json": np.array(json.dumps(meta)),
+    }
+    for n, factor in enumerate(model.factors):
+        arrays[f"factor_{n}"] = factor
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+    else:
+        np.savez_compressed(target, **arrays)
+
+
+def load_model(source) -> tuple[KruskalTensor, dict]:
+    """Read a saved model; returns ``(model, metadata)``."""
+    with np.load(source, allow_pickle=False) as data:
+        require("meta_json" in data, "not a cSTF-Py model archive (meta_json missing)")
+        meta = json.loads(str(data["meta_json"]))
+        require(
+            meta.get("format_version") == _FORMAT_VERSION,
+            f"unsupported archive version {meta.get('format_version')!r}",
+        )
+        ndim = int(meta["ndim"])
+        factors = [data[f"factor_{n}"] for n in range(ndim)]
+        weights = data["weights"]
+    model = KruskalTensor(factors, weights)
+    require(model.rank == int(meta["rank"]), "archive rank metadata disagrees with factors")
+    return model, meta

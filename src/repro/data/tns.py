@@ -1,0 +1,74 @@
+"""FROSTT ``.tns`` text format: one nonzero per line, 1-indexed coordinates
+followed by the value, ``#`` comments allowed.
+
+Example (a 2×2×2 tensor with two nonzeros)::
+
+    # my tensor
+    1 1 1 1.5
+    2 2 2 -3.0
+
+Shapes are inferred from the coordinate maxima unless given explicitly,
+matching common FROSTT tooling.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import require
+
+__all__ = ["read_tns", "write_tns"]
+
+
+def read_tns(source, shape=None) -> SparseTensor:
+    """Parse a ``.tns`` file (path, string content, or file object)."""
+    if isinstance(source, (str, Path)) and "\n" not in str(source):
+        text = Path(source).read_text()
+    elif isinstance(source, str):
+        text = source
+    else:
+        text = source.read()
+
+    rows = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        parts = stripped.split()
+        require(len(parts) >= 2, f"line {lineno}: need at least one index and a value")
+        rows.append(parts)
+
+    require(bool(rows), "no nonzeros found in .tns input")
+    ndim = len(rows[0]) - 1
+    for lineno, parts in enumerate(rows, start=1):
+        require(
+            len(parts) == ndim + 1,
+            f"inconsistent column count at data row {lineno} "
+            f"({len(parts)} vs {ndim + 1})",
+        )
+
+    indices = np.array([[int(p) for p in parts[:-1]] for parts in rows], dtype=np.int64)
+    values = np.array([float(parts[-1]) for parts in rows], dtype=np.float64)
+    require(bool((indices >= 1).all()), ".tns coordinates are 1-indexed; found index < 1")
+    indices -= 1  # to 0-indexed
+    if shape is None:
+        shape = tuple(int(m) + 1 for m in indices.max(axis=0))
+    return SparseTensor(indices, values, shape)
+
+
+def write_tns(tensor: SparseTensor, target) -> None:
+    """Write *tensor* in ``.tns`` format (path or file object)."""
+    buf = io.StringIO()
+    dims = "x".join(str(d) for d in tensor.shape)
+    buf.write(f"# {tensor.ndim}-mode tensor, shape {dims}, nnz {tensor.nnz}\n")
+    for coords, value in zip(tensor.indices, tensor.values):
+        coord_str = " ".join(str(int(c) + 1) for c in coords)
+        buf.write(f"{coord_str} {float(value)!r}\n")
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(buf.getvalue())
+    else:
+        target.write(buf.getvalue())

@@ -1,0 +1,29 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver returns a plain data structure (dataclasses/dicts of numbers)
+that the benchmark harness prints and asserts shape targets on, and that
+the examples render. See DESIGN.md §4 for the experiment ↔ module ↔ bench
+mapping.
+"""
+
+from repro.experiments.figures import (
+    fig1_dense_vs_sparse_breakdown,
+    fig3_cstf_breakdown,
+    fig4_cuadmm_optimizations,
+    fig5_6_end_to_end_speedup,
+    fig7_8_kernel_speedups,
+    fig9_10_mu_hals_speedup,
+    table2_datasets,
+    eq345_arithmetic_intensity,
+)
+
+__all__ = [
+    "fig1_dense_vs_sparse_breakdown",
+    "fig3_cstf_breakdown",
+    "fig4_cuadmm_optimizations",
+    "fig5_6_end_to_end_speedup",
+    "fig7_8_kernel_speedups",
+    "fig9_10_mu_hals_speedup",
+    "table2_datasets",
+    "eq345_arithmetic_intensity",
+]

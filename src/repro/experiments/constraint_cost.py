@@ -1,0 +1,85 @@
+"""The cost of constraints: unconstrained vs constrained STF.
+
+The paper's opening claim (Section 1, Figure 1) is that *adding constraints
+creates an additional bottleneck*: unconstrained STF is MTTKRP-bound, while
+cSTF's update phase rivals or dwarfs MTTKRP on real sparse tensors. This
+driver quantifies the claim directly: per-iteration time of unconstrained
+CP-ALS vs generic ADMM vs cuADMM on the same tensors, on both devices.
+
+The derived quantity ``constraint_overhead`` = (constrained time) /
+(unconstrained time) is the price of interpretability; cuADMM's purpose is
+to shrink it on GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.data.frostt import FROSTT_TABLE2
+from repro.machine.spec import get_device
+
+__all__ = ["ConstraintCostRow", "constraint_cost_study"]
+
+
+@dataclass(frozen=True)
+class ConstraintCostRow:
+    dataset: str
+    device: str
+    als_seconds: float
+    admm_seconds: float
+    cuadmm_seconds: float
+
+    @property
+    def admm_overhead(self) -> float:
+        """Constrained (generic ADMM) time over unconstrained time."""
+        return self.admm_seconds / self.als_seconds
+
+    @property
+    def cuadmm_overhead(self) -> float:
+        """Constrained (cuADMM) time over unconstrained time."""
+        return self.cuadmm_seconds / self.als_seconds
+
+    @property
+    def optimization_recovery(self) -> float:
+        """Fraction of the constraint overhead cuADMM eliminates."""
+        if self.admm_seconds <= self.als_seconds:
+            return 0.0
+        return (self.admm_seconds - self.cuadmm_seconds) / (
+            self.admm_seconds - self.als_seconds
+        )
+
+
+def _per_iteration(stats, rank, device, update):
+    spec = get_device(device)
+    fmt = "blco" if spec.kind == "gpu" else "csf"
+    res = cstf(
+        stats,
+        CstfConfig(
+            rank=rank, max_iters=1, update=update, device=spec,
+            mttkrp_format=fmt, compute_fit=False,
+            update_params={"inner_iters": 10} if update in ("admm", "cuadmm") else {},
+        ),
+    )
+    return res.per_iteration_seconds()
+
+
+def constraint_cost_study(
+    device="h100", rank: int = 32, datasets=("nips", "enron", "delicious", "amazon")
+) -> list[ConstraintCostRow]:
+    """Per-iteration ALS vs ADMM vs cuADMM for the chosen tensors."""
+    picked = [d for d in FROSTT_TABLE2 if d.name in datasets]
+    out = []
+    for ds in picked:
+        stats = ds.stats()
+        out.append(
+            ConstraintCostRow(
+                dataset=ds.name,
+                device=str(device),
+                als_seconds=_per_iteration(stats, rank, device, "als"),
+                admm_seconds=_per_iteration(stats, rank, device, "admm"),
+                cuadmm_seconds=_per_iteration(stats, rank, device, "cuadmm"),
+            )
+        )
+    return out

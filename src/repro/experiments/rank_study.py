@@ -1,0 +1,64 @@
+"""Rank study: the paper's full R ∈ {16, 32, 64} evaluation grid.
+
+Section 5.1 states every experiment ran at ranks 16, 32 and 64, though the
+figures show R = 32. This driver evaluates the end-to-end GPU-vs-SPLATT
+speedup at all three ranks, plus the rank's effect on the ADMM arithmetic
+intensity (Eq. 5) — the mechanism that makes higher ranks slightly more
+GPU-favorable (more flops per byte moves ADMM up the roofline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.roofline import admm_arithmetic_intensity_limit
+from repro.analysis.speedup import SpeedupSeries, speedup_series
+from repro.baselines.splatt import splatt_cstf
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.data.frostt import FROSTT_TABLE2
+
+__all__ = ["RankStudyRow", "rank_study"]
+
+PAPER_RANKS = (16, 32, 64)
+
+
+@dataclass(frozen=True)
+class RankStudyRow:
+    rank: int
+    arithmetic_intensity: float
+    series: SpeedupSeries
+
+    @property
+    def gmean(self) -> float:
+        return self.series.gmean
+
+
+def rank_study(device="a100", ranks=PAPER_RANKS, datasets=None) -> list[RankStudyRow]:
+    """End-to-end speedup vs SPLATT at each rank of the paper's grid."""
+    names = datasets or [d.name for d in FROSTT_TABLE2]
+    picked = [d for d in FROSTT_TABLE2 if d.name in names]
+    out = []
+    for rank in ranks:
+        labels, cpu_times, gpu_times = [], [], []
+        for ds in picked:
+            stats = ds.stats()
+            cpu = splatt_cstf(stats, rank=rank, max_iters=1)
+            gpu = cstf(
+                stats,
+                CstfConfig(
+                    rank=rank, max_iters=1, update="cuadmm", device=device,
+                    mttkrp_format="blco", compute_fit=False,
+                ),
+            )
+            labels.append(ds.name)
+            cpu_times.append(cpu.per_iteration_seconds())
+            gpu_times.append(gpu.per_iteration_seconds())
+        out.append(
+            RankStudyRow(
+                rank=rank,
+                arithmetic_intensity=admm_arithmetic_intensity_limit(rank),
+                series=speedup_series(labels, cpu_times, gpu_times),
+            )
+        )
+    return out

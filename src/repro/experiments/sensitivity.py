@@ -1,0 +1,100 @@
+"""Sensitivity of the reproduction's conclusions to the model constants.
+
+The machine model has calibrated constants that Table 1 does not publish
+(efficiency fractions, overheads, saturation work). A reproduction whose
+conclusions flip when those constants wiggle would be fragile; this driver
+perturbs each constant by a factor (default ±50 %) and re-evaluates the
+headline result (the Figure 5 geometric-mean speedup), reporting the spread
+and whether any qualitative conclusion (GPU wins overall; GPU wins on the
+large group) ever flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.speedup import geometric_mean
+from repro.baselines.splatt import splatt_cstf
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.data.frostt import FROSTT_TABLE2
+from repro.machine.spec import get_device
+
+__all__ = ["SensitivityRow", "sensitivity_study", "TUNABLE_FIELDS"]
+
+#: The calibrated (non-Table-1) constants of each device spec.
+TUNABLE_FIELDS = (
+    "launch_overhead",
+    "sync_overhead",
+    "saturation_work",
+    "gemm_efficiency",
+    "trsm_efficiency",
+    "stream_efficiency",
+    "gather_efficiency",
+    "random_efficiency",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    field: str
+    factor: float
+    device: str
+    """Which side was perturbed: ``gpu`` or ``cpu``."""
+
+    gmean: float
+    gpu_wins_overall: bool
+    large_group_wins: bool
+
+
+def _gmean_speedup(gpu_spec, cpu_spec, rank: int, datasets) -> tuple[float, bool, bool]:
+    speedups = {}
+    for ds in datasets:
+        stats = ds.stats()
+        cpu = splatt_cstf(stats, rank=rank, max_iters=1, device=cpu_spec)
+        gpu = cstf(
+            stats,
+            CstfConfig(rank=rank, max_iters=1, update="cuadmm", device=gpu_spec,
+                       mttkrp_format="blco", compute_fit=False),
+        )
+        speedups[ds.name] = cpu.per_iteration_seconds() / gpu.per_iteration_seconds()
+    gmean = geometric_mean(speedups.values())
+    large = [speedups[n] for n in ("flickr", "delicious", "nell1", "amazon")
+             if n in speedups]
+    return gmean, gmean > 1.0, all(x > 1.0 for x in large) if large else True
+
+
+def sensitivity_study(
+    gpu="a100",
+    rank: int = 32,
+    factors=(0.5, 2.0),
+    fields=TUNABLE_FIELDS,
+    datasets=None,
+) -> list[SensitivityRow]:
+    """Perturb each constant on each device side; re-evaluate Figure 5."""
+    gpu_spec = get_device(gpu)
+    cpu_spec = get_device("cpu")
+    picked = (
+        [d for d in FROSTT_TABLE2 if d.name in datasets]
+        if datasets
+        else list(FROSTT_TABLE2)
+    )
+    rows = []
+    for field in fields:
+        for factor in factors:
+            for side, base in (("gpu", gpu_spec), ("cpu", cpu_spec)):
+                value = getattr(base, field) * factor
+                # Efficiencies are fractions in (0, 1].
+                if field.endswith("efficiency"):
+                    value = min(value, 1.0)
+                perturbed = base.with_(**{field: value})
+                g = perturbed if side == "gpu" else gpu_spec
+                c = perturbed if side == "cpu" else cpu_spec
+                gmean, wins, large = _gmean_speedup(g, c, rank, picked)
+                rows.append(
+                    SensitivityRow(
+                        field=field, factor=factor, device=side,
+                        gmean=gmean, gpu_wins_overall=wins, large_group_wins=large,
+                    )
+                )
+    return rows

@@ -1,0 +1,40 @@
+"""Compute kernels: MTTKRP for every tensor format, Gram chains, normalization.
+
+The MTTKRP (matricized tensor times Khatri-Rao product) is one of the two
+performance bottlenecks of cSTF (the other being the constraint update). One
+implementation exists per storage format, all verified against the dense
+unfold-times-Khatri-Rao oracle:
+
+- :func:`~repro.kernels.mttkrp.mttkrp` — format dispatch.
+- :func:`~repro.kernels.mttkrp.mttkrp_dense` — dense oracle.
+- :func:`~repro.kernels.mttkrp_coo.mttkrp_coo` — segment-reduced COO kernel.
+- :func:`~repro.kernels.mttkrp_csf.mttkrp_csf` — CSF tree-walk kernel
+  (SPLATT's CPU algorithm).
+- :func:`~repro.kernels.mttkrp_alto.mttkrp_alto` — ALTO delinearizing kernel.
+- :func:`~repro.kernels.mttkrp_blco.mttkrp_blco` — BLCO block-streaming
+  kernel (the GPU algorithm the paper adopts).
+"""
+
+from repro.kernels.mttkrp import khatri_rao, mttkrp, mttkrp_dense
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.kernels.mttkrp_csf import mttkrp_csf
+from repro.kernels.mttkrp_alto import mttkrp_alto
+from repro.kernels.mttkrp_blco import mttkrp_blco
+from repro.kernels.mttkrp_hicoo import mttkrp_hicoo
+from repro.kernels.gram import gram, gram_chain, hadamard_of_grams
+from repro.kernels.normalize import normalize_factor
+
+__all__ = [
+    "khatri_rao",
+    "mttkrp",
+    "mttkrp_dense",
+    "mttkrp_coo",
+    "mttkrp_csf",
+    "mttkrp_alto",
+    "mttkrp_blco",
+    "mttkrp_hicoo",
+    "gram",
+    "gram_chain",
+    "hadamard_of_grams",
+    "normalize_factor",
+]

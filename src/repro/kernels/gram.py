@@ -1,0 +1,39 @@
+"""Gram matrices and the Hadamard-of-Grams chain of Algorithm 1.
+
+Line 8 of the paper's Algorithm 1 forms ``S^(n) = G^(1) * ... * G^(n-1) *
+G^(n+1) * ... * G^(N)`` where ``G^(m) = H^(m)ᵀ H^(m)`` and ``*`` is the
+Hadamard product. The driver caches the ``G^(m)`` and refreshes only the one
+whose factor changed (line 12), which these helpers support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["gram", "gram_chain", "hadamard_of_grams"]
+
+
+def gram(factor: np.ndarray) -> np.ndarray:
+    """``HᵀH`` for a factor matrix ``H ∈ R^{I×R}`` (symmetric R×R)."""
+    factor = np.asarray(factor, dtype=np.float64)
+    require(factor.ndim == 2, "factor must be 2-D")
+    return factor.T @ factor
+
+
+def hadamard_of_grams(grams, skip: int | None = None) -> np.ndarray:
+    """Element-wise product of Gram matrices, optionally skipping one mode."""
+    grams = list(grams)
+    require(len(grams) >= 1, "need at least one Gram matrix")
+    picked = [g for m, g in enumerate(grams) if m != skip]
+    require(len(picked) >= 1, "cannot skip the only Gram matrix")
+    out = np.array(picked[0], dtype=np.float64, copy=True)
+    for g in picked[1:]:
+        out *= g
+    return out
+
+
+def gram_chain(factors, skip: int | None = None) -> np.ndarray:
+    """Compute ``S^(skip)`` directly from the factor matrices (no cache)."""
+    return hadamard_of_grams([gram(f) for f in factors], skip=skip)

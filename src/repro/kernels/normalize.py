@@ -1,0 +1,37 @@
+"""Factor-matrix column normalization (line 11 of Algorithm 1).
+
+After each mode update the factor's columns are normalized and the norms
+absorbed into the weight vector λ, keeping the factors well-scaled across AO
+iterations. Two conventions are supported:
+
+- ``"2"``: Euclidean column norms (classic CP-ALS).
+- ``"max"``: max-norm with a floor of 1, the PLANC convention for
+  nonnegative factorization — it never *scales up* small columns, which
+  would amplify noise in sparse data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["normalize_factor"]
+
+
+def normalize_factor(factor: np.ndarray, kind: str = "2") -> tuple[np.ndarray, np.ndarray]:
+    """Normalize columns of *factor*; return ``(normalized, lambda)``.
+
+    Zero columns get λ = 1 and are left unchanged so downstream Gram
+    matrices stay finite.
+    """
+    factor = np.asarray(factor, dtype=np.float64)
+    require(factor.ndim == 2, "factor must be 2-D")
+    if kind == "2":
+        lam = np.linalg.norm(factor, axis=0)
+    elif kind == "max":
+        lam = np.maximum(np.abs(factor).max(axis=0) if factor.size else np.zeros(factor.shape[1]), 1.0)
+    else:
+        raise ValueError(f"unknown normalization kind {kind!r}")
+    lam = np.where(lam > 0.0, lam, 1.0)
+    return factor / lam, lam

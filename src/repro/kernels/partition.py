@@ -1,0 +1,113 @@
+"""Nonzero partitioning and load balance for parallel MTTKRP.
+
+Real MTTKRP kernels (SPLATT's OpenMP loops, BLCO's thread blocks) must
+split the nonzeros across workers; skewed fiber histograms make naive
+splits imbalanced. This module implements the three classic strategies and
+the imbalance statistics the machine model's utilization term abstracts:
+
+- ``partition_equal_nnz`` — contiguous equal-count chunks of the sorted
+  nonzero stream (BLCO's approach; perfect nnz balance, but workers may
+  collide on output rows → atomics).
+- ``partition_by_output_row`` — owner-computes: each worker owns a range
+  of output rows (SPLATT's approach; no write conflicts, but heavy fibers
+  skew the work).
+- ``partition_greedy_fibers`` — longest-processing-time greedy assignment
+  of whole fibers to workers (the standard imbalance fix).
+
+``imbalance`` (max/mean work) is the factor by which the slowest worker
+exceeds a perfect split — multiply a kernel's ideal parallel time by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import check_axis, check_positive_int, require
+
+__all__ = [
+    "Partition",
+    "partition_equal_nnz",
+    "partition_by_output_row",
+    "partition_greedy_fibers",
+    "imbalance",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of nonzeros to workers."""
+
+    strategy: str
+    n_workers: int
+    counts: np.ndarray
+    """Nonzeros per worker (length ``n_workers``)."""
+
+    owner_of_nnz: np.ndarray | None = None
+    """Optional per-nonzero worker id (aligned with the tensor's order)."""
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def imbalance(self) -> float:
+        return imbalance(self.counts)
+
+    def conflict_free(self) -> bool:
+        """Whether workers never write the same output row (owner-computes)."""
+        return self.strategy in ("by_output_row", "greedy_fibers")
+
+
+def imbalance(counts) -> float:
+    """``max(work) / mean(work)`` — 1.0 is perfect balance."""
+    counts = np.asarray(counts, dtype=np.float64)
+    require(counts.size > 0, "no workers")
+    mean = counts.mean()
+    if mean <= 0:
+        return 1.0
+    return float(counts.max() / mean)
+
+
+def partition_equal_nnz(tensor: SparseTensor, n_workers: int) -> Partition:
+    """Contiguous equal-count chunks of the (sorted) nonzero stream."""
+    n_workers = check_positive_int(n_workers, "n_workers")
+    nnz = tensor.nnz
+    base, extra = divmod(nnz, n_workers)
+    counts = np.full(n_workers, base, dtype=np.int64)
+    counts[:extra] += 1
+    owner = np.repeat(np.arange(n_workers), counts)
+    return Partition("equal_nnz", n_workers, counts, owner)
+
+
+def partition_by_output_row(tensor: SparseTensor, mode: int, n_workers: int) -> Partition:
+    """Owner-computes: contiguous output-row ranges with ~equal row counts."""
+    n_workers = check_positive_int(n_workers, "n_workers")
+    mode = check_axis(mode, tensor.ndim)
+    dim = tensor.shape[mode]
+    boundaries = np.linspace(0, dim, n_workers + 1).astype(np.int64)
+    rows = tensor.mode_indices(mode)
+    owner = np.clip(np.searchsorted(boundaries, rows, side="right") - 1, 0, n_workers - 1)
+    counts = np.bincount(owner, minlength=n_workers).astype(np.int64)
+    return Partition("by_output_row", n_workers, counts, owner.astype(np.int64))
+
+
+def partition_greedy_fibers(tensor: SparseTensor, mode: int, n_workers: int) -> Partition:
+    """LPT greedy: assign output rows (with all their nonzeros) to the
+    currently least-loaded worker, heaviest rows first."""
+    n_workers = check_positive_int(n_workers, "n_workers")
+    mode = check_axis(mode, tensor.ndim)
+    fiber_counts = tensor.mode_fiber_counts(mode)
+    order = np.argsort(fiber_counts)[::-1]
+    loads = np.zeros(n_workers, dtype=np.int64)
+    row_owner = np.zeros(tensor.shape[mode], dtype=np.int64)
+    for row in order:
+        c = fiber_counts[row]
+        if c == 0:
+            continue
+        w = int(np.argmin(loads))
+        row_owner[row] = w
+        loads[w] += c
+    owner = row_owner[tensor.mode_indices(mode)]
+    return Partition("greedy_fibers", n_workers, loads, owner)

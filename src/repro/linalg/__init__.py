@@ -1,0 +1,23 @@
+"""Dense linear-algebra helpers used by the update methods.
+
+- :mod:`repro.linalg.cholesky` — Cholesky factorization, triangular solves,
+  and the explicit SPD inverse used by cuADMM's pre-inversion.
+- :mod:`repro.linalg.proximal` — proximity operators for the constraints the
+  framework supports (nonnegativity, L1 sparsity, ridge, box, simplex).
+- :mod:`repro.linalg.norms` — squared Frobenius norms and relative residuals.
+"""
+
+from repro.linalg.cholesky import cholesky_factor, cholesky_solve, spd_inverse
+from repro.linalg.proximal import ProximalOperator, get_proximal, PROXIMAL_REGISTRY
+from repro.linalg.norms import fro_norm_sq, relative_residual
+
+__all__ = [
+    "cholesky_factor",
+    "cholesky_solve",
+    "spd_inverse",
+    "ProximalOperator",
+    "get_proximal",
+    "PROXIMAL_REGISTRY",
+    "fro_norm_sq",
+    "relative_residual",
+]

@@ -1,0 +1,53 @@
+"""Cholesky factorization, triangular solves, and explicit SPD inversion.
+
+ADMM (Algorithm 2) factors ``S + ρI = LLᵀ`` once per mode update and applies
+``(LLᵀ)⁻¹`` every inner iteration via forward/backward substitution. cuADMM
+(Algorithm 3, pre-inversion) instead computes the explicit inverse once so
+the inner loop needs only a GEMM — same flop count, far better suited to
+wide parallel hardware. Both paths live here; the machine model charges them
+differently (serialized TRSM vs. streaming GEMM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.utils.validation import require
+
+__all__ = ["cholesky_factor", "cholesky_solve", "spd_inverse"]
+
+
+def cholesky_factor(spd: np.ndarray) -> np.ndarray:
+    """Lower-triangular ``L`` with ``spd = L Lᵀ``.
+
+    Raises :class:`numpy.linalg.LinAlgError` if *spd* is not positive
+    definite — in the ADMM setting this cannot happen because ``ρI`` is
+    always added (diagonal loading; see Section 4.3.2 of the paper).
+    """
+    spd = np.asarray(spd, dtype=np.float64)
+    require(spd.ndim == 2 and spd.shape[0] == spd.shape[1], "matrix must be square")
+    return np.linalg.cholesky(spd)
+
+
+def cholesky_solve(L: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``(L Lᵀ) X = rhs`` by forward then backward substitution."""
+    L = np.asarray(L, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    y = scipy.linalg.solve_triangular(L, rhs, lower=True)
+    return scipy.linalg.solve_triangular(L.T, y, lower=False)
+
+
+def spd_inverse(L: np.ndarray) -> np.ndarray:
+    """Explicit ``(L Lᵀ)⁻¹`` computed by solving against the identity.
+
+    This is the pre-inversion step of cuADMM (line 4 of Algorithm 3): one
+    Cholesky solve with R right-hand sides, after which every inner
+    iteration's solve becomes a single matrix multiply.
+    """
+    L = np.asarray(L, dtype=np.float64)
+    eye = np.eye(L.shape[0], dtype=np.float64)
+    inv = cholesky_solve(L, eye)
+    # Symmetrize to wash out the last bit of substitution round-off; the
+    # inverse of an SPD matrix is SPD.
+    return 0.5 * (inv + inv.T)

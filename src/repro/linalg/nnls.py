@@ -1,0 +1,127 @@
+"""Nonnegative least squares by Block Principal Pivoting (Kim & Park 2011).
+
+PLANC — the library the paper modifies — is built around ANLS-BPP: each
+alternating step solves the *exact* nonnegativity-constrained least-squares
+subproblem rather than an iterative approximation. The subproblem per
+factor row ``h`` is
+
+    min_{h ≥ 0} ½ hᵀ S h − hᵀ m,
+
+whose KKT conditions partition the R variables into a passive set F
+(``h_F > 0``, gradient 0) and an active set G (``h_G = 0``, gradient ≥ 0).
+BPP searches over partitions: solve the unconstrained system on F, compute
+the gradient on G, and swap every infeasible variable — with the standard
+backup rule (exchange a single variable) when the full exchange cycles.
+
+This implementation is vectorized across the ``I`` rows: rows sharing a
+passive set are solved in one batched Cholesky solve, which is exactly the
+"grouping" optimization production NNLS codes (including PLANC) use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.cholesky import cholesky_factor, cholesky_solve
+from repro.utils.validation import check_positive_int, require
+
+__all__ = ["nnls_bpp"]
+
+
+def _solve_groups(s_mat: np.ndarray, m_mat: np.ndarray, passive: np.ndarray) -> np.ndarray:
+    """Solve ``S_FF x_F = m_F`` for every row, batched by passive set."""
+    rows, rank = m_mat.shape
+    x = np.zeros((rows, rank))
+    if rows == 0:
+        return x
+    # Group rows by passive-set signature.
+    signatures = passive @ (1 << np.arange(rank, dtype=np.int64))
+    order = np.argsort(signatures, kind="stable")
+    sorted_sig = signatures[order]
+    starts = np.flatnonzero(np.concatenate(([True], sorted_sig[1:] != sorted_sig[:-1])))
+    bounds = np.append(starts, rows)
+    for b, start in enumerate(starts):
+        members = order[start:bounds[b + 1]]
+        mask = passive[members[0]]
+        if not mask.any():
+            continue
+        sub = s_mat[np.ix_(mask, mask)]
+        rhs = m_mat[members][:, mask].T
+        ridge = 1e-12 * max(np.trace(sub), 1.0)
+        l_factor = cholesky_factor(sub + ridge * np.eye(int(mask.sum())))
+        sol = cholesky_solve(l_factor, rhs).T
+        block = np.zeros((members.size, rank))
+        block[:, mask] = sol
+        x[members] = block
+    return x
+
+
+def nnls_bpp(
+    s_mat: np.ndarray,
+    m_mat: np.ndarray,
+    max_iters: int = 100,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Solve ``min_{H≥0} ½ tr(H S Hᵀ) − tr(H Mᵀ)`` row-wise by BPP.
+
+    Parameters
+    ----------
+    s_mat:
+        SPD ``R×R`` Gram matrix (the Hadamard-of-Grams of Algorithm 1).
+    m_mat:
+        ``I×R`` right-hand side (the MTTKRP output).
+    max_iters:
+        Outer pivoting iterations (each may flip many variables at once).
+
+    Returns
+    -------
+    ``I×R`` nonnegative matrix satisfying the KKT conditions to *tol*.
+    """
+    s_mat = np.asarray(s_mat, dtype=np.float64)
+    m_mat = np.asarray(m_mat, dtype=np.float64)
+    require(s_mat.ndim == 2 and s_mat.shape[0] == s_mat.shape[1], "S must be square")
+    require(m_mat.ndim == 2 and m_mat.shape[1] == s_mat.shape[0], "M must be I×R")
+    check_positive_int(max_iters, "max_iters")
+    rows, rank = m_mat.shape
+
+    # Start all-passive (the unconstrained solution), the usual warm start.
+    passive = np.ones((rows, rank), dtype=bool)
+    x = _solve_groups(s_mat, m_mat, passive)
+    y = x @ s_mat - m_mat  # gradient
+
+    # Kim-Park safeguards per row: full exchange while improving, then
+    # single-variable (Murty) exchange to guarantee termination.
+    alpha = np.full(rows, 3, dtype=np.int64)
+    beta = np.full(rows, rank + 1, dtype=np.int64)
+
+    for _ in range(max_iters):
+        infeasible_x = passive & (x < -tol)
+        infeasible_y = (~passive) & (y < -tol)
+        bad = infeasible_x | infeasible_y
+        bad_rows = np.flatnonzero(bad.any(axis=1))
+        if bad_rows.size == 0:
+            break
+        n_bad = bad[bad_rows].sum(axis=1)
+
+        improved = n_bad < beta[bad_rows]
+        # Rows that improved: record progress, full exchange.
+        rec = bad_rows[improved]
+        beta[rec] = n_bad[improved]
+        alpha[rec] = 3
+        # Rows that did not improve but still have budget: full exchange.
+        stalled = bad_rows[~improved]
+        budget = alpha[stalled] > 0
+        alpha[stalled[budget]] -= 1
+        full_rows = np.concatenate([rec, stalled[budget]])
+        passive[full_rows] ^= bad[full_rows]
+        # Exhausted rows: flip only the highest-index infeasible variable.
+        murty = stalled[~budget]
+        if murty.size:
+            flip_col = rank - 1 - np.argmax(bad[murty][:, ::-1], axis=1)
+            passive[murty, flip_col] ^= True
+
+        x = _solve_groups(s_mat, m_mat, passive)
+        y = x @ s_mat - m_mat
+
+    out = np.where(passive, x, 0.0)
+    return np.maximum(out, 0.0)

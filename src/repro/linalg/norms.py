@@ -1,0 +1,23 @@
+"""Norms and residuals shared by convergence checks and fit computation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fro_norm_sq", "relative_residual"]
+
+
+def fro_norm_sq(array: np.ndarray) -> float:
+    """Squared Frobenius norm (sum of squared entries)."""
+    array = np.asarray(array, dtype=np.float64)
+    return float(np.dot(array.ravel(), array.ravel()))
+
+
+def relative_residual(delta_sq: float, ref_sq: float, floor: float = 1e-30) -> float:
+    """``delta² / max(ref², floor)`` — the ADMM stopping ratio.
+
+    The floor keeps the ratio finite when the reference norm is zero (e.g.
+    an all-zero dual variable on the first inner iteration), in which case
+    the residual is treated as large rather than dividing by zero.
+    """
+    return float(delta_sq) / max(float(ref_sq), floor)

@@ -1,0 +1,53 @@
+"""The machine model: a roofline-style execution simulator for GPUs and CPUs.
+
+This subpackage is the substitution for the paper's NVIDIA A100/H100 GPUs and
+26-core Ice Lake Xeon (Table 1). Real numerics run in NumPy; *simulated*
+execution time is charged per kernel from first principles:
+
+``t = launches · launch_overhead + serial_steps · sync_overhead
+    + max(flops / (peak · eff · U_c),  dram_bytes / (bw · eff · U_m))``
+
+where the utilization terms ``U`` ramp with the available parallel work
+(short factor matrices cannot fill a GPU — the effect behind the paper's
+"longer modes benefit more" observation) and ``dram_bytes`` discounts
+re-accessed data by a cache-capacity miss model (the effect behind H100
+beating A100 at equal DRAM bandwidth).
+
+Components
+----------
+- :mod:`repro.machine.spec` — :class:`DeviceSpec` and the Table 1 presets.
+- :mod:`repro.machine.counters` — :class:`KernelRecord` and the
+  :class:`Timeline` aggregator.
+- :mod:`repro.machine.costmodel` — record → seconds.
+- :mod:`repro.machine.executor` — :class:`Executor`, typed kernel ops
+  (GEMM/GEAM/TRSM/fused kernels) that both compute and account.
+- :mod:`repro.machine.symbolic` — :class:`SymArray` shape-only arrays for
+  analytic (paper-scale) evaluation through the same op sequences.
+- :mod:`repro.machine.analytic` — closed-form MTTKRP cost records per
+  format, driven by tensor statistics instead of materialized data.
+"""
+
+from repro.machine.spec import DeviceSpec, A100, H100, ICELAKE_XEON, get_device
+from repro.machine.counters import KernelRecord, Timeline
+from repro.machine.costmodel import kernel_seconds, utilization, dram_traffic, miss_rate
+from repro.machine.analytic import TensorStats, charge_mttkrp
+from repro.machine.executor import Executor
+from repro.machine.symbolic import SymArray
+
+__all__ = [
+    "DeviceSpec",
+    "A100",
+    "H100",
+    "ICELAKE_XEON",
+    "get_device",
+    "KernelRecord",
+    "Timeline",
+    "kernel_seconds",
+    "utilization",
+    "dram_traffic",
+    "miss_rate",
+    "TensorStats",
+    "charge_mttkrp",
+    "Executor",
+    "SymArray",
+]

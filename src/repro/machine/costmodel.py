@@ -1,0 +1,77 @@
+"""Roofline cost model: :class:`KernelRecord` → simulated seconds.
+
+The model has three terms, each tied to a GPU-performance effect the paper
+measures:
+
+1. **Fixed overheads** — ``launches · launch_overhead`` (Fig 4's small-tensor
+   plateau: fusing kernels removes launches) and ``serial_steps ·
+   sync_overhead`` (triangular-solve serialization, removed by
+   pre-inversion).
+2. **Utilization ramp** — ``U(w) = w / (w + saturation_work)``: kernels on
+   short factor matrices cannot fill a GPU's SMs, so both compute and
+   bandwidth scale down (Section 5.3's "longer modes benefit more").
+3. **Cache-aware traffic** — re-access traffic beyond the compulsory bytes
+   is served from cache in proportion to how much of the working set fits
+   (Section 5.3's H100-vs-A100 cache argument).
+"""
+
+from __future__ import annotations
+
+from repro.machine.counters import KernelRecord
+from repro.machine.spec import DeviceSpec
+
+__all__ = ["utilization", "dram_traffic", "kernel_seconds"]
+
+
+def utilization(spec: DeviceSpec, parallel_work: float) -> float:
+    """Fraction of peak throughput reachable with *parallel_work* items.
+
+    A smooth saturating ramp ``w / (w + w_half)``: half the peak at the
+    device's ``saturation_work``, asymptotically 1. Monotone in *w*, which
+    the property tests rely on.
+    """
+    w = max(float(parallel_work), 1.0)
+    return w / (w + spec.saturation_work)
+
+
+def miss_rate(spec: DeviceSpec, record: KernelRecord) -> float:
+    """Fraction of re-access traffic that misses in cache: the portion of
+    the working set exceeding the device's cache capacity."""
+    ws = max(record.resolved_working_set(), 1.0)
+    return max(0.0, min(1.0, (ws - spec.cache_bytes) / ws))
+
+
+def dram_traffic(spec: DeviceSpec, record: KernelRecord) -> float:
+    """DRAM bytes after the cache model.
+
+    ``unique`` bytes always travel (compulsory misses). Re-access traffic
+    ``total - unique`` misses at the capacity-model rate.
+    """
+    total = record.total_bytes
+    unique = min(record.resolved_unique(), total)
+    reaccess = total - unique
+    if reaccess <= 0.0:
+        return total
+    return unique + reaccess * miss_rate(spec, record)
+
+
+def kernel_seconds(spec: DeviceSpec, record: KernelRecord) -> float:
+    """Simulated wall-clock seconds for one kernel record on *spec*."""
+    u = utilization(spec, record.parallel_work)
+
+    if record.traffic_kind == "stream":
+        bw_eff = spec.stream_efficiency
+    else:
+        # Gathers degrade from the cache-resident rate toward the
+        # cache-thrashing rate as the working set outgrows the cache.
+        miss = miss_rate(spec, record)
+        bw_eff = spec.gather_efficiency * (1.0 - miss) + spec.random_efficiency * miss
+    bytes_dram = dram_traffic(spec, record)
+    t_mem = bytes_dram / (spec.mem_bandwidth * bw_eff * u) if bytes_dram > 0 else 0.0
+
+    u_compute = 1.0 if record.utilization_exempt else u
+    flops_rate = spec.peak_flops * record.compute_efficiency * u_compute
+    t_compute = record.flops / flops_rate if record.flops > 0 else 0.0
+
+    fixed = record.launches * spec.launch_overhead + record.serial_steps * spec.sync_overhead
+    return fixed + max(t_mem, t_compute)

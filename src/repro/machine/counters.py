@@ -1,0 +1,116 @@
+"""Kernel records and the simulated-time aggregator.
+
+Every executor op produces one :class:`KernelRecord` describing its logical
+work; :mod:`repro.machine.costmodel` converts records to seconds and
+:class:`Timeline` aggregates them per phase (GRAM / MTTKRP / UPDATE /
+NORMALIZE) and per kernel name — the two views the paper's breakdown figures
+(1, 3) and optimization analysis (Fig 4) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelRecord", "Timeline", "WORD_BYTES"]
+
+#: Size of a double-precision word; the paper's analysis (Eq. 5) assumes FP64.
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """The logical cost signature of one device kernel invocation."""
+
+    name: str
+    phase: str
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    parallel_work: float
+    """Independent scalar work items available to hide latency."""
+
+    unique_bytes: float | None = None
+    """Compulsory (first-touch) traffic; defaults to read+write. The excess
+    over unique is *re-access* traffic that may hit in cache."""
+
+    working_set: float | None = None
+    """Bytes that must stay resident for re-accesses to hit; defaults to
+    unique_bytes."""
+
+    launches: int = 1
+    serial_steps: int = 0
+    """Dependent sequential steps (e.g. 2R substitution steps in a Cholesky
+    solve); each one is charged the device's sync overhead."""
+
+    compute_efficiency: float = 1.0
+    """Multiplier on device peak for this kernel class (GEMM vs TRSM...)."""
+
+    traffic_kind: str = "stream"
+    """``"stream"`` or ``"gather"`` — selects the bandwidth efficiency."""
+
+    utilization_exempt: bool = False
+    """Skip the occupancy ramp for the compute term. Set by serialization-
+    bound kernels (TRSM, POTRF) whose low throughput is already captured by
+    ``compute_efficiency`` and ``serial_steps`` — applying the ramp on top
+    would double-count the penalty."""
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def resolved_unique(self) -> float:
+        return self.total_bytes if self.unique_bytes is None else self.unique_bytes
+
+    def resolved_working_set(self) -> float:
+        return self.resolved_unique() if self.working_set is None else self.working_set
+
+
+@dataclass
+class Timeline:
+    """Accumulates simulated seconds, flops, bytes per phase and kernel."""
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    kernel_seconds: dict[str, float] = field(default_factory=dict)
+    phase_flops: dict[str, float] = field(default_factory=dict)
+    phase_bytes: dict[str, float] = field(default_factory=dict)
+    launch_count: int = 0
+    records: list[KernelRecord] = field(default_factory=list)
+    keep_records: bool = False
+
+    def add(self, record: KernelRecord, seconds: float) -> None:
+        self.phase_seconds[record.phase] = self.phase_seconds.get(record.phase, 0.0) + seconds
+        self.kernel_seconds[record.name] = self.kernel_seconds.get(record.name, 0.0) + seconds
+        self.phase_flops[record.phase] = self.phase_flops.get(record.phase, 0.0) + record.flops
+        self.phase_bytes[record.phase] = (
+            self.phase_bytes.get(record.phase, 0.0) + record.total_bytes
+        )
+        self.launch_count += record.launches
+        if self.keep_records:
+            self.records.append(record)
+
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def seconds(self, phase: str) -> float:
+        return self.phase_seconds.get(phase, 0.0)
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase → fraction of total simulated time."""
+        total = self.total_seconds()
+        if total <= 0.0:
+            return {k: 0.0 for k in self.phase_seconds}
+        return {k: v / total for k, v in self.phase_seconds.items()}
+
+    def merged_with(self, other: "Timeline") -> "Timeline":
+        out = Timeline(keep_records=False)
+        for src in (self, other):
+            for k, v in src.phase_seconds.items():
+                out.phase_seconds[k] = out.phase_seconds.get(k, 0.0) + v
+            for k, v in src.kernel_seconds.items():
+                out.kernel_seconds[k] = out.kernel_seconds.get(k, 0.0) + v
+            for k, v in src.phase_flops.items():
+                out.phase_flops[k] = out.phase_flops.get(k, 0.0) + v
+            for k, v in src.phase_bytes.items():
+                out.phase_bytes[k] = out.phase_bytes.get(k, 0.0) + v
+            out.launch_count += src.launch_count
+        return out

@@ -1,0 +1,136 @@
+"""Device-memory footprints and out-of-core MTTKRP.
+
+The BLCO work the paper builds on (Nguyen et al., ICS '22) is titled
+"Efficient, **out-of-memory** sparse MTTKRP": its block structure exists
+precisely so tensors larger than device memory can be streamed block by
+block over the host interconnect. This module adds that dimension to the
+machine model:
+
+- :func:`tensor_bytes` / :func:`factor_bytes` / :func:`footprint` — what a
+  resident cSTF run keeps on the device (Table 1 gives both GPUs 80 GB).
+- :func:`fits_on_device` — the residency check.
+- :func:`charge_out_of_core_mttkrp` — when the tensor does not fit, every
+  MTTKRP must re-stream the nonzero blocks over PCIe; the kernel becomes
+  interconnect-bound and the end-to-end advantage shrinks accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.analytic import TensorStats, charge_mttkrp
+from repro.machine.counters import WORD_BYTES
+from repro.machine.executor import Executor
+from repro.machine.spec import get_device
+from repro.utils.validation import check_rank, require
+
+__all__ = [
+    "DEVICE_MEMORY_BYTES",
+    "MemoryFootprint",
+    "tensor_bytes",
+    "factor_bytes",
+    "footprint",
+    "fits_on_device",
+    "charge_out_of_core_mttkrp",
+]
+
+#: Table 1: both the A100 and H100 carry 80 GB of HBM.
+DEVICE_MEMORY_BYTES = 80e9
+
+#: Default host link for out-of-core streaming (PCIe 4.0 ×16 sustained).
+PCIE_BANDWIDTH = 25e9
+
+
+def tensor_bytes(stats: TensorStats, fmt: str = "blco") -> float:
+    """Resident bytes of the sparse tensor in *fmt*.
+
+    BLCO/ALTO store one index word + one value per nonzero; COO stores one
+    index word per mode; CSF stores the tree (levels + pointers) + values.
+    """
+    nnz = float(stats.nnz)
+    if fmt in ("blco", "alto"):
+        return nnz * 2 * WORD_BYTES + stats.num_blocks * stats.ndim * WORD_BYTES
+    if fmt == "coo":
+        return nnz * (stats.ndim + 1) * WORD_BYTES
+    if fmt == "csf":
+        levels = stats.csf_level_sizes or tuple([nnz] * stats.ndim)
+        return (nnz + 2.0 * sum(levels)) * WORD_BYTES
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def factor_bytes(stats: TensorStats, rank: int, copies: int = 3) -> float:
+    """Bytes of the factor-sized state: H, the ADMM dual U, and the MTTKRP
+    output M per mode (``copies`` of ΣIₙ×R)."""
+    return float(copies) * sum(stats.shape) * check_rank(rank) * WORD_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    tensor: float
+    factors: float
+    capacity: float
+
+    @property
+    def total(self) -> float:
+        return self.tensor + self.factors
+
+    @property
+    def resident(self) -> bool:
+        return self.total <= self.capacity
+
+    @property
+    def utilization(self) -> float:
+        return self.total / self.capacity
+
+
+def footprint(
+    stats: TensorStats,
+    rank: int,
+    fmt: str = "blco",
+    capacity: float = DEVICE_MEMORY_BYTES,
+) -> MemoryFootprint:
+    """Device-memory footprint of a resident cSTF run."""
+    require(capacity > 0, "capacity must be positive")
+    return MemoryFootprint(
+        tensor=tensor_bytes(stats, fmt),
+        factors=factor_bytes(stats, rank),
+        capacity=capacity,
+    )
+
+
+def fits_on_device(stats: TensorStats, rank: int, fmt: str = "blco",
+                   capacity: float = DEVICE_MEMORY_BYTES) -> bool:
+    """Whether tensor + factor state fit in device memory."""
+    return footprint(stats, rank, fmt, capacity).resident
+
+
+def charge_out_of_core_mttkrp(
+    ex: Executor,
+    stats: TensorStats,
+    rank: int,
+    mode: int,
+    fmt: str = "blco",
+    pcie_bandwidth: float = PCIE_BANDWIDTH,
+    capacity: float = DEVICE_MEMORY_BYTES,
+) -> float:
+    """Charge one MTTKRP with out-of-core streaming when needed.
+
+    When the tensor is resident this is exactly :func:`charge_mttkrp`.
+    Otherwise, the non-resident fraction of the nonzero stream crosses the
+    host link every call; the kernel time becomes the max of the on-device
+    cost and the PCIe stream (compute/transfer overlap, as the BLCO
+    pipeline does).
+    """
+    on_device = charge_mttkrp(ex, stats, rank, mode, fmt)
+    spec = get_device(ex.device)
+    fp = footprint(stats, rank, fmt, capacity)
+    if fp.resident or spec.kind != "gpu":
+        return on_device
+    available_for_tensor = max(capacity - fp.factors, 0.0)
+    nonresident = max(1.0 - available_for_tensor / fp.tensor, 0.0)
+    stream_seconds = nonresident * fp.tensor / pcie_bandwidth
+    # Overlapped pipeline: the slower of compute and host streaming rules.
+    extra = max(stream_seconds - on_device, 0.0)
+    if extra > 0.0:
+        ex.charge_fixed("mttkrp_host_stream", extra)
+    return on_device + extra

@@ -1,0 +1,224 @@
+"""Multi-GPU cSTF model: the paper's second future-work item.
+
+    "We also plan to extend our framework to support multi-GPU and
+    distributed-memory computation." (Section 7)
+
+The model follows the standard medium-grained data-parallel decomposition
+for CP factorization (cf. SPLATT-MPI / PLANC-distributed):
+
+- **Nonzeros are partitioned** evenly across the GPUs; each computes a
+  partial MTTKRP into a full-size accumulator, followed by a ring
+  all-reduce of the ``Iₙ×R`` output over NVLink.
+- **Factor rows are partitioned** for the update phases (ADMM is
+  row-separable once ``S`` and ``L`` are replicated), followed by an
+  all-gather of the updated factor.
+- **Gram matrices** reduce an ``R×R`` summand — negligible traffic, but
+  per-collective latency still counts, which is what caps scaling for
+  small tensors.
+
+Per-GPU compute costs are evaluated through the same analytic cost model
+as the single-device simulator, with per-GPU statistics (fewer nonzeros →
+fewer distinct rows touched → different cache behaviour), so scaling
+efficiency *emerges* from the model rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, exp
+
+from repro.core.trace import PHASES
+from repro.machine.analytic import TensorStats, charge_mttkrp
+from repro.machine.counters import WORD_BYTES
+from repro.machine.executor import Executor
+from repro.machine.spec import DeviceSpec, get_device
+from repro.machine.symbolic import SymArray
+from repro.updates.base import get_update
+from repro.utils.validation import check_positive_int, check_rank, require
+
+__all__ = ["Interconnect", "MultiGpuModel", "MultiGpuEstimate", "MultiNodeModel"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """GPU↔GPU link (NVLink-class by default)."""
+
+    bandwidth: float = 300e9
+    """Per-GPU bidirectional bytes/second (NVLink 3 ≈ 300 GB/s usable)."""
+
+    latency: float = 8e-6
+    """Per-collective-step latency."""
+
+    def all_reduce_seconds(self, words: float, n: int) -> float:
+        """Ring all-reduce: ``2(n-1)/n`` of the payload crosses each link."""
+        if n <= 1:
+            return 0.0
+        volume = 2.0 * (n - 1) / n * words * WORD_BYTES
+        return 2.0 * (n - 1) * self.latency + volume / self.bandwidth
+
+    def all_gather_seconds(self, words: float, n: int) -> float:
+        """Ring all-gather of a payload of *words* total."""
+        if n <= 1:
+            return 0.0
+        volume = (n - 1) / n * words * WORD_BYTES
+        return (n - 1) * self.latency + volume / self.bandwidth
+
+
+def _per_gpu_stats(stats: TensorStats, n: int) -> TensorStats:
+    """Statistics of one GPU's nonzero partition.
+
+    Each GPU draws ``nnz/n`` of the nonzeros; the distinct factor rows it
+    touches follow the occupancy expectation over the tensor's global
+    distinct counts.
+    """
+    local_nnz = max(1, stats.nnz // n)
+    distinct = tuple(
+        d * (1.0 - exp(-local_nnz / d)) if d > 0 else 0.0 for d in stats.distinct
+    )
+    levels = (
+        tuple(min(float(local_nnz), lv) for lv in stats.csf_level_sizes)
+        if stats.csf_level_sizes
+        else None
+    )
+    return TensorStats(
+        shape=stats.shape,
+        nnz=local_nnz,
+        distinct=distinct,
+        num_blocks=max(1, stats.num_blocks // n),
+        csf_level_sizes=levels,
+    )
+
+
+@dataclass(frozen=True)
+class MultiGpuEstimate:
+    """Per-iteration prediction for one GPU count."""
+
+    n_gpus: int
+    compute_seconds: dict[str, float]
+    communication_seconds: float
+
+    @property
+    def total(self) -> float:
+        return sum(self.compute_seconds.values()) + self.communication_seconds
+
+
+class MultiGpuModel:
+    """Predicts multi-GPU cSTF iteration time and scaling efficiency."""
+
+    def __init__(self, device="a100", interconnect: Interconnect | None = None,
+                 update: str = "cuadmm", inner_iters: int = 10):
+        self.spec: DeviceSpec = get_device(device)
+        require(self.spec.kind == "gpu", "multi-GPU model needs a GPU spec")
+        self.interconnect = interconnect or Interconnect()
+        self.update_name = update
+        self.inner_iters = inner_iters
+
+    def estimate(self, stats: TensorStats, rank: int, n_gpus: int) -> MultiGpuEstimate:
+        rank = check_rank(rank)
+        n = check_positive_int(n_gpus, "n_gpus")
+        local = _per_gpu_stats(stats, n)
+        update = get_update(
+            self.update_name,
+            **({"inner_iters": self.inner_iters} if self.update_name in ("admm", "cuadmm") else {}),
+        )
+
+        ex = Executor(self.spec)
+        comm = 0.0
+        grams = [SymArray((ceil(dim / n), rank)) for dim in stats.shape]
+        with ex.phase("GRAM"):
+            for g in grams:
+                ex.gram(g)
+        comm += stats.ndim * self.interconnect.all_reduce_seconds(rank * rank, n)
+
+        for mode, dim in enumerate(stats.shape):
+            rows_local = ceil(dim / n)
+            with ex.phase("GRAM"):
+                s_mat = SymArray((rank, rank))
+                for _ in range(max(stats.ndim - 2, 1)):
+                    s_mat = ex.hadamard(s_mat, SymArray((rank, rank)), name="hadamard_gram")
+            with ex.phase("MTTKRP"):
+                charge_mttkrp(ex, local, rank, mode, "blco")
+            # Partial MTTKRP outputs cover the full mode: all-reduce Iₙ×R.
+            comm += self.interconnect.all_reduce_seconds(float(dim) * rank, n)
+            with ex.phase("UPDATE"):
+                h_local = SymArray((rows_local, rank))
+                h_local = ex.col_scale(h_local, SymArray((rank,)), name="col_scale_lambda")
+                update.update(ex, mode, SymArray((rows_local, rank)), s_mat, h_local, {})
+            with ex.phase("NORMALIZE"):
+                ex.normalize_columns(SymArray((rows_local, rank)))
+            # Column norms reduce (R words), then the factor is all-gathered.
+            comm += self.interconnect.all_reduce_seconds(rank, n)
+            comm += self.interconnect.all_gather_seconds(float(dim) * rank, n)
+            with ex.phase("GRAM"):
+                ex.gram(SymArray((rows_local, rank)))
+
+        return MultiGpuEstimate(
+            n_gpus=n,
+            compute_seconds={p: ex.timeline.seconds(p) for p in PHASES},
+            communication_seconds=comm,
+        )
+
+    def scaling_curve(self, stats: TensorStats, rank: int, counts=(1, 2, 4, 8)) -> dict[int, MultiGpuEstimate]:
+        """Estimates for several GPU counts (for strong-scaling plots)."""
+        return {n: self.estimate(stats, rank, n) for n in counts}
+
+    def speedup(self, stats: TensorStats, rank: int, n_gpus: int) -> float:
+        """Strong-scaling speedup of *n_gpus* over a single GPU."""
+        one = self.estimate(stats, rank, 1).total
+        return one / self.estimate(stats, rank, n_gpus).total
+
+
+class MultiNodeModel:
+    """Distributed-memory cSTF: nodes of GPUs over a slower fabric.
+
+    The paper's Section 7 names "multi-GPU and distributed-memory
+    computation" as future work; this model covers the second half.
+    Collectives are hierarchical: a reduce within each node over NVLink,
+    then a ring all-reduce across nodes over the cluster fabric
+    (InfiniBand-class by default), then an intra-node broadcast — the
+    standard NCCL tree/ring composition. Compute is the per-GPU cost at
+    ``nodes × gpus_per_node`` total partitions.
+    """
+
+    def __init__(
+        self,
+        device="a100",
+        gpus_per_node: int = 4,
+        intra_node: Interconnect | None = None,
+        inter_node: Interconnect | None = None,
+        update: str = "cuadmm",
+        inner_iters: int = 10,
+    ):
+        self.gpus_per_node = check_positive_int(gpus_per_node, "gpus_per_node")
+        self.intra = intra_node or Interconnect()
+        #: HDR InfiniBand ≈ 25 GB/s per direction, µs-scale latency.
+        self.inter = inter_node or Interconnect(bandwidth=25e9, latency=3e-6)
+        self._single_node = MultiGpuModel(
+            device=device, interconnect=self.intra, update=update, inner_iters=inner_iters
+        )
+
+    def estimate(self, stats: TensorStats, rank: int, nodes: int) -> MultiGpuEstimate:
+        """Per-iteration estimate on ``nodes × gpus_per_node`` GPUs."""
+        nodes = check_positive_int(nodes, "nodes")
+        total_gpus = nodes * self.gpus_per_node
+        # Compute + intra-node communication at the total partition count.
+        base = self._single_node.estimate(stats, rank, total_gpus)
+        if nodes == 1:
+            return base
+        # Additional inter-node stage of each collective: per mode, the
+        # factor-sized all-reduce/all-gather payloads cross the fabric once.
+        extra = 0.0
+        for dim in stats.shape:
+            extra += self.inter.all_reduce_seconds(float(dim) * rank, nodes)
+            extra += self.inter.all_gather_seconds(float(dim) * rank, nodes)
+            extra += self.inter.all_reduce_seconds(rank * rank + rank, nodes)
+        return MultiGpuEstimate(
+            n_gpus=total_gpus,
+            compute_seconds=base.compute_seconds,
+            communication_seconds=base.communication_seconds + extra,
+        )
+
+    def speedup(self, stats: TensorStats, rank: int, nodes: int) -> float:
+        """Speedup of *nodes* over a single node (same GPUs per node)."""
+        one = self.estimate(stats, rank, 1).total
+        return one / self.estimate(stats, rank, nodes).total

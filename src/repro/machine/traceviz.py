@@ -1,0 +1,91 @@
+"""Export a simulated kernel timeline as a Chrome trace (``chrome://tracing``
+/ Perfetto JSON).
+
+Give the :class:`~repro.machine.Executor` ``keep_records=True`` and every
+kernel becomes a complete event on a per-phase track, laid out back-to-back
+in simulated time. Useful for eyeballing where an update method's time goes
+— the simulated analogue of an Nsight timeline.
+
+Example
+-------
+>>> from repro.machine import Executor
+>>> from repro.machine.traceviz import timeline_to_chrome_trace
+>>> ex = Executor("a100", keep_records=True)
+>>> _ = ex.gram(__import__("numpy").ones((64, 8)))
+>>> trace = timeline_to_chrome_trace(ex)
+>>> [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+['dsyrk_gram']
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.machine.costmodel import kernel_seconds
+from repro.machine.executor import Executor
+from repro.utils.validation import require
+
+__all__ = ["timeline_to_chrome_trace", "write_chrome_trace"]
+
+
+def timeline_to_chrome_trace(executor: Executor) -> dict:
+    """Build the Chrome-trace dict from an executor's retained records.
+
+    Events are placed sequentially (the simulator models a single in-order
+    device queue); phases map to thread ids so tracks group by phase.
+    """
+    records = executor.timeline.records
+    require(
+        bool(records),
+        "no kernel records retained — construct the Executor with keep_records=True",
+    )
+    phases: dict[str, int] = {}
+    events = []
+    cursor_us = 0.0
+    for rec in records:
+        duration_us = kernel_seconds(executor.device, rec) * 1e6
+        tid = phases.setdefault(rec.phase, len(phases) + 1)
+        events.append(
+            {
+                "name": rec.name,
+                "cat": rec.phase,
+                "ph": "X",
+                "ts": round(cursor_us, 3),
+                "dur": round(duration_us, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "flops": rec.flops,
+                    "bytes": rec.total_bytes,
+                    "launches": rec.launches,
+                    "parallel_work": rec.parallel_work,
+                },
+            }
+        )
+        cursor_us += duration_us
+    # Track names.
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": phase},
+        }
+        for phase, tid in phases.items()
+    ]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"device": executor.device.name, "simulated": True},
+    }
+
+
+def write_chrome_trace(executor: Executor, target) -> None:
+    """Serialize the trace to *target* (path or text file object)."""
+    trace = timeline_to_chrome_trace(executor)
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(json.dumps(trace))
+    else:
+        json.dump(trace, target)

@@ -1,0 +1,33 @@
+"""Execution planning: the paper's Section 7 future work, implemented.
+
+    "For future work, we plan to create decision models to dynamically
+    determine whether to execute computations on the CPU, on the GPU, or on
+    both (heterogeneously), providing flexibility and maximizing the overall
+    performance and resource utilization based on the characteristics of
+    the data."
+
+:mod:`repro.scheduler.decision` predicts per-phase, per-device iteration
+costs from a tensor's :class:`~repro.machine.analytic.TensorStats` using
+the same cost model the simulator charges, adds host↔device transfer costs
+over the PCIe model, and picks the fastest of CPU-only, GPU-only, or a
+heterogeneous per-phase split.
+"""
+
+from repro.scheduler.decision import (
+    ExecutionPlan,
+    PhaseEstimate,
+    TransferModel,
+    estimate_phases,
+    plan_execution,
+)
+from repro.scheduler.hybrid import HybridResult, run_planned
+
+__all__ = [
+    "ExecutionPlan",
+    "PhaseEstimate",
+    "TransferModel",
+    "estimate_phases",
+    "plan_execution",
+    "HybridResult",
+    "run_planned",
+]

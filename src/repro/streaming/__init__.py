@@ -1,0 +1,18 @@
+"""Streaming constrained sparse tensor factorization.
+
+An extension reproducing the related-work line the paper builds on (Soh et
+al., IPDPS '21 [33]: "High Performance Streaming Tensor Decomposition",
+which accelerated ADMM updates for *streaming* sparse factorization with
+the same fusion ideas cuADMM later brought to GPUs).
+
+:class:`~repro.streaming.stream.StreamingCstf` factorizes a tensor whose
+last mode is time and arrives one slice per step: non-temporal factors are
+maintained incrementally from exponentially-weighted MTTKRP/Gram history,
+each step appends one row to the temporal factor, and the constraint
+updates are warm-started — so a step costs a fraction of refitting from
+scratch while tracking drift.
+"""
+
+from repro.streaming.stream import StreamingCstf, StreamStep
+
+__all__ = ["StreamingCstf", "StreamStep"]

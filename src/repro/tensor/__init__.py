@@ -1,0 +1,50 @@
+"""Sparse and dense tensor substrates.
+
+This subpackage implements every tensor storage format the paper depends on:
+
+- :class:`~repro.tensor.coo.SparseTensor` — canonical coordinate (COO) form,
+  the interchange format all others convert from/to.
+- :class:`~repro.tensor.csf.CsfTensor` — compressed sparse fiber (SPLATT's
+  CPU format, Smith et al.).
+- :class:`~repro.tensor.alto.AltoTensor` — adaptive linearized tensor order
+  (Helal et al., ICS '21), bit-interleaved linearized indices.
+- :class:`~repro.tensor.blco.BlcoTensor` — blocked linearized coordinates
+  (Nguyen et al., ICS '22), the state-of-the-art GPU MTTKRP format the paper
+  builds on.
+- :class:`~repro.tensor.hicoo.HicooTensor` — hierarchical COO (Li et al.,
+  SC '18), the block-compressed alternative surveyed in Section 2.3.
+- :class:`~repro.tensor.dense.DenseTensor` — dense tensors with Kolda-style
+  matricization, used by the PLANC-like dense baseline and as the oracle in
+  tests.
+
+:mod:`repro.tensor.synthetic` generates reproducible random and planted
+low-rank sparse tensors, including scaled analogues of the FROSTT datasets.
+"""
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.dense import DenseTensor, fold, matricize
+from repro.tensor.alto import AltoTensor
+from repro.tensor.blco import BlcoTensor
+from repro.tensor.csf import CsfTensor
+from repro.tensor.hicoo import HicooTensor
+from repro.tensor.synthetic import (
+    random_sparse,
+    planted_nonneg_cp,
+    planted_sparse_cp,
+    scaled_frostt_analogue,
+)
+
+__all__ = [
+    "SparseTensor",
+    "DenseTensor",
+    "fold",
+    "matricize",
+    "AltoTensor",
+    "BlcoTensor",
+    "CsfTensor",
+    "HicooTensor",
+    "random_sparse",
+    "planted_nonneg_cp",
+    "planted_sparse_cp",
+    "scaled_frostt_analogue",
+]

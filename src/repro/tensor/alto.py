@@ -1,0 +1,101 @@
+"""ALTO: Adaptive Linearized Tensor Order (Helal et al., ICS '21).
+
+ALTO stores each nonzero as a single bit-interleaved linearized index plus its
+value, sorted by the linearized order. The adaptive interleaving keeps
+nonzeros that are close in *any* mode close in memory, which raises factor-row
+reuse during MTTKRP — the property the CPU baseline in the paper (modified
+PLANC) relies on.
+
+The class delinearizes on demand (``mode_indices``) so the MTTKRP kernel can
+gather factor rows; the machine cost model separately charges the smaller
+footprint of the linearized layout (one int64 word per nonzero instead of
+``ndim``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import linearize as lin
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import check_axis
+
+__all__ = ["AltoTensor"]
+
+
+class AltoTensor:
+    """Sparse tensor in ALTO (adaptive linearized) format."""
+
+    __slots__ = ("_linear", "_values", "_shape", "_positions")
+
+    def __init__(self, linear, values, shape, positions=None):
+        self._shape = tuple(int(d) for d in shape)
+        self._positions = positions if positions is not None else lin.alto_bit_positions(self._shape)
+        self._linear = np.ascontiguousarray(linear, dtype=np.int64)
+        self._values = np.ascontiguousarray(values, dtype=np.float64)
+        if self._linear.shape != self._values.shape:
+            raise ValueError(
+                f"linear indices and values disagree in length "
+                f"({self._linear.shape} vs {self._values.shape})"
+            )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, tensor: SparseTensor) -> "AltoTensor":
+        """Encode a COO tensor; entries are re-sorted by linearized index."""
+        positions = lin.alto_bit_positions(tensor.shape)
+        linear = lin.pack_bits(tensor.indices, positions)
+        order = np.argsort(linear, kind="stable")
+        return cls(linear[order], tensor.values[order], tensor.shape, positions)
+
+    def to_coo(self) -> SparseTensor:
+        """Decode back to canonical COO form."""
+        coords = lin.unpack_bits(self._linear, self._positions)
+        return SparseTensor(coords, self._values, self._shape)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def nnz(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def linear_indices(self) -> np.ndarray:
+        return self._linear
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    @property
+    def bit_positions(self) -> list[np.ndarray]:
+        """Per-mode bit positions of the adaptive layout."""
+        return self._positions
+
+    def index_bits(self) -> int:
+        """Total bits used by the linearized index."""
+        return int(sum(len(p) for p in self._positions))
+
+    def mode_indices(self, mode: int) -> np.ndarray:
+        """Delinearize the coordinates of a single mode (vectorized)."""
+        mode = check_axis(mode, self.ndim)
+        pos = self._positions[mode]
+        out = np.zeros(self.nnz, dtype=np.int64)
+        for bit, source in enumerate(pos):
+            out |= ((self._linear >> int(source)) & 1) << bit
+        return out
+
+    def all_mode_indices(self) -> np.ndarray:
+        """Delinearize every mode at once: ``(nnz, ndim)``."""
+        return lin.unpack_bits(self._linear, self._positions)
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self._shape)
+        return f"AltoTensor(shape={dims}, nnz={self.nnz}, bits={self.index_bits()})"

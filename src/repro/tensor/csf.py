@@ -1,0 +1,172 @@
+"""CSF: Compressed Sparse Fiber format (Smith & Karypis, SPLATT).
+
+CSF stores a sparse tensor as a forest: level 0 holds the distinct indices of
+the root mode, each subsequent level the distinct index prefixes one mode
+deeper, and the leaves hold the nonzero values. The SPLATT library — the
+CPU state-of-the-art baseline the paper compares against — performs MTTKRP by
+walking this tree, so fibers sharing index prefixes are visited once.
+
+Like SPLATT's ``ALLMODE`` configuration, the baseline builds one CSF tree per
+target mode (root = target mode, remaining modes in natural order). The
+per-level node counts feed the machine cost model: tree traversal touches
+``sum(level sizes)`` pointers instead of ``nnz * ndim`` raw coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import check_axis, require
+
+__all__ = ["CsfTensor"]
+
+
+class CsfTensor:
+    """Compressed-sparse-fiber view of a sparse tensor, rooted at one mode.
+
+    Attributes
+    ----------
+    mode_order:
+        Permutation of modes from root (level 0) to leaf (level N-1).
+    fids:
+        Per level, the index (in that level's mode) of each node.
+    fptr:
+        Per level ``l < N-1``, an array of length ``len(fids[l]) + 1`` giving
+        the child ranges of each node in level ``l+1``.
+    values:
+        Nonzero values aligned with the leaf level.
+    """
+
+    __slots__ = ("_shape", "_mode_order", "_fids", "_fptr", "_values")
+
+    def __init__(self, shape, mode_order, fids, fptr, values):
+        self._shape = tuple(int(d) for d in shape)
+        self._mode_order = tuple(int(m) for m in mode_order)
+        require(
+            sorted(self._mode_order) == list(range(len(self._shape))),
+            f"mode_order {mode_order} is not a permutation of the modes",
+        )
+        self._fids = [np.ascontiguousarray(f, dtype=np.int64) for f in fids]
+        self._fptr = [np.ascontiguousarray(p, dtype=np.int64) for p in fptr]
+        self._values = np.ascontiguousarray(values, dtype=np.float64)
+        require(len(self._fids) == len(self._shape), "one fids array per level required")
+        require(len(self._fptr) == len(self._shape) - 1, "one fptr array per inner level")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, tensor: SparseTensor, root_mode: int = 0, mode_order=None) -> "CsfTensor":
+        """Build the CSF tree rooted at *root_mode*.
+
+        ``mode_order`` overrides the default ordering (root mode followed by
+        the remaining modes in natural order), e.g. to sort modes by length
+        the way SPLATT's heuristic does.
+        """
+        ndim = tensor.ndim
+        root_mode = check_axis(root_mode, ndim)
+        if mode_order is None:
+            mode_order = [root_mode] + [m for m in range(ndim) if m != root_mode]
+        else:
+            mode_order = [check_axis(m, ndim) for m in mode_order]
+            require(
+                sorted(mode_order) == list(range(ndim)),
+                f"mode_order {mode_order} is not a permutation",
+            )
+            require(mode_order[0] == root_mode, "mode_order must start with root_mode")
+
+        idx = tensor.indices[:, mode_order]
+        nnz = idx.shape[0]
+        if nnz == 0:
+            fids = [np.zeros(0, dtype=np.int64) for _ in range(ndim)]
+            fptr = [np.zeros(1, dtype=np.int64) for _ in range(ndim - 1)]
+            return cls(tensor.shape, mode_order, fids, fptr, tensor.values)
+
+        perm = np.lexsort(tuple(idx[:, m] for m in reversed(range(ndim))))
+        idx = idx[perm]
+        values = tensor.values[perm]
+
+        # changed[l][r] is True when row r starts a new node at level l, i.e.
+        # any of the first l+1 sorted coordinates differ from row r-1.
+        node_positions: list[np.ndarray] = []
+        changed = np.zeros(nnz, dtype=bool)
+        changed[0] = True
+        for level in range(ndim):
+            col = idx[:, level]
+            changed[1:] |= col[1:] != col[:-1]
+            node_positions.append(np.flatnonzero(changed).copy())
+
+        fids = [idx[node_positions[level], level] for level in range(ndim)]
+        fptr = []
+        for level in range(ndim - 1):
+            parents = node_positions[level]
+            children = node_positions[level + 1]
+            ptr = np.searchsorted(children, parents)
+            fptr.append(np.append(ptr, children.size).astype(np.int64))
+        return cls(tensor.shape, mode_order, fids, fptr, values)
+
+    def to_coo(self) -> SparseTensor:
+        """Expand the tree back into canonical COO form."""
+        ndim = self.ndim
+        nnz = self.nnz
+        coords_sorted = np.empty((nnz, ndim), dtype=np.int64)
+        # Walk levels top-down, repeating each node's index across its span.
+        counts = self.leaf_counts()
+        for level in range(ndim):
+            coords_sorted[:, level] = np.repeat(self._fids[level], counts[level])
+        coords = np.empty_like(coords_sorted)
+        for pos, mode in enumerate(self._mode_order):
+            coords[:, mode] = coords_sorted[:, pos]
+        return SparseTensor(coords, self._values, self._shape)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def nnz(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def mode_order(self) -> tuple[int, ...]:
+        return self._mode_order
+
+    @property
+    def fids(self) -> list[np.ndarray]:
+        return self._fids
+
+    @property
+    def fptr(self) -> list[np.ndarray]:
+        return self._fptr
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def level_sizes(self) -> list[int]:
+        """Node count at every level (monotone non-decreasing)."""
+        return [int(f.size) for f in self._fids]
+
+    def leaf_counts(self) -> list[np.ndarray]:
+        """For each level, the number of leaves under each node."""
+        ndim = self.ndim
+        counts: list[np.ndarray] = [np.ones(self.nnz, dtype=np.int64)] * 1
+        counts = [None] * ndim  # type: ignore[list-item]
+        counts[ndim - 1] = np.ones(self._fids[ndim - 1].size, dtype=np.int64)
+        for level in range(ndim - 2, -1, -1):
+            child = counts[level + 1]
+            csum = np.concatenate(([0], np.cumsum(child)))
+            ptr = self._fptr[level]
+            counts[level] = csum[ptr[1:]] - csum[ptr[:-1]]
+        return counts  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self._shape)
+        return (
+            f"CsfTensor(shape={dims}, nnz={self.nnz}, root=mode{self._mode_order[0]}, "
+            f"levels={self.level_sizes()})"
+        )

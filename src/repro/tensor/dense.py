@@ -1,0 +1,78 @@
+"""Dense tensors with Kolda-style matricization.
+
+The PLANC-like dense baseline (Figure 1, "DenseTF" bars) operates on dense
+tensors, and every sparse MTTKRP kernel is tested against the dense
+unfold-times-Khatri-Rao oracle implemented here.
+
+Matricization convention
+------------------------
+``matricize(X, n)`` lays out the mode-*n* fibers of ``X`` as columns, with
+the column index enumerating the remaining modes in increasing mode order,
+last mode fastest (C order). Under this convention the matching Khatri-Rao
+product for MTTKRP is taken over the factors of the remaining modes in
+increasing order::
+
+    M^(n) = X_(n) @ khatri_rao(H^(0), ..., H^(n-1), H^(n+1), ..., H^(N-1))
+
+which is exactly what :func:`repro.kernels.mttkrp.mttkrp_dense` computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_axis, check_shape
+
+__all__ = ["DenseTensor", "matricize", "fold"]
+
+
+def matricize(array: np.ndarray, mode: int) -> np.ndarray:
+    """Unfold *array* along *mode* into a ``(shape[mode], prod(rest))`` matrix."""
+    array = np.asarray(array)
+    mode = check_axis(mode, array.ndim)
+    return np.moveaxis(array, mode, 0).reshape(array.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, shape) -> np.ndarray:
+    """Inverse of :func:`matricize`: rebuild the tensor of *shape*."""
+    shape = check_shape(shape)
+    mode = check_axis(mode, len(shape))
+    rest = [d for m, d in enumerate(shape) if m != mode]
+    moved = np.asarray(matrix).reshape([shape[mode]] + rest)
+    return np.moveaxis(moved, 0, mode)
+
+
+class DenseTensor:
+    """Thin wrapper coupling a dense ndarray with tensor-algebra helpers."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data):
+        self._data = np.ascontiguousarray(data, dtype=np.float64)
+        check_shape(self._data.shape, min_modes=1)
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data))
+
+    def matricize(self, mode: int) -> np.ndarray:
+        return matricize(self._data, mode)
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"DenseTensor(shape={dims})"

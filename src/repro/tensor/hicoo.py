@@ -1,0 +1,151 @@
+"""HiCOO: Hierarchical COOrdinate format (Li et al., SC '18).
+
+One of the alternative compressed sparse-tensor formats the paper's Section
+2.3 surveys alongside CSF/ALTO/BLCO. HiCOO groups nonzeros into aligned
+B×B×…×B blocks: block coordinates are stored once per block (wide
+integers), while element coordinates inside a block need only
+``log2(B)``-bit offsets — compressing index storage and giving blocked
+kernels natural cache tiles.
+
+Layout (mirroring the original paper's arrays):
+
+- ``bptr``   — start of each block's nonzeros (CSR-style, length nblocks+1)
+- ``bindices`` — ``(nblocks, ndim)`` block coordinates (int64)
+- ``eindices`` — ``(nnz, ndim)`` element offsets inside the block (uint8-
+  capable; stored int16 for safety with block bits ≤ 15)
+- ``values`` — nonzero values aligned with ``eindices``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import check_axis, check_positive_int, require
+
+__all__ = ["HicooTensor"]
+
+
+class HicooTensor:
+    """Sparse tensor in HiCOO (blocked hierarchical coordinate) format."""
+
+    __slots__ = ("_shape", "_block_bits", "_bptr", "_bindices", "_eindices", "_values")
+
+    def __init__(self, shape, block_bits, bptr, bindices, eindices, values):
+        self._shape = tuple(int(d) for d in shape)
+        self._block_bits = check_positive_int(block_bits, "block_bits")
+        require(self._block_bits <= 15, "block_bits must fit int16 offsets")
+        self._bptr = np.ascontiguousarray(bptr, dtype=np.int64)
+        self._bindices = np.ascontiguousarray(bindices, dtype=np.int64)
+        self._eindices = np.ascontiguousarray(eindices, dtype=np.int16)
+        self._values = np.ascontiguousarray(values, dtype=np.float64)
+        require(
+            self._bptr.ndim == 1 and self._bptr.size == self._bindices.shape[0] + 1,
+            "bptr must have one entry per block plus a terminator",
+        )
+        require(
+            int(self._bptr[-1]) == self._values.shape[0],
+            "bptr terminator must equal nnz",
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, tensor: SparseTensor, block_bits: int = 7) -> "HicooTensor":
+        """Encode a COO tensor with 2^block_bits-sized cubic blocks."""
+        block_bits = check_positive_int(block_bits, "block_bits")
+        idx = tensor.indices
+        nnz = tensor.nnz
+        ndim = tensor.ndim
+        if nnz == 0:
+            return cls(
+                tensor.shape, block_bits,
+                np.zeros(1, dtype=np.int64),
+                np.zeros((0, ndim), dtype=np.int64),
+                np.zeros((0, ndim), dtype=np.int16),
+                np.zeros(0, dtype=np.float64),
+            )
+
+        blocks = idx >> block_bits
+        offsets = idx & ((1 << block_bits) - 1)
+        # Sort by block coordinates (lexicographic), then by offset.
+        keys = tuple(offsets[:, m] for m in reversed(range(ndim))) + tuple(
+            blocks[:, m] for m in reversed(range(ndim))
+        )
+        order = np.lexsort(keys)
+        blocks = blocks[order]
+        offsets = offsets[order]
+        values = tensor.values[order]
+
+        change = np.zeros(nnz, dtype=bool)
+        change[0] = True
+        change[1:] = (blocks[1:] != blocks[:-1]).any(axis=1)
+        starts = np.flatnonzero(change)
+        bptr = np.append(starts, nnz).astype(np.int64)
+        return cls(tensor.shape, block_bits, bptr, blocks[starts], offsets, values)
+
+    def to_coo(self) -> SparseTensor:
+        """Decode back to canonical COO form."""
+        if self.nnz == 0:
+            return SparseTensor(
+                np.zeros((0, self.ndim), dtype=np.int64),
+                np.zeros(0, dtype=np.float64),
+                self._shape,
+            )
+        counts = np.diff(self._bptr)
+        base = np.repeat(self._bindices << self._block_bits, counts, axis=0)
+        coords = base + self._eindices.astype(np.int64)
+        return SparseTensor(coords, self._values, self._shape)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def nnz(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def num_blocks(self) -> int:
+        return self._bindices.shape[0]
+
+    @property
+    def block_bits(self) -> int:
+        return self._block_bits
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def block_nnz(self) -> np.ndarray:
+        """Nonzeros per block (load-balance statistic)."""
+        return np.diff(self._bptr)
+
+    def block_slice(self, b: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(block_coords, element_offsets, values) of block *b*."""
+        require(0 <= b < self.num_blocks, f"block {b} out of range")
+        lo, hi = int(self._bptr[b]), int(self._bptr[b + 1])
+        return self._bindices[b], self._eindices[lo:hi], self._values[lo:hi]
+
+    def mode_indices_of_block(self, b: int, mode: int) -> np.ndarray:
+        """Full coordinates along *mode* for block *b*."""
+        mode = check_axis(mode, self.ndim)
+        bcoord, offsets, _ = self.block_slice(b)
+        return (bcoord[mode] << self._block_bits) + offsets[:, mode].astype(np.int64)
+
+    def index_storage_bytes(self) -> int:
+        """Bytes spent on index metadata — the HiCOO compression metric."""
+        return int(
+            self._bptr.nbytes + self._bindices.nbytes + self._eindices.nbytes
+        )
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self._shape)
+        return (
+            f"HicooTensor(shape={dims}, nnz={self.nnz}, blocks={self.num_blocks}, "
+            f"B=2^{self._block_bits})"
+        )

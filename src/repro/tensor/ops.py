@@ -1,0 +1,90 @@
+"""Sparse tensor algebra helpers: arithmetic, slicing, stacking.
+
+Conveniences used by the streaming pipeline and the examples: COO tensors
+are immutable, so these return new tensors. All operations coalesce
+duplicates through the :class:`SparseTensor` constructor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.utils.validation import check_axis, require
+
+__all__ = ["add", "subtract", "mode_slice", "stack_along_new_mode", "drop_mode_index"]
+
+
+def add(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Element-wise sum of two same-shape sparse tensors."""
+    require(a.shape == b.shape, f"shape mismatch: {a.shape} vs {b.shape}")
+    return SparseTensor(
+        np.vstack([a.indices, b.indices]),
+        np.concatenate([a.values, b.values]),
+        a.shape,
+    )
+
+
+def subtract(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Element-wise difference ``a - b``."""
+    return add(a, b.scale_values(-1.0))
+
+
+def mode_slice(tensor: SparseTensor, mode: int, index: int) -> SparseTensor:
+    """Extract the hyperslice at ``mode == index`` (that mode is removed).
+
+    The inverse of one step of :func:`stack_along_new_mode`; used to split a
+    temporal tensor into the per-step slabs the streaming driver ingests.
+    """
+    mode = check_axis(mode, tensor.ndim)
+    require(tensor.ndim >= 2, "cannot slice a 1-mode tensor")
+    require(0 <= index < tensor.shape[mode], f"index {index} out of range")
+    mask = tensor.indices[:, mode] == index
+    keep = [m for m in range(tensor.ndim) if m != mode]
+    return SparseTensor(
+        tensor.indices[mask][:, keep],
+        tensor.values[mask],
+        tuple(tensor.shape[m] for m in keep),
+    )
+
+
+def stack_along_new_mode(slices, position: int = -1) -> SparseTensor:
+    """Stack same-shape tensors along a fresh mode at *position*.
+
+    ``stack_along_new_mode(slabs)`` builds the (spatial..., time) tensor the
+    batch driver refits, from the slabs a stream ingested.
+    """
+    slices = list(slices)
+    require(bool(slices), "need at least one slice")
+    base_shape = slices[0].shape
+    for s in slices:
+        require(s.shape == base_shape, "all slices must share a shape")
+    ndim_out = len(base_shape) + 1
+    position = position % ndim_out
+    idx_chunks, val_chunks = [], []
+    for t, s in enumerate(slices):
+        col = np.full((s.nnz, 1), t, dtype=np.int64)
+        idx = np.hstack([s.indices[:, :position], col, s.indices[:, position:]])
+        idx_chunks.append(idx)
+        val_chunks.append(s.values)
+    shape = base_shape[:position] + (len(slices),) + base_shape[position:]
+    return SparseTensor(np.vstack(idx_chunks), np.concatenate(val_chunks), shape)
+
+
+def drop_mode_index(tensor: SparseTensor, mode: int, index: int) -> SparseTensor:
+    """Remove all entries at ``mode == index`` and compact that coordinate.
+
+    Useful for scrubbing a corrupted sensor/day from a dataset before
+    factorization; the mode's length shrinks by one.
+    """
+    mode = check_axis(mode, tensor.ndim)
+    require(0 <= index < tensor.shape[mode], f"index {index} out of range")
+    require(tensor.shape[mode] >= 2, "cannot drop the only index of a mode")
+    mask = tensor.indices[:, mode] != index
+    idx = tensor.indices[mask].copy()
+    above = idx[:, mode] > index
+    idx[above, mode] -= 1
+    shape = tuple(
+        d - 1 if m == mode else d for m, d in enumerate(tensor.shape)
+    )
+    return SparseTensor(idx, tensor.values[mask], shape)

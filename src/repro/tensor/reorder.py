@@ -1,0 +1,94 @@
+"""Index reordering for locality: the preprocessing the blocked formats love.
+
+Sparse tensor kernels are at the mercy of the index labeling: with FROSTT
+data the hot indices are scattered, so blocked formats (HiCOO) fragment
+into many sparse blocks and linearized formats (ALTO/BLCO) lose spatial
+coherence. Relabeling indices so frequently co-occurring ones are close
+(Li et al.'s Lexi-order is the canonical example) densifies blocks and
+tightens working sets.
+
+Implemented schemes:
+
+- :func:`frequency_reorder` — per-mode relabeling by descending fiber count
+  (the "hot indices first" heuristic): hot rows cluster at the front of
+  every factor matrix, turning the skewed head of the histogram into a
+  contiguous cache-resident region.
+- :func:`random_reorder` — the adversarial baseline (destroys locality),
+  for measuring how much an ordering matters.
+- :class:`Relabeling` — the invertible per-mode permutations, so factor
+  matrices can be mapped back to original index space after factorizing a
+  reordered tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.utils.rng import as_generator
+from repro.utils.validation import require
+
+__all__ = ["Relabeling", "frequency_reorder", "random_reorder"]
+
+
+@dataclass(frozen=True)
+class Relabeling:
+    """Per-mode permutations ``new_index = perm[old_index]``."""
+
+    perms: tuple[np.ndarray, ...]
+
+    def apply(self, tensor: SparseTensor) -> SparseTensor:
+        """Relabel a tensor's coordinates."""
+        require(len(self.perms) == tensor.ndim, "mode count mismatch")
+        idx = np.empty_like(tensor.indices)
+        for m, perm in enumerate(self.perms):
+            require(perm.shape[0] == tensor.shape[m], f"mode {m} length mismatch")
+            idx[:, m] = perm[tensor.indices[:, m]]
+        return SparseTensor(idx, tensor.values, tensor.shape)
+
+    def inverse(self) -> "Relabeling":
+        """The relabeling that undoes this one."""
+        inv = []
+        for perm in self.perms:
+            p = np.empty_like(perm)
+            p[perm] = np.arange(perm.shape[0])
+            inv.append(p)
+        return Relabeling(tuple(inv))
+
+    def map_factors_back(self, factors) -> list[np.ndarray]:
+        """Rows of factors fitted on the reordered tensor, in original order.
+
+        ``factor_orig[i] = factor_new[perm[i]]``.
+        """
+        require(len(factors) == len(self.perms), "mode count mismatch")
+        return [np.asarray(f)[perm] for f, perm in zip(factors, self.perms)]
+
+
+def frequency_reorder(tensor: SparseTensor) -> tuple[SparseTensor, Relabeling]:
+    """Relabel every mode by descending nonzero frequency.
+
+    Returns the reordered tensor and the relabeling used (apply
+    ``relabeling.map_factors_back`` to recover original-space factors).
+    """
+    perms = []
+    for m in range(tensor.ndim):
+        counts = tensor.mode_fiber_counts(m)
+        # Hot indices get the smallest new labels; stable for ties.
+        order = np.argsort(-counts, kind="stable")
+        perm = np.empty(tensor.shape[m], dtype=np.int64)
+        perm[order] = np.arange(tensor.shape[m])
+        perms.append(perm)
+    relabeling = Relabeling(tuple(perms))
+    return relabeling.apply(tensor), relabeling
+
+
+def random_reorder(tensor: SparseTensor, seed=0) -> tuple[SparseTensor, Relabeling]:
+    """Adversarial random relabeling of every mode."""
+    rng = as_generator(seed)
+    perms = tuple(
+        np.asarray(rng.permutation(dim), dtype=np.int64) for dim in tensor.shape
+    )
+    relabeling = Relabeling(perms)
+    return relabeling.apply(tensor), relabeling

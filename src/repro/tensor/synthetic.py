@@ -1,0 +1,215 @@
+"""Reproducible synthetic sparse-tensor workload generators.
+
+Three generators cover every workload the experiments need:
+
+- :func:`random_sparse` — unstructured random tensors with a chosen value
+  distribution (the stress-test workload).
+- :func:`planted_nonneg_cp` — tensors sampled from a known nonnegative CP
+  model plus noise, used by convergence/recovery tests (the factorization
+  should recover the planted factors).
+- :func:`scaled_frostt_analogue` — a random tensor with prescribed dims and
+  nnz plus heavy-tailed (log-normal) values and skewed index distributions,
+  standing in for the FROSTT datasets of Table 2 (see
+  :mod:`repro.data.frostt` for the registry that drives it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int, check_rank, check_shape, require
+
+__all__ = [
+    "random_sparse",
+    "planted_nonneg_cp",
+    "planted_sparse_cp",
+    "scaled_frostt_analogue",
+]
+
+
+def _sample_coords(shape, nnz, rng, skew: float = 0.0) -> np.ndarray:
+    """Sample *nnz* distinct coordinates (vectorized, oversample + coalesce).
+
+    ``skew > 0`` draws indices from a Zipf-like distribution (realistic for
+    FROSTT data, whose mode histograms are heavy-tailed); ``skew == 0`` is
+    uniform.
+    """
+    total = 1.0
+    for d in shape:
+        total *= float(d)
+    require(nnz <= total, f"cannot place {nnz} distinct nonzeros in a {shape} tensor")
+
+    collected = np.zeros((0, len(shape)), dtype=np.int64)
+    want = nnz
+    for attempt in range(64):
+        draw = max(int(want * (1.3 + 0.5 * attempt)) + 16, 16)
+        if attempt >= 8:
+            # A heavy skew can stall the collection at high densities (the
+            # popular cells keep repeating); finish the tail uniformly.
+            skew = 0.0
+        cols = []
+        for d in shape:
+            if skew > 0.0 and d > 1:
+                # Inverse-CDF sample of a truncated power law on [0, d).
+                u = rng.random(draw)
+                x = (1.0 - u) ** (-1.0 / skew) - 1.0
+                col = np.minimum((x % d).astype(np.int64), d - 1)
+            else:
+                col = rng.integers(0, d, size=draw, dtype=np.int64)
+            cols.append(col)
+        batch = np.column_stack(cols)
+        collected = np.unique(np.vstack([collected, batch]), axis=0)
+        if collected.shape[0] >= nnz:
+            break
+        want = nnz - collected.shape[0]
+    require(collected.shape[0] >= nnz, "coordinate sampling failed to converge")
+    pick = rng.permutation(collected.shape[0])[:nnz]
+    return collected[np.sort(pick)]
+
+
+def random_sparse(
+    shape,
+    nnz: int,
+    seed=None,
+    value_dist: str = "uniform",
+    nonneg: bool = True,
+) -> SparseTensor:
+    """Generate an unstructured random sparse tensor.
+
+    Parameters
+    ----------
+    shape:
+        Tensor dimensions.
+    nnz:
+        Number of distinct nonzero entries.
+    value_dist:
+        ``"uniform"`` (values in (0, 1]), ``"lognormal"`` (heavy-tailed, like
+        count data), or ``"normal"``.
+    nonneg:
+        If True, values are made strictly positive (required by the
+        nonnegative-factorization workloads).
+    """
+    shape = check_shape(shape)
+    nnz = check_positive_int(nnz, "nnz")
+    rng = as_generator(seed)
+    coords = _sample_coords(shape, nnz, rng)
+    if value_dist == "uniform":
+        values = rng.random(nnz) + 1e-9
+    elif value_dist == "lognormal":
+        values = rng.lognormal(mean=0.0, sigma=1.0, size=nnz)
+    elif value_dist == "normal":
+        values = rng.normal(size=nnz)
+    else:
+        raise ValueError(f"unknown value_dist {value_dist!r}")
+    if nonneg:
+        values = np.abs(values) + 1e-9
+    return SparseTensor(coords, values, shape)
+
+
+def planted_nonneg_cp(
+    shape,
+    rank: int,
+    nnz: int,
+    noise: float = 0.0,
+    factor_sparsity: float = 0.0,
+    seed=None,
+) -> tuple[SparseTensor, list[np.ndarray]]:
+    """Sample a sparse tensor from a planted nonnegative CP model.
+
+    Factors are drawn i.i.d. from an exponential distribution (optionally
+    with a fraction ``factor_sparsity`` of entries zeroed), *nnz* coordinates
+    are sampled, and each stored value is the CP model evaluated at that
+    coordinate plus optional Gaussian noise clipped at zero.
+
+    Returns
+    -------
+    (tensor, factors):
+        The sparse tensor and the list of planted factor matrices
+        ``H^(n) ∈ R^{I_n × R}``.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    nnz = check_positive_int(nnz, "nnz")
+    require(0.0 <= factor_sparsity < 1.0, "factor_sparsity must be in [0, 1)")
+    require(noise >= 0.0, "noise must be non-negative")
+    rng = as_generator(seed)
+
+    factors = []
+    for dim in shape:
+        f = rng.exponential(scale=1.0, size=(dim, rank))
+        if factor_sparsity > 0.0:
+            mask = rng.random((dim, rank)) < factor_sparsity
+            f[mask] = 0.0
+            # Guarantee no all-zero row, which would make recovery ill-posed.
+            dead = ~f.any(axis=1)
+            f[dead, rng.integers(0, rank, size=int(dead.sum()))] = rng.exponential(
+                scale=1.0, size=int(dead.sum())
+            )
+        factors.append(f)
+
+    coords = _sample_coords(shape, nnz, rng)
+    values = np.ones(nnz, dtype=np.float64)
+    acc = np.ones((nnz, rank), dtype=np.float64)
+    for mode, f in enumerate(factors):
+        acc *= f[coords[:, mode]]
+    values = acc.sum(axis=1)
+    if noise > 0.0:
+        values = values + rng.normal(scale=noise * max(values.std(), 1e-12), size=nnz)
+    values = np.maximum(values, 1e-12)
+    return SparseTensor(coords, values, shape), factors
+
+
+def planted_sparse_cp(
+    shape,
+    rank: int,
+    factor_sparsity: float = 0.6,
+    seed=None,
+    tol: float = 1e-12,
+) -> tuple[SparseTensor, list[np.ndarray]]:
+    """An *exactly* low-rank sparse tensor: all nonzeros of a sparse-factor
+    CP model.
+
+    Unlike :func:`planted_nonneg_cp` (which samples coordinates and
+    implicitly zeros the rest, making exact recovery impossible), this
+    builds the full reconstruction of a CP model with sparse nonnegative
+    factors and keeps every entry above *tol* — so a rank-R factorization
+    can reach fit ≈ 1 and recover the planted factors. Densifies internally:
+    test scale only.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    require(0.0 <= factor_sparsity < 1.0, "factor_sparsity must be in [0, 1)")
+    rng = as_generator(seed)
+    factors = []
+    for dim in shape:
+        f = rng.exponential(scale=1.0, size=(dim, rank))
+        mask = rng.random((dim, rank)) < factor_sparsity
+        f[mask] = 0.0
+        factors.append(f)
+    dense = np.zeros(shape, dtype=np.float64)
+    for r in range(rank):
+        block = np.array(1.0)
+        for f in factors:
+            block = np.multiply.outer(block, f[:, r])
+        dense += block
+    tensor = SparseTensor.from_dense(dense, tol=tol)
+    require(tensor.nnz > 0, "planted model produced an all-zero tensor; lower factor_sparsity")
+    return tensor, factors
+
+
+def scaled_frostt_analogue(shape, nnz: int, seed=None, skew: float = 1.1) -> SparseTensor:
+    """A FROSTT-like workload: skewed index histograms, log-normal values.
+
+    Real FROSTT tensors (Table 2 of the paper) have heavy-tailed mode
+    histograms — a few indices account for much of the data — and positive
+    count-like values. This generator reproduces both properties at a scale
+    chosen by the dataset registry.
+    """
+    shape = check_shape(shape)
+    nnz = check_positive_int(nnz, "nnz")
+    rng = as_generator(seed)
+    coords = _sample_coords(shape, nnz, rng, skew=skew)
+    values = rng.lognormal(mean=0.0, sigma=1.2, size=nnz) + 1e-9
+    return SparseTensor(coords, values, shape)

@@ -1,0 +1,46 @@
+"""Constraint update methods — the paper's primary optimization target.
+
+Each class implements one "update" of Algorithm 1 line 10: given the MTTKRP
+output ``M``, the Hadamard-of-Grams ``S``, and the current factor ``H``,
+produce the constrained new factor. All device work flows through a
+:class:`repro.machine.Executor`, so each method carries its exact kernel
+sequence for the cost model:
+
+- :class:`~repro.updates.admm.AdmmUpdate` — Algorithm 2 with independently
+  togglable *operation fusion* and *pre-inversion*; ``cuadmm()`` is the
+  both-on configuration of Algorithm 3.
+- :class:`~repro.updates.hals.HalsUpdate` — hierarchical ALS (rank-wise
+  nonnegative updates, Cichocki & Phan).
+- :class:`~repro.updates.mu.MuUpdate` — multiplicative updates (Lee &
+  Seung).
+- :class:`~repro.updates.als.AlsUpdate` — unconstrained least squares
+  (plain CP-ALS through the same machinery).
+- :class:`~repro.updates.apg.ApgUpdate` — accelerated proximal gradient
+  (the related-work extension [36]).
+"""
+
+from repro.updates.base import UpdateMethod, get_update, UPDATE_REGISTRY
+from repro.updates.admm import AdmmUpdate, cuadmm
+from repro.updates.hals import HalsUpdate
+from repro.updates.mu import MuUpdate
+from repro.updates.als import AlsUpdate
+from repro.updates.apg import ApgUpdate
+from repro.updates.blocked_admm import BlockedAdmmUpdate
+from repro.updates.mu_kl import KlMuUpdate, kl_divergence
+from repro.updates.anls import AnlsBppUpdate
+
+__all__ = [
+    "UpdateMethod",
+    "get_update",
+    "UPDATE_REGISTRY",
+    "AdmmUpdate",
+    "cuadmm",
+    "HalsUpdate",
+    "MuUpdate",
+    "AlsUpdate",
+    "ApgUpdate",
+    "BlockedAdmmUpdate",
+    "KlMuUpdate",
+    "kl_divergence",
+    "AnlsBppUpdate",
+]

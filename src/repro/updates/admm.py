@@ -1,0 +1,213 @@
+"""ADMM and cuADMM constraint updates (Algorithms 2 and 3 of the paper).
+
+One class covers the whole design space of Section 4.3 through two flags:
+
+``fuse_ops``
+    Operation fusion (OF). Off: the auxiliary variable, proximity step,
+    dual update, and convergence reductions are issued as individual
+    cuBLAS-style kernels (DCOPY/DGEAM/prox/reductions) with intermediate
+    global-memory round trips. On: the three custom fused kernels of
+    Section 4.3.1 are used instead.
+
+``preinvert``
+    Pre-inversion (PI). Off: every inner iteration applies ``(S+ρI)⁻¹``
+    via two serialized triangular solves. On: the explicit inverse is
+    computed once before the loop (line 4 of Algorithm 3) and each inner
+    iteration performs a single GEMM.
+
+The numerical iterates are identical in all four configurations (up to
+floating-point round-off) — only the kernel sequence, and therefore the
+simulated cost, changes. ``AdmmUpdate()`` is the baseline; :func:`cuadmm`
+returns the both-flags-on configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.linalg.proximal import get_proximal
+from repro.machine.executor import Executor
+from repro.machine.symbolic import SymArray, is_symbolic
+from repro.updates.base import UpdateMethod, register_update
+from repro.utils.validation import check_positive_int, require
+
+__all__ = ["AdmmUpdate", "cuadmm"]
+
+
+class AdmmUpdate(UpdateMethod):
+    """AO-ADMM factor update with togglable GPU optimizations.
+
+    Parameters
+    ----------
+    constraint:
+        Name of (or instance of) a proximity operator from
+        :mod:`repro.linalg.proximal`; default nonnegativity.
+    inner_iters:
+        Fixed inner-iteration count. The paper fixes 10 (Section 5.1:
+        "ADMM converges in approximately 10 iterations for all practical
+        purposes"); the tolerance check can end the loop earlier.
+    tol:
+        Convergence tolerance ε for the primal and dual residual ratios
+        (Algorithm 2 line 9). Ignored in symbolic (paper-scale analytic)
+        mode, where the loop always runs ``inner_iters`` times.
+    fuse_ops, preinvert:
+        The OF and PI optimizations described in the module docstring.
+    """
+
+    nonnegative = True
+
+    def __init__(
+        self,
+        constraint="nonneg",
+        inner_iters: int = 10,
+        tol: float = 0.0,
+        fuse_ops: bool = False,
+        preinvert: bool = False,
+        constraint_params: dict | None = None,
+        record_residuals: bool = False,
+    ):
+        self.prox = get_proximal(constraint, **(constraint_params or {}))
+        self.inner_iters = check_positive_int(inner_iters, "inner_iters")
+        require(tol >= 0.0, "tol must be non-negative")
+        self.tol = float(tol)
+        self.fuse_ops = bool(fuse_ops)
+        self.preinvert = bool(preinvert)
+        self.record_residuals = bool(record_residuals)
+        self.nonnegative = self.prox.name in ("nonneg", "nonneg_l1", "simplex", "box")
+        suffix = {
+            (False, False): "",
+            (True, False): "+OF",
+            (False, True): "+PI",
+            (True, True): "+OF+PI",
+        }[(self.fuse_ops, self.preinvert)]
+        self.name = f"admm{suffix}" if suffix != "+OF+PI" else "cuadmm"
+
+    # ------------------------------------------------------------------ #
+    def init_state(self, shape: tuple[int, ...], rank: int) -> dict[str, Any]:
+        """Allocate one dual variable U per mode (zeros, warm-started)."""
+        return {
+            "dual": [np.zeros((dim, rank), dtype=np.float64) for dim in shape],
+        }
+
+    def _dual(self, state: dict[str, Any], mode: int, h):
+        """Fetch the dual variable, matching symbolic/concrete mode of *h*."""
+        if is_symbolic(h):
+            return SymArray(h.shape)
+        if not state:
+            raise ValueError("ADMM requires state from init_state()")
+        return state["dual"][mode]
+
+    # ------------------------------------------------------------------ #
+    def update(self, ex: Executor, mode: int, m_mat, s_mat, h, state: dict[str, Any]):
+        symbolic = is_symbolic(m_mat, s_mat, h)
+        rank = h.shape[1]
+        u = self._dual(state, mode, h)
+
+        # Preconditioning ρ = trace(S)/R and diagonal loading S + ρI — one
+        # tiny R×R kernel, identical record in symbolic and concrete mode.
+        ex.record(
+            "diag_load",
+            flops=rank * rank + rank,
+            reads=rank * rank,
+            writes=rank * rank,
+            parallel_work=rank * rank,
+        )
+        if symbolic:
+            rho = 1.0
+            s_loaded = SymArray((rank, rank))
+        else:
+            s_arr = np.asarray(s_mat, dtype=np.float64)
+            rho = float(np.trace(s_arr)) / rank
+            rho = rho if rho > 0.0 else 1.0
+            s_loaded = s_arr + rho * np.eye(rank)
+        l_factor = ex.cholesky(s_loaded)
+        g_inv = ex.spd_inverse(l_factor) if self.preinvert else None
+
+        residuals: list[tuple[float, float]] = []
+        for _ in range(self.inner_iters):
+            if self.fuse_ops:
+                h, u, r_primal, r_dual = self._iter_fused(ex, m_mat, h, u, rho, l_factor, g_inv)
+            else:
+                h, u, r_primal, r_dual = self._iter_generic(ex, m_mat, h, u, rho, l_factor, g_inv)
+            if self.record_residuals:
+                residuals.append((r_primal, r_dual))
+            # Every inner iteration ends with the convergence scalars being
+            # read back by the host loop — a stream synchronization that no
+            # amount of kernel fusion removes. This fixed latency is what
+            # caps the optimization gains on small factor matrices (the
+            # ≈1.0–1.3× NIPS/Enron bars of Figure 4).
+            ex.record("host_readback_sync", reads=4, writes=0, parallel_work=1, launches=4)
+            # NaN residuals (symbolic mode) never satisfy the test, so the
+            # loop runs the fixed count — matching the paper's methodology.
+            if self.tol > 0.0 and r_primal < self.tol and r_dual < self.tol:
+                break
+
+        if not symbolic:
+            state["dual"][mode] = u
+        if self.record_residuals:
+            # Section 5.1 reproduction hook: the per-inner-iteration primal
+            # and dual residual ratios of the last update call.
+            state["residuals"] = residuals
+        return h
+
+    # ------------------------------------------------------------------ #
+    def _solve(self, ex: Executor, h_aux, l_factor, g_inv):
+        """Apply ``(S + ρI)⁻¹`` on the right of the I×R auxiliary matrix."""
+        if self.preinvert:
+            # H̄ = H̃ (LLᵀ)⁻¹ — a single GEMM (the inverse is symmetric).
+            return ex.gemm(h_aux, g_inv, name="dgemm_apply_inverse")
+        # Two serialized triangular solves on R×I right-hand sides; the
+        # transposes are layout flags on DTRSM, not data movement.
+        return ex.cholesky_solve(l_factor, h_aux.T).T
+
+    def _iter_generic(self, ex: Executor, m_mat, h, u, rho, l_factor, g_inv):
+        """One inner iteration as discrete cuBLAS-style kernels."""
+        h_prev = ex.copy(h, name="dcopy_hprev")
+        t_sum = ex.add(h, u, name="dgeam_h_plus_u")
+        h_aux = ex.geam(1.0, m_mat, rho, t_sum, name="dgeam_aux")
+        h_bar = self._solve(ex, h_aux, l_factor, g_inv)
+        t_arg = ex.sub(h_bar, u, name="dgeam_prox_arg")
+        h_new = ex.prox(self.prox, t_arg, rho)
+        dh = ex.sub(h_new, h_bar, name="dgeam_dh")
+        u_new = ex.add(u, dh, name="dgeam_dual")
+        r_primal_num = ex.norm_sq(dh, name="norm_primal")
+        h_norm = ex.norm_sq(h_new, name="norm_h")
+        d_prev = ex.sub(h_new, h_prev, name="dgeam_dprev")
+        r_dual_num = ex.norm_sq(d_prev, name="norm_dual")
+        u_norm = ex.norm_sq(u_new, name="norm_u")
+        r_primal = r_primal_num / max(h_norm, 1e-30)
+        r_dual = r_dual_num / max(u_norm, 1e-30)
+        return h_new, u_new, r_primal, r_dual
+
+    def _iter_fused(self, ex: Executor, m_mat, h, u, rho, l_factor, g_inv):
+        """One inner iteration with the cuADMM fused kernels."""
+        h_prev = h  # No DCOPY: the fused dual kernel reads the old H in place.
+        h_aux = ex.fused_auxiliary(m_mat, h, u, rho)
+        h_bar = self._solve(ex, h_aux, l_factor, g_inv)
+        h_new = ex.fused_prox_primal(self.prox, h_bar, u, rho)
+        u_new, r_primal_num, h_norm, r_dual_num, u_norm = ex.fused_dual_update(
+            u, h_new, h_bar, h_prev
+        )
+        r_primal = r_primal_num / max(h_norm, 1e-30)
+        r_dual = r_dual_num / max(u_norm, 1e-30)
+        return h_new, u_new, r_primal, r_dual
+
+
+def cuadmm(constraint="nonneg", inner_iters: int = 10, tol: float = 0.0, **kwargs) -> AdmmUpdate:
+    """The fully optimized cuADMM configuration (Algorithm 3: OF + PI)."""
+    return AdmmUpdate(
+        constraint=constraint,
+        inner_iters=inner_iters,
+        tol=tol,
+        fuse_ops=True,
+        preinvert=True,
+        **kwargs,
+    )
+
+
+register_update("admm", AdmmUpdate)
+register_update("cuadmm", cuadmm)
+register_update("admm_of", lambda **kw: AdmmUpdate(fuse_ops=True, **kw))
+register_update("admm_pi", lambda **kw: AdmmUpdate(preinvert=True, **kw))

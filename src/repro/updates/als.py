@@ -1,0 +1,49 @@
+"""Unconstrained least-squares update (plain CP-ALS).
+
+Solves ``H S = M`` exactly via Cholesky — no constraint applied. Included so
+the framework also covers unconstrained STF, letting the benchmarks isolate
+the *cost of constraints* (the paper's Figure 1 argument is precisely that
+the constrained update adds a bottleneck that unconstrained CP-ALS lacks).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.machine.executor import Executor
+from repro.machine.symbolic import SymArray, is_symbolic
+from repro.updates.base import UpdateMethod, register_update
+
+__all__ = ["AlsUpdate"]
+
+
+class AlsUpdate(UpdateMethod):
+    """Exact unconstrained solve ``H = M (S + λI)⁻¹`` with tiny ridge λ."""
+
+    name = "als"
+    nonnegative = False
+
+    def __init__(self, ridge: float = 1e-12):
+        self.ridge = float(ridge)
+
+    def update(self, ex: Executor, mode: int, m_mat, s_mat, h, state: dict[str, Any]):
+        rank = h.shape[1]
+        ex.record(
+            "diag_load",
+            flops=rank * rank + rank,
+            reads=rank * rank,
+            writes=rank * rank,
+            parallel_work=rank * rank,
+        )
+        if is_symbolic(m_mat, s_mat, h):
+            s_loaded = SymArray((rank, rank))
+        else:
+            s_arr = np.asarray(s_mat, dtype=np.float64)
+            s_loaded = s_arr + max(self.ridge, 1e-12 * max(np.trace(s_arr), 1.0)) * np.eye(rank)
+        l_factor = ex.cholesky(s_loaded)
+        return ex.cholesky_solve(l_factor, m_mat.T).T
+
+
+register_update("als", AlsUpdate)

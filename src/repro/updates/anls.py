@@ -1,0 +1,101 @@
+"""ANLS-BPP update: PLANC's exact nonnegative least-squares solver.
+
+PLANC's default alternating update solves each mode's constrained
+subproblem *exactly* with block-principal-pivoting NNLS (Kim & Park), in
+contrast to ADMM's inexact inner iterations. Per update call:
+
+- one R×R factorization per active passive-set group,
+- a handful of batched solves (the pivoting loop), each a TRSM-class
+  kernel on the grouped right-hand sides,
+- gradient evaluations ``H S − M`` (GEMM-class).
+
+On the cost side, BPP's pivoting loop is data-dependent; we charge the
+observed number of pivoting rounds (concrete mode) or the typical 3 rounds
+(symbolic mode — BPP converges in a handful of exchanges in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.linalg.nnls import nnls_bpp
+from repro.machine.executor import Executor
+from repro.machine.symbolic import SymArray, is_symbolic
+from repro.updates.base import UpdateMethod, register_update
+from repro.utils.validation import check_positive_int
+
+__all__ = ["AnlsBppUpdate"]
+
+#: Pivoting rounds charged in symbolic mode (typical BPP behaviour).
+_TYPICAL_ROUNDS = 3
+
+
+class AnlsBppUpdate(UpdateMethod):
+    """Exact NNLS update via block principal pivoting."""
+
+    name = "anls_bpp"
+    nonnegative = True
+
+    def __init__(self, max_pivot_iters: int = 100):
+        self.max_pivot_iters = check_positive_int(max_pivot_iters, "max_pivot_iters")
+
+    def _charge(self, ex: Executor, rows: int, rank: int, rounds: int) -> None:
+        n = float(rows) * rank
+        for _ in range(max(rounds, 1)):
+            # Grouped Cholesky factorizations (a few small R'×R' systems).
+            ex.cholesky(SymArray((rank, rank)))
+            # Batched solve over all rows + gradient GEMM + pivot bookkeeping.
+            ex.record(
+                "bpp_batched_solve",
+                flops=2.0 * n * rank,
+                reads=n + rank * rank,
+                writes=n,
+                parallel_work=n,
+                serial_steps=2 * rank,
+                compute_efficiency=ex.device.trsm_efficiency,
+                utilization_exempt=True,
+            )
+            ex.gemm(SymArray((rows, rank)), SymArray((rank, rank)), name="dgemm_bpp_grad")
+            ex.record(
+                "bpp_pivot_scan",
+                flops=4.0 * n,
+                reads=3.0 * n,
+                writes=n / 8.0,  # bitmask updates
+                parallel_work=n,
+            )
+
+    def update(self, ex: Executor, mode: int, m_mat, s_mat, h, state: dict[str, Any]):
+        rows, rank = h.shape
+        if is_symbolic(m_mat, s_mat, h):
+            self._charge(ex, rows, rank, _TYPICAL_ROUNDS)
+            return SymArray((rows, rank))
+
+        s_arr = np.asarray(s_mat, dtype=np.float64)
+        m_arr = np.asarray(m_mat, dtype=np.float64)
+        # Count actual pivoting rounds for faithful cost accounting.
+        rounds = _count_pivot_rounds(s_arr, m_arr, self.max_pivot_iters)
+        self._charge(ex, rows, rank, rounds)
+        return nnls_bpp(s_arr, m_arr, max_iters=self.max_pivot_iters)
+
+
+def _count_pivot_rounds(s_arr: np.ndarray, m_arr: np.ndarray, max_iters: int) -> int:
+    """Run a lightweight replica of the pivot loop to count its rounds."""
+    rows, rank = m_arr.shape
+    from repro.linalg.nnls import _solve_groups
+
+    passive = np.ones((rows, rank), dtype=bool)
+    x = _solve_groups(s_arr, m_arr, passive)
+    y = x @ s_arr - m_arr
+    for rounds in range(1, max_iters + 1):
+        bad = (passive & (x < -1e-12)) | (~passive & (y < -1e-12))
+        if not bad.any():
+            return rounds
+        passive ^= bad
+        x = _solve_groups(s_arr, m_arr, passive)
+        y = x @ s_arr - m_arr
+    return max_iters
+
+
+register_update("anls_bpp", AnlsBppUpdate)

@@ -1,0 +1,77 @@
+"""Update-method interface and registry (the AUNTF plug-in point).
+
+The paper's ``AUNTF_GPU`` class accepts any alternating update scheme that
+maps ``(M, S, H) -> H_new``; this module defines the corresponding Python
+interface. Methods may keep per-mode state across AO iterations (ADMM's
+dual variables warm-start, APG's momentum), managed through
+:meth:`UpdateMethod.init_state`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.machine.executor import Executor
+
+__all__ = ["UpdateMethod", "UPDATE_REGISTRY", "get_update", "register_update"]
+
+
+class UpdateMethod(ABC):
+    """One alternating update scheme (ADMM / HALS / MU / ...)."""
+
+    #: Registry key and display name; set by subclasses.
+    name: str = "abstract"
+
+    #: Whether the scheme enforces nonnegativity (used by tests and drivers
+    #: to pick valid workloads).
+    nonnegative: bool = True
+
+    def init_state(self, shape: tuple[int, ...], rank: int) -> dict[str, Any]:
+        """Create the per-tensor mutable state (one entry per mode).
+
+        The default is stateless; ADMM overrides this to allocate its dual
+        variables.
+        """
+        return {}
+
+    @abstractmethod
+    def update(self, ex: Executor, mode: int, m_mat, s_mat, h, state: dict[str, Any]):
+        """Produce the new factor for *mode*.
+
+        Parameters
+        ----------
+        ex:
+            Device executor; every kernel must go through it.
+        mode:
+            Mode being updated.
+        m_mat:
+            MTTKRP output ``M ∈ R^{I×R}`` (or :class:`SymArray`).
+        s_mat:
+            Hadamard of the other modes' Gram matrices, ``S ∈ R^{R×R}``.
+        h:
+            Current factor ``H ∈ R^{I×R}``.
+        state:
+            The dict created by :meth:`init_state`; mutated in place.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+UPDATE_REGISTRY: dict[str, Callable[..., UpdateMethod]] = {}
+
+
+def register_update(key: str, factory: Callable[..., UpdateMethod]) -> None:
+    """Register an update-method factory under *key* (lowercase)."""
+    UPDATE_REGISTRY[key.lower()] = factory
+
+
+def get_update(method, **kwargs) -> UpdateMethod:
+    """Resolve an update method by name, or pass an instance through."""
+    if isinstance(method, UpdateMethod):
+        return method
+    key = str(method).lower()
+    if key not in UPDATE_REGISTRY:
+        raise KeyError(f"unknown update method {method!r}; available: {sorted(UPDATE_REGISTRY)}")
+    return UPDATE_REGISTRY[key](**kwargs)

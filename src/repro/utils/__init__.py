@@ -1,0 +1,27 @@
+"""Shared utilities: argument validation, deterministic RNG, wall-clock timing.
+
+These helpers keep the numerical packages free of repetitive boilerplate and
+enforce the conventions listed in DESIGN.md (float64 everywhere, explicit
+``numpy.random.Generator`` seeding, no global RNG state).
+"""
+
+from repro.utils.validation import (
+    check_axis,
+    check_positive_int,
+    check_rank,
+    check_shape,
+    require,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "check_axis",
+    "check_positive_int",
+    "check_rank",
+    "check_shape",
+    "require",
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+]

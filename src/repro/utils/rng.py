@@ -1,0 +1,42 @@
+"""Deterministic random-number plumbing.
+
+The whole library takes ``seed`` arguments that may be ``None``, an integer,
+or an existing :class:`numpy.random.Generator`, and converts them through
+:func:`as_generator`. Nothing in the package touches NumPy's legacy global
+RNG, so every experiment is reproducible from its seed alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged so callers can thread
+    one generator through a pipeline without reseeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, count: int) -> list[np.random.Generator]:
+    """Derive *count* statistically independent child generators.
+
+    Used by workload generators that build several tensors (one per dataset)
+    from a single experiment seed: each child stream is independent, so adding
+    or removing datasets does not perturb the others.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [
+            np.random.default_rng(s)
+            for s in seed.bit_generator.seed_seq.spawn(count)  # type: ignore[union-attr]
+        ]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers for the measured (non-simulated) code paths.
+
+Simulated device time lives in :mod:`repro.machine`; this module only times
+host execution, e.g. for the pytest-benchmark harnesses and for sanity
+comparisons between formats at equal problem size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("mttkrp"):
+    ...     pass
+    >>> sw.total("mttkrp") >= 0.0
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def lap(self, name: str):
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.laps[name] = self.laps.get(name, 0.0) + float(seconds)
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.laps.get(name, 0.0)
+
+    def grand_total(self) -> float:
+        return sum(self.laps.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of total time per lap name (empty dict if nothing timed)."""
+        total = self.grand_total()
+        if total <= 0.0:
+            return {name: 0.0 for name in self.laps}
+        return {name: t / total for name, t in self.laps.items()}
+
+
+class _Lap:
+    def __init__(self, watch: Stopwatch, name: str):
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._watch.add(self._name, time.perf_counter() - self._start)
+        return False

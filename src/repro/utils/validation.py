@@ -1,0 +1,74 @@
+"""Lightweight argument validation helpers.
+
+Every public entry point of the library validates its inputs eagerly so that
+shape and type errors surface at the API boundary with an actionable message,
+instead of deep inside a vectorized kernel as an inscrutable broadcast error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``.
+
+    Accepts NumPy integer scalars as well as Python ints; rejects bools
+    (which are technically ``int`` subclasses but never a sensible size).
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}") from exc
+    if as_int != value:
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    if as_int <= 0:
+        raise ValueError(f"{name} must be positive, got {as_int}")
+    return as_int
+
+
+def check_shape(shape: Iterable[Any], min_modes: int = 1) -> tuple[int, ...]:
+    """Validate a tensor shape: a sequence of positive integers.
+
+    Parameters
+    ----------
+    shape:
+        Candidate shape, any iterable of integer-likes.
+    min_modes:
+        Minimum number of modes required (e.g. 3 for tensor-only APIs).
+    """
+    dims = tuple(check_positive_int(d, "dimension") for d in shape)
+    if len(dims) < min_modes:
+        raise ValueError(
+            f"tensor must have at least {min_modes} mode(s), got shape {dims}"
+        )
+    return dims
+
+
+def check_axis(axis: Any, ndim: int, name: str = "mode") -> int:
+    """Validate a mode index against *ndim* modes, supporting negatives."""
+    if isinstance(axis, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    axis = int(axis)
+    if not -ndim <= axis < ndim:
+        raise ValueError(f"{name} {axis} out of range for {ndim}-mode tensor")
+    return axis % ndim
+
+
+def check_rank(rank: Any) -> int:
+    """Validate a CP factorization rank."""
+    return check_positive_int(rank, "rank")
+
+
+def check_same_length(a: Sequence[Any], b: Sequence[Any], what: str) -> None:
+    """Raise if two sequences disagree in length."""
+    if len(a) != len(b):
+        raise ValueError(f"{what}: lengths differ ({len(a)} vs {len(b)})")

@@ -1,0 +1,126 @@
+"""Analysis utilities: the paper's equations, breakdowns, speedups, tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_row, dominant_phase, phase_fractions
+from repro.analysis.reporting import format_table
+from repro.analysis.roofline import (
+    admm_arithmetic_intensity,
+    admm_arithmetic_intensity_limit,
+    admm_flops,
+    admm_words,
+)
+from repro.analysis.speedup import geometric_mean, speedup_series
+from repro.core.trace import PHASES
+from repro.machine.counters import KernelRecord, Timeline
+
+
+class TestRoofline:
+    def test_equation3(self):
+        assert admm_flops(100, 8) == 19 * 100 * 8 + 2 * 100 * 64
+
+    def test_equation4(self):
+        assert admm_words(100, 8) == 22 * 100 * 8 + 64
+
+    @pytest.mark.parametrize("rank,expected", [(16, 0.29), (32, 0.47), (64, 0.83)])
+    def test_equation5_paper_values(self, rank, expected):
+        """The paper quotes AI of 0.29 / 0.47 / 0.83 flop/byte at R=16/32/64."""
+        assert admm_arithmetic_intensity_limit(rank) == pytest.approx(expected, abs=0.01)
+
+    def test_limit_matches_large_rows(self):
+        assert admm_arithmetic_intensity(10**9, 32) == pytest.approx(
+            admm_arithmetic_intensity_limit(32), rel=1e-3
+        )
+
+    def test_memory_bound_on_all_devices(self):
+        """AI below every device's balance point ⇒ ADMM is bandwidth-bound,
+        the paper's Section 3.3 conclusion."""
+        from repro.machine.spec import A100, H100, ICELAKE_XEON
+
+        for spec in (A100, H100, ICELAKE_XEON):
+            balance = spec.peak_flops / spec.mem_bandwidth
+            assert admm_arithmetic_intensity_limit(64) < balance
+
+
+def _timeline(seconds_by_phase):
+    tl = Timeline()
+    for phase, s in seconds_by_phase.items():
+        tl.add(
+            KernelRecord(name="k", phase=phase, flops=0, bytes_read=0, bytes_written=0,
+                         parallel_work=1),
+            s,
+        )
+    return tl
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        tl = _timeline({"GRAM": 1.0, "MTTKRP": 2.0, "UPDATE": 6.0, "NORMALIZE": 1.0})
+        fr = phase_fractions(tl)
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["UPDATE"] == pytest.approx(0.6)
+
+    def test_extra_phases_excluded(self):
+        tl = _timeline({"UPDATE": 1.0, "FIT": 100.0})
+        assert phase_fractions(tl)["UPDATE"] == pytest.approx(1.0)
+
+    def test_dominant(self):
+        tl = _timeline({"MTTKRP": 5.0, "UPDATE": 2.0})
+        assert dominant_phase(tl) == "MTTKRP"
+
+    def test_empty_timeline(self):
+        assert all(v == 0.0 for v in phase_fractions(Timeline()).values())
+
+    def test_row_format(self):
+        tl = _timeline({p: 1.0 for p in PHASES})
+        row = breakdown_row("x", tl)
+        assert row[0] == "x"
+        assert len(row) == 5
+
+
+class TestSpeedup:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_series(self):
+        s = speedup_series(["a", "b"], [2.0, 9.0], [1.0, 3.0])
+        assert s.speedups == (2.0, 3.0)
+        assert s.gmean == pytest.approx(math.sqrt(6.0))
+        assert s.max_speedup == 3.0
+        assert s.min_speedup == 2.0
+
+    def test_series_length_validated(self):
+        with pytest.raises(ValueError):
+            speedup_series(["a"], [1.0, 2.0], [1.0])
+
+    def test_rows_include_gmean(self):
+        s = speedup_series(["a"], [2.0], [1.0])
+        rows = s.as_rows()
+        assert rows[-1][0] == "GMean"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "v"], [["x", "1"], ["longer", "22"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+
+    def test_no_title(self):
+        out = format_table(["a"], [["1"]])
+        assert out.splitlines()[0].startswith("a")
+
+    def test_handles_non_strings(self):
+        out = format_table(["a"], [[1.5]])
+        assert "1.5" in out

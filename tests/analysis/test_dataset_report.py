@@ -1,0 +1,82 @@
+"""Structural dataset reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dataset_report import DatasetReport, _gini, analyze
+from repro.data.frostt import get_dataset
+from repro.tensor.coo import SparseTensor
+from repro.tensor.synthetic import random_sparse, scaled_frostt_analogue
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini(np.full(100, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        counts = np.zeros(100)
+        counts[0] = 1000.0
+        assert _gini(counts) > 0.9
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            g = _gini(rng.integers(0, 50, size=30).astype(float))
+            assert 0.0 <= g <= 1.0
+
+    def test_skewed_beats_uniform(self):
+        rng = np.random.default_rng(1)
+        uniform = rng.integers(40, 60, size=200).astype(float)
+        skewed = rng.zipf(1.6, size=200).astype(float)
+        assert _gini(skewed) > _gini(uniform)
+
+
+class TestAnalyze:
+    def test_concrete_tensor(self, small4):
+        report = analyze(small4, rank=8)
+        assert report.shape == small4.shape
+        assert report.factor_rows == sum(small4.shape)
+        assert all(0.0 <= g <= 1.0 for g in report.fiber_gini)
+
+    def test_stats_input_has_nan_gini(self):
+        report = analyze(get_dataset("uber").stats())
+        assert all(g != g for g in report.fiber_gini)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            analyze(np.zeros((3, 3)))
+
+    def test_size_groups_match_paper(self):
+        """The report's size grouping reproduces Figure 4's categories."""
+        assert analyze(get_dataset("nips").stats()).size_group() == "small"
+        assert analyze(get_dataset("enron").stats()).size_group() == "medium"
+        for name in ("flickr", "delicious", "amazon"):
+            assert analyze(get_dataset(name).stats()).size_group() == "large", name
+
+    def test_vast_flagged_for_contention(self):
+        """VAST's length-2 mode gives an enormous atomic chain estimate —
+        the report's early warning for the Figure 7 outlier."""
+        vast = analyze(get_dataset("vast").stats())
+        others = [analyze(get_dataset(n).stats()) for n in ("flickr", "amazon", "nell1")]
+        assert vast.contention_risk > 50 * max(o.contention_risk for o in others)
+
+    def test_update_bound_predicts_figure3(self):
+        """The three Figure 3 tensors (and Figure 1's Delicious) must be
+        classified update-bound; a dense-ish tensor must not."""
+        for name in ("flickr", "delicious", "nell1"):
+            assert analyze(get_dataset(name).stats()).update_bound(), name
+        # A near-dense tensor (nnz ≫ ΣIₙ) is MTTKRP-bound, like Figure 1's
+        # DenseTF case.
+        dense_ish = random_sparse((100, 20, 10), nnz=19000, seed=0)
+        assert not analyze(dense_ish).update_bound()
+
+    def test_skewed_analogue_has_skewed_fibers(self):
+        t = scaled_frostt_analogue((300, 200, 40), nnz=5000, seed=0, skew=1.1)
+        u = random_sparse((300, 200, 40), nnz=5000, seed=0)
+        report_t, report_u = analyze(t), analyze(u)
+        assert report_t.fiber_gini[0] > report_u.fiber_gini[0]
+
+    def test_working_set_scales_with_rank(self, small3):
+        assert analyze(small3, rank=64).factor_working_set_mb == pytest.approx(
+            2 * analyze(small3, rank=32).factor_working_set_mb
+        )

@@ -1,0 +1,72 @@
+"""Roofline placement of recorded kernels."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline import admm_arithmetic_intensity_limit
+from repro.analysis.roofline_points import ridge_point, roofline_points
+from repro.kernels.gram import gram_chain
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.machine.executor import Executor
+from repro.machine.spec import A100, H100, ICELAKE_XEON
+from repro.tensor.synthetic import random_sparse
+from repro.updates.admm import cuadmm
+
+
+@pytest.fixture
+def traced_admm_run():
+    """A cuADMM update on a realistic subproblem, with retained records."""
+    tensor = random_sparse((400, 300, 200), nnz=8000, seed=0)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((d, 32)) for d in tensor.shape]
+    ex = Executor("h100", keep_records=True)
+    update = cuadmm(inner_iters=10)
+    state = update.init_state(tensor.shape, 32)
+    with ex.phase("UPDATE"):
+        update.update(ex, 0, mttkrp_coo(tensor, factors, 0),
+                      gram_chain(factors, 0), factors[0], state)
+    return ex
+
+
+class TestRidge:
+    def test_ridge_values(self):
+        # A100: 9.7 TF / 2039 GB/s ≈ 4.8 flop/byte.
+        assert ridge_point(A100) == pytest.approx(4.76, abs=0.1)
+        assert ridge_point(H100) > ridge_point(A100)
+        assert ridge_point(ICELAKE_XEON) == pytest.approx(12.98, abs=0.2)
+
+
+class TestPoints:
+    def test_requires_records(self):
+        with pytest.raises(ValueError, match="keep_records"):
+            roofline_points(Executor("a100"))
+
+    def test_points_extracted(self, traced_admm_run):
+        points = roofline_points(traced_admm_run)
+        assert len(points) > 10
+        for p in points:
+            assert p.arithmetic_intensity > 0
+            assert p.attained_gflops > 0
+
+    def test_admm_elementwise_kernels_are_memory_bound(self, traced_admm_run):
+        """Section 3.3 kernel by kernel: every fused/elementwise ADMM kernel
+        sits left of the ridge."""
+        points = roofline_points(traced_admm_run)
+        for p in points:
+            if p.name.startswith(("fused_", "dgeam", "hadamard")):
+                assert p.memory_bound, p.name
+
+    def test_fused_kernel_ai_near_eq5(self, traced_admm_run):
+        """The fused auxiliary kernel's intensity is in the neighborhood of
+        the whole-iteration Eq. 5 value (same order, elementwise regime)."""
+        points = roofline_points(traced_admm_run)
+        aux = next(p for p in points if p.name == "fused_auxiliary")
+        whole_iteration = admm_arithmetic_intensity_limit(32)
+        assert 0.02 < aux.arithmetic_intensity < 10 * whole_iteration
+
+    def test_attained_below_roofline(self, traced_admm_run):
+        """No kernel exceeds min(peak, AI × bandwidth) — the roofline law."""
+        spec = traced_admm_run.device
+        for p in roofline_points(traced_admm_run):
+            envelope = min(spec.peak_flops, p.arithmetic_intensity * spec.mem_bandwidth)
+            assert p.attained_gflops * 1e9 <= envelope * 1.001, p.name

@@ -1,0 +1,54 @@
+"""Multi-start factorization."""
+
+import pytest
+
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.core.multistart import cstf_multistart
+from repro.tensor.synthetic import planted_sparse_cp
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    t, _ = planted_sparse_cp((16, 14, 12), rank=3, factor_sparsity=0.5, seed=41)
+    return t
+
+
+class TestMultiStart:
+    def test_best_is_max_fit(self, tensor):
+        res = cstf_multistart(tensor, rank=3, update="cuadmm", max_iters=8,
+                              n_starts=4, master_seed=7)
+        assert len(res.fits) == 4
+        assert res.best.fit == max(res.fits)
+        assert res.fits[res.best_index] == res.best.fit
+
+    def test_never_worse_than_single_start(self, tensor):
+        multi = cstf_multistart(tensor, rank=3, update="cuadmm", max_iters=8,
+                                n_starts=4, master_seed=7)
+        # The best-of-4 is at least as good as each individual start.
+        assert all(multi.best.fit >= f - 1e-12 for f in multi.fits)
+
+    def test_deterministic_per_master_seed(self, tensor):
+        a = cstf_multistart(tensor, rank=3, max_iters=4, n_starts=3, master_seed=5)
+        b = cstf_multistart(tensor, rank=3, max_iters=4, n_starts=3, master_seed=5)
+        assert a.fits == b.fits
+        assert a.best_index == b.best_index
+
+    def test_spread_nonnegative(self, tensor):
+        res = cstf_multistart(tensor, rank=3, max_iters=4, n_starts=3, master_seed=1)
+        assert res.spread >= 0.0
+
+    def test_total_cost_scales_with_starts(self, tensor):
+        res = cstf_multistart(tensor, rank=3, max_iters=4, n_starts=3, master_seed=1)
+        assert res.total_simulated_seconds() == pytest.approx(
+            3 * res.best.timeline.total_seconds()
+        )
+
+    def test_requires_fit_tracking(self, tensor):
+        with pytest.raises(ValueError, match="compute_fit"):
+            cstf_multistart(tensor, CstfConfig(rank=3, compute_fit=False))
+
+    def test_warm_start_rejected(self, tensor):
+        base = cstf(tensor, rank=3, max_iters=2)
+        with pytest.raises(ValueError, match="exclusive"):
+            cstf_multistart(tensor, rank=3, init_factors=base.kruskal)

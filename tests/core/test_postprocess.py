@@ -1,0 +1,116 @@
+"""Model post-processing: interpretation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.kruskal import KruskalTensor
+from repro.core.postprocess import (
+    component_similarity,
+    component_strengths,
+    effective_rank,
+    prune_components,
+    top_indices,
+)
+
+
+@pytest.fixture
+def model(rng):
+    factors = [rng.random((d, 4)) + 0.01 for d in (12, 10, 8)]
+    weights = np.array([10.0, 5.0, 1.0, 0.01])
+    return KruskalTensor(factors, weights)
+
+
+class TestTopIndices:
+    def test_returns_strongest(self, model):
+        idx = top_indices(model, 0, 0, k=3)
+        column = model.factors[0][:, 0]
+        assert set(idx) == set(np.argsort(column)[::-1][:3])
+        # Descending order.
+        assert list(column[idx]) == sorted(column[idx], reverse=True)
+
+    def test_k_capped_at_dim(self, model):
+        assert top_indices(model, 2, 1, k=100).shape == (8,)
+
+    def test_component_validated(self, model):
+        with pytest.raises(ValueError):
+            top_indices(model, 0, 9)
+
+
+class TestStrengths:
+    def test_sums_to_one(self, model):
+        s = component_strengths(model)
+        assert s.sum() == pytest.approx(1.0)
+        assert (s >= 0).all()
+
+    def test_ordering_follows_weights_for_normalized(self, rng):
+        factors = [rng.random((6, 3)) for _ in range(2)]
+        factors = [f / np.linalg.norm(f, axis=0) for f in factors]
+        model = KruskalTensor(factors, np.array([5.0, 2.0, 1.0]))
+        s = component_strengths(model)
+        assert s[0] > s[1] > s[2]
+
+    def test_zero_model(self):
+        model = KruskalTensor([np.zeros((4, 2)), np.zeros((3, 2))])
+        assert component_strengths(model).sum() == 0.0
+
+
+class TestEffectiveRank:
+    def test_counts_strong_components(self, model):
+        # Weight 0.01 of total ~16: well below a 5% threshold.
+        assert effective_rank(model, threshold=0.05) == 3
+
+    def test_threshold_validated(self, model):
+        with pytest.raises(ValueError):
+            effective_rank(model, threshold=1.5)
+
+
+class TestSimilarity:
+    def test_duplicate_components_flagged(self, rng):
+        a = rng.random((10, 1))
+        b = rng.random((8, 1))
+        dup = KruskalTensor([np.hstack([a, a]), np.hstack([b, b])])
+        sim = component_similarity(dup)
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_orthogonal_components_near_zero(self):
+        f0 = np.eye(6)[:, :2]
+        f1 = np.eye(5)[:, :2]
+        sim = component_similarity(KruskalTensor([f0, f1]))
+        assert sim[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric(self, model):
+        sim = component_similarity(model)
+        assert np.allclose(sim, sim.T)
+
+
+class TestPrune:
+    def test_keep_count(self, model):
+        pruned = prune_components(model, keep=2)
+        assert pruned.rank == 2
+        # The two strongest (weights 10 and 5) survive.
+        assert set(pruned.weights) == {10.0, 5.0}
+
+    def test_threshold(self, model):
+        pruned = prune_components(model, threshold=0.03)
+        assert pruned.rank == 3
+
+    def test_kept_components_unchanged(self, model):
+        pruned = prune_components(model, keep=4)
+        assert np.allclose(pruned.full(), model.full())
+
+    def test_exactly_one_criterion(self, model):
+        with pytest.raises(ValueError):
+            prune_components(model)
+        with pytest.raises(ValueError):
+            prune_components(model, keep=2, threshold=0.1)
+
+    def test_over_pruning_rejected(self, model):
+        with pytest.raises(ValueError):
+            prune_components(model, threshold=0.999)
+
+    def test_pruned_model_approximates_original(self, model):
+        """Dropping only the 0.01-weight component barely changes the
+        reconstruction."""
+        pruned = prune_components(model, keep=3)
+        rel = np.linalg.norm(pruned.full() - model.full()) / np.linalg.norm(model.full())
+        assert rel < 0.01

@@ -1,0 +1,103 @@
+"""The Table 2 dataset registry."""
+
+import pytest
+
+from repro.data.frostt import FROSTT_TABLE2, dataset_names, get_dataset
+
+
+class TestRegistry:
+    def test_ten_datasets(self):
+        assert len(FROSTT_TABLE2) == 10
+
+    def test_ordered_by_nnz(self):
+        """Table 2 lists datasets in ascending nonzero order."""
+        nnzs = [d.nnz for d in FROSTT_TABLE2]
+        assert nnzs == sorted(nnzs)
+
+    def test_lookup_by_name_and_alias(self):
+        assert get_dataset("delicious").name == "delicious"
+        assert get_dataset("DELI").name == "delicious"
+        assert get_dataset("NELL-1").name == "nell1"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_dataset("netflix")
+
+    def test_names_order(self):
+        assert dataset_names()[0] == "nips"
+        assert dataset_names()[-1] == "amazon"
+
+
+class TestTable2Values:
+    """Spot-check the registry against Table 2 of the paper."""
+
+    @pytest.mark.parametrize(
+        "name,nnz_paper",
+        [
+            ("nips", 3.1e6),
+            ("uber", 3.3e6),
+            ("chicago", 5.3e6),
+            ("vast", 26e6),
+            ("enron", 54.2e6),
+            ("nell2", 76.9e6),
+            ("flickr", 112.9e6),
+            ("delicious", 140.1e6),
+            ("nell1", 143.6e6),
+            ("amazon", 1.7e9),
+        ],
+    )
+    def test_nnz_matches_table(self, name, nnz_paper):
+        assert get_dataset(name).nnz == pytest.approx(nnz_paper, rel=0.03)
+
+    @pytest.mark.parametrize(
+        "name,density",
+        [
+            ("nips", 1.8e-6),
+            ("uber", 3.8e-4),
+            ("vast", 6.9e-3),
+            ("delicious", 4.3e-15),
+            ("nell1", 9.1e-13),
+            ("amazon", 1.1e-10),
+        ],
+    )
+    def test_density_matches_table(self, name, density):
+        # Table 2 rounds to two significant digits.
+        assert get_dataset(name).density == pytest.approx(density, rel=0.15)
+
+    def test_groups(self):
+        assert get_dataset("nips").group == "small"
+        assert get_dataset("enron").group == "medium"
+        assert get_dataset("amazon").group == "large"
+
+
+class TestScaledAnalogues:
+    def test_scaled_shape_preserves_mode_ordering(self):
+        ds = get_dataset("flickr")
+        scaled = ds.scaled_shape(max_dim=2000)
+        # Mode 1 is the longest in the paper; it must stay the longest.
+        assert max(scaled) == scaled[1]
+        assert max(scaled) <= 2000
+
+    def test_small_tensors_not_scaled(self):
+        ds = get_dataset("uber")
+        assert ds.scaled_shape(max_dim=2000) == ds.dims
+
+    def test_load_scaled_reproducible(self):
+        ds = get_dataset("chicago")
+        a = ds.load_scaled(seed=1, target_nnz=2000)
+        b = ds.load_scaled(seed=1, target_nnz=2000)
+        assert a.allclose(b)
+
+    def test_load_scaled_respects_sparsity_cap(self):
+        ds = get_dataset("vast")
+        t = ds.load_scaled(seed=0, max_dim=100, target_nnz=10**9)
+        assert t.density <= 0.3 + 1e-9
+
+    def test_stats_at_paper_scale(self):
+        stats = get_dataset("amazon").stats()
+        assert stats.nnz == 1_741_809_018
+        assert stats.shape == (4_821_207, 1_774_269, 1_805_187)
+
+    def test_factor_rows(self):
+        ds = get_dataset("nips")
+        assert ds.factor_rows == sum(ds.dims)

@@ -1,0 +1,71 @@
+"""Model persistence (.npz archives)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.kruskal import KruskalTensor, factor_match_score
+from repro.data.results import load_model, save_model
+
+
+@pytest.fixture
+def model(rng):
+    return KruskalTensor([rng.random((d, 4)) for d in (9, 7, 5)], rng.random(4) + 0.1)
+
+
+class TestRoundtrip:
+    def test_path_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(model, path, metadata={"fit": 0.93, "update": "cuadmm"})
+        loaded, meta = load_model(path)
+        assert factor_match_score(loaded, model) == pytest.approx(1.0)
+        assert np.array_equal(loaded.weights, model.weights)
+        assert meta["fit"] == 0.93
+        assert meta["update"] == "cuadmm"
+        assert meta["rank"] == 4
+
+    def test_buffer_roundtrip(self, model):
+        buf = io.BytesIO()
+        save_model(model, buf)
+        buf.seek(0)
+        loaded, meta = load_model(buf)
+        for a, b in zip(loaded.factors, model.factors):
+            assert np.array_equal(a, b)
+
+    def test_bit_exact(self, model, tmp_path):
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        loaded, _ = load_model(path)
+        assert all(
+            np.array_equal(a, b) for a, b in zip(loaded.factors, model.factors)
+        )
+
+
+class TestValidation:
+    def test_rejects_non_model(self, tmp_path):
+        with pytest.raises(ValueError, match="KruskalTensor"):
+            save_model("nope", tmp_path / "x.npz")
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(ValueError, match="meta_json"):
+            load_model(path)
+
+    def test_rejects_wrong_version(self, model, tmp_path):
+        import json
+
+        path = tmp_path / "old.npz"
+        arrays = {f"factor_{n}": f for n, f in enumerate(model.factors)}
+        arrays["weights"] = model.weights
+        arrays["meta_json"] = np.array(
+            json.dumps({"format_version": 99, "ndim": 3, "rank": 4})
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)
+
+    def test_metadata_must_be_jsonable(self, model, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(model, tmp_path / "x.npz", metadata={"bad": object()})

@@ -1,0 +1,77 @@
+"""The FROSTT .tns reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.tns import read_tns, write_tns
+from repro.tensor.synthetic import random_sparse
+
+
+class TestRead:
+    def test_basic(self):
+        text = "# comment\n1 1 1 1.5\n2 2 2 -3.0\n"
+        t = read_tns(text)
+        assert t.shape == (2, 2, 2)
+        assert t.nnz == 2
+        assert t.to_dense()[0, 0, 0] == 1.5
+        assert t.to_dense()[1, 1, 1] == -3.0
+
+    def test_explicit_shape(self):
+        t = read_tns("1 1 2.0\n", shape=(5, 5))
+        assert t.shape == (5, 5)
+
+    def test_inline_comment_and_blank_lines(self):
+        t = read_tns("\n1 1 4.0  # inline\n\n")
+        assert t.nnz == 1
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ValueError, match="1-indexed"):
+            read_tns("0 1 2.0\n")
+
+    def test_inconsistent_columns_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            read_tns("1 1 2.0\n1 1 1 2.0\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no nonzeros"):
+            read_tns("# nothing here\n")
+
+    def test_file_object(self):
+        t = read_tns(io.StringIO("3 4 9.0\n"))
+        assert t.shape == (3, 4)
+
+    def test_duplicates_coalesced(self):
+        t = read_tns("1 1 2.0\n1 1 3.0\n")
+        assert t.nnz == 1
+        assert t.values[0] == 5.0
+
+
+class TestRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        t = random_sparse((12, 9, 7), nnz=80, seed=0, value_dist="normal", nonneg=False)
+        path = tmp_path / "x.tns"
+        write_tns(t, path)
+        again = read_tns(path, shape=t.shape)
+        assert again.allclose(t, rtol=0, atol=0)
+
+    def test_roundtrip_stringio(self):
+        t = random_sparse((5, 5), nnz=10, seed=1)
+        buf = io.StringIO()
+        write_tns(t, buf)
+        again = read_tns(buf.getvalue(), shape=t.shape)
+        assert again.allclose(t, rtol=0, atol=0)
+
+    def test_header_comment_written(self, tmp_path):
+        t = random_sparse((5, 5), nnz=3, seed=2)
+        path = tmp_path / "y.tns"
+        write_tns(t, path)
+        assert path.read_text().startswith("#")
+
+    def test_values_preserved_bit_exact(self):
+        t = random_sparse((4, 4), nnz=5, seed=3)
+        buf = io.StringIO()
+        write_tns(t, buf)
+        again = read_tns(buf.getvalue(), shape=t.shape)
+        assert np.array_equal(again.values, t.values)

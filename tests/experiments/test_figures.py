@@ -1,0 +1,177 @@
+"""Experiment drivers: each figure's shape targets (DESIGN.md §4).
+
+These are the reproduction's acceptance tests — they assert the qualitative
+results the paper reports, evaluated through the analytic machine model at
+the paper's own scales.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    eq345_arithmetic_intensity,
+    fig1_dense_vs_sparse_breakdown,
+    fig3_cstf_breakdown,
+    fig4_cuadmm_optimizations,
+    fig5_6_end_to_end_speedup,
+    fig7_8_kernel_speedups,
+    fig9_10_mu_hals_speedup,
+    table2_datasets,
+    time_update_symbolic,
+)
+from repro.updates.admm import AdmmUpdate
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_dense_vs_sparse_breakdown()
+
+    def test_mttkrp_dominates_dense(self, result):
+        dense = result[0]
+        assert dense.label == "DenseTF"
+        assert dense.dominant == "MTTKRP"
+        assert dense.fractions["MTTKRP"] > 0.6
+
+    def test_update_dominates_sparse(self, result):
+        sparse = result[1]
+        assert sparse.label == "SparseTF"
+        assert sparse.dominant == "UPDATE"
+        assert sparse.fractions["UPDATE"] > 0.5
+
+
+class TestFig3:
+    def test_update_dominates_all_three(self):
+        for row in fig3_cstf_breakdown():
+            assert row.dominant == "UPDATE", row.label
+            assert row.fractions["UPDATE"] > 0.5, row.label
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig4_cuadmm_optimizations(inner_iters=1)
+
+    def test_combined_never_slower_than_single(self, rows):
+        for r in rows:
+            assert r.speedup_both >= 0.95 * max(r.speedup_of, r.speedup_pi), r
+
+    def test_small_group_modest(self, rows):
+        """NIPS (small factor matrices) sees ≈1.0–1.3×."""
+        for r in rows:
+            if r.dataset == "nips":
+                assert r.speedup_both < 1.5
+
+    def test_large_modes_substantial(self, rows):
+        """Long modes of the large group reach well beyond the small group."""
+        large = [r.speedup_both for r in rows if r.rows > 1_000_000]
+        small = [r.speedup_both for r in rows if r.rows < 20_000]
+        assert min(large) > max(small)
+
+    def test_pi_beats_of_on_large_modes(self, rows):
+        """The paper: 'pre-inversion has a higher impact than operation
+        fusion' — true for the modes where the solve matters (large)."""
+        for r in rows:
+            if r.rows > 1_000_000:
+                assert r.speedup_pi > r.speedup_of, r
+
+    def test_speedups_bounded(self, rows):
+        """Paper reports up to ≈1.8×; the model must stay in that regime
+        (no runaway optimization artifacts)."""
+        assert max(r.speedup_both for r in rows) < 3.0
+
+
+class TestFig56:
+    @pytest.fixture(scope="class")
+    def a100(self):
+        return fig5_6_end_to_end_speedup(device="a100")
+
+    @pytest.fixture(scope="class")
+    def h100(self):
+        return fig5_6_end_to_end_speedup(device="h100")
+
+    def test_gpu_wins_overall(self, a100):
+        assert a100.gmean > 3.0
+
+    def test_gpu_wins_every_tensor(self, a100):
+        assert a100.min_speedup > 1.0
+
+    def test_h100_beats_a100(self, a100, h100):
+        assert h100.gmean > a100.gmean
+
+    def test_large_group_beats_small_group(self, a100):
+        by_name = dict(zip(a100.labels, a100.speedups))
+        small_max = max(by_name[k] for k in ("nips", "uber", "chicago"))
+        for name in ("flickr", "delicious", "nell1", "amazon"):
+            assert by_name[name] > small_max, name
+
+    def test_gmean_same_order_as_paper(self, a100, h100):
+        """Paper: 5.10× (A100) and 7.01× (H100); the model should land in
+        the same decade, not at 100× or 1.1×."""
+        assert 2.0 < a100.gmean < 20.0
+        assert 2.0 < h100.gmean < 25.0
+
+
+class TestFig78:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig7_8_kernel_speedups(device="a100")
+
+    def test_vast_is_the_outlier(self, rows):
+        """The paper singles out VAST: its 2-long mode makes the GPU MTTKRP
+        slower while its ADMM speedup stays high."""
+        vast = next(r for r in rows if r.dataset == "vast")
+        assert vast.mttkrp_speedup < 1.0
+        assert vast.admm_speedup > 5.0
+
+    def test_short_mode_tensors_favor_mttkrp(self, rows):
+        """Short-mode tensors: bigger MTTKRP gain than ADMM gain."""
+        for name in ("nips", "uber", "chicago"):
+            r = next(x for x in rows if x.dataset == name)
+            assert r.mttkrp_speedup > r.admm_speedup, name
+
+    def test_long_mode_tensors_have_large_admm_gain(self, rows):
+        for name in ("flickr", "delicious", "nell1", "amazon"):
+            r = next(x for x in rows if x.dataset == name)
+            assert r.admm_speedup > 10.0, name
+
+
+class TestFig910:
+    @pytest.fixture(scope="class")
+    def a100(self):
+        return fig9_10_mu_hals_speedup(device="a100")
+
+    def test_both_methods_win_overall(self, a100):
+        assert a100["mu"].gmean > 2.0
+        assert a100["hals"].gmean > 2.0
+
+    def test_h100_at_least_as_good(self, a100):
+        h100 = fig9_10_mu_hals_speedup(device="h100")
+        assert h100["mu"].gmean > a100["mu"].gmean
+        assert h100["hals"].gmean > a100["hals"].gmean
+
+    def test_most_tensors_win(self, a100):
+        for method in ("mu", "hals"):
+            wins = sum(1 for s in a100[method].speedups if s > 1.0)
+            assert wins >= 8, method  # vast's short mode may lose
+
+
+class TestTablesAndEquations:
+    def test_table2_rows(self):
+        rows = table2_datasets()
+        assert len(rows) == 10
+        assert rows[0]["name"] == "nips"
+        assert rows[-1]["nnz"] > 1e9
+
+    def test_eq345_paper_values(self):
+        ai = eq345_arithmetic_intensity()
+        assert ai[16] == pytest.approx(0.29, abs=0.01)
+        assert ai[32] == pytest.approx(0.47, abs=0.01)
+        assert ai[64] == pytest.approx(0.83, abs=0.01)
+
+
+class TestTimeUpdateHelper:
+    def test_monotone_in_rows(self):
+        upd = AdmmUpdate(inner_iters=5)
+        t_small = time_update_symbolic(upd, 1_000, 32, "h100")
+        t_large = time_update_symbolic(upd, 10_000_000, 32, "h100")
+        assert t_large > 10 * t_small

@@ -1,0 +1,54 @@
+"""Unit tests for the rank-grid and convergence study drivers."""
+
+import pytest
+
+from repro.experiments.convergence import ConvergenceCurve, convergence_study
+from repro.experiments.rank_study import rank_study
+
+
+class TestRankStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # Restrict to three datasets to keep the unit test fast.
+        return rank_study(device="a100", ranks=(16, 32), datasets=["uber", "enron", "delicious"])
+
+    def test_shape(self, rows):
+        assert [r.rank for r in rows] == [16, 32]
+        assert rows[0].series.labels == ("uber", "enron", "delicious")
+
+    def test_arithmetic_intensity_from_eq5(self, rows):
+        assert rows[0].arithmetic_intensity == pytest.approx(0.29, abs=0.01)
+        assert rows[1].arithmetic_intensity == pytest.approx(0.47, abs=0.01)
+
+    def test_speedups_positive(self, rows):
+        for r in rows:
+            assert r.series.min_speedup > 0
+
+
+class TestConvergenceStudy:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return convergence_study(
+            shape=(24, 20, 16), rank=3, max_iters=12, updates=("cuadmm", "mu")
+        )
+
+    def test_curve_structure(self, curves):
+        assert set(curves) == {"cuadmm", "mu"}
+        for c in curves.values():
+            assert isinstance(c, ConvergenceCurve)
+            assert len(c.fits) == 12
+            assert c.seconds_per_iteration > 0
+
+    def test_time_to_fit(self, curves):
+        c = curves["cuadmm"]
+        target = c.fits[3]
+        ttf = c.time_to_fit(target)
+        assert ttf is not None
+        assert ttf <= 4 * c.seconds_per_iteration + 1e-12
+
+    def test_time_to_unreachable_fit_is_none(self, curves):
+        assert curves["cuadmm"].time_to_fit(2.0) is None
+
+    def test_final_fit(self, curves):
+        for c in curves.values():
+            assert c.final_fit == c.fits[-1]

@@ -1,0 +1,99 @@
+"""Failure-injection and degenerate-input robustness of the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import cstf
+from repro.core.config import CstfConfig
+from repro.tensor.coo import SparseTensor
+from repro.tensor.synthetic import random_sparse
+
+
+class TestDegenerateTensors:
+    def test_single_nonzero(self):
+        t = SparseTensor(np.array([[2, 3, 1]]), np.array([5.0]), (4, 5, 3))
+        res = cstf(t, rank=1, update="cuadmm", max_iters=10, seed=0)
+        # A single nonzero is exactly rank 1: fit should be near-perfect.
+        assert res.fits[-1] > 0.99
+
+    def test_rank_exceeds_smallest_dim(self):
+        t = random_sparse((20, 15, 2), nnz=50, seed=0)
+        res = cstf(t, rank=6, update="cuadmm", max_iters=5, seed=0)
+        assert np.isfinite(res.fits).all()
+
+    def test_mode_of_length_one(self):
+        t = random_sparse((12, 1, 9), nnz=30, seed=1)
+        res = cstf(t, rank=2, update="cuadmm", max_iters=5, seed=0)
+        assert res.kruskal.factors[1].shape == (1, 2)
+        assert np.isfinite(res.fits[-1])
+
+    def test_constant_tensor(self):
+        dense = np.full((6, 5, 4), 2.5)
+        t = SparseTensor.from_dense(dense)
+        res = cstf(t, rank=1, update="cuadmm", max_iters=20, seed=0)
+        assert res.fits[-1] > 0.999  # constant tensor is exactly rank 1
+
+    def test_tiny_values_no_nan(self):
+        t = random_sparse((10, 9, 8), nnz=40, seed=2)
+        scaled = t.scale_values(1e-150)
+        res = cstf(scaled, rank=2, update="cuadmm", max_iters=5, seed=0)
+        for f in res.kruskal.factors:
+            assert np.isfinite(f).all()
+
+    def test_huge_values_no_overflow(self):
+        t = random_sparse((10, 9, 8), nnz=40, seed=3)
+        scaled = t.scale_values(1e120)
+        res = cstf(scaled, rank=2, update="cuadmm", max_iters=5, seed=0)
+        for f in res.kruskal.factors:
+            assert np.isfinite(f).all()
+
+    def test_two_mode_tensor_is_nmf(self):
+        """N=2 degenerates to nonnegative matrix factorization and must
+        still work through the whole tensor machinery."""
+        rng = np.random.default_rng(4)
+        w, h = rng.random((15, 3)), rng.random((12, 3))
+        t = SparseTensor.from_dense(w @ h.T)
+        res = cstf(t, rank=3, update="cuadmm", max_iters=60, seed=1)
+        assert res.fits[-1] > 0.99
+
+
+class TestBadInputs:
+    def test_nan_values_rejected_at_boundary(self):
+        with pytest.raises(ValueError, match="finite"):
+            SparseTensor(np.array([[0, 0]]), np.array([np.nan]), (2, 2))
+
+    def test_inf_values_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            SparseTensor(np.array([[0, 0]]), np.array([np.inf]), (2, 2))
+
+    def test_all_updates_reject_mismatched_m(self, small3):
+        from repro.kernels.gram import gram_chain
+        from repro.machine.executor import Executor
+        from repro.updates.admm import AdmmUpdate
+
+        rng = np.random.default_rng(0)
+        factors = [rng.random((d, 3)) for d in small3.shape]
+        s_mat = gram_chain(factors, skip=0)
+        bad_m = rng.random((99, 3))  # wrong row count
+        update = AdmmUpdate(inner_iters=2)
+        state = update.init_state(small3.shape, 3)
+        with pytest.raises(ValueError):
+            update.update(Executor("a100"), 0, bad_m, s_mat, factors[0], state)
+
+    def test_driver_rejects_rank_zero(self, small3):
+        with pytest.raises(ValueError):
+            cstf(small3, rank=0)
+
+    def test_config_rejects_unknown_update_lazily(self, small3):
+        with pytest.raises(KeyError, match="unknown update"):
+            cstf(small3, CstfConfig(update="newton"))
+
+
+class TestDeterminismUnderConcurrency:
+    def test_same_config_same_result_many_runs(self):
+        """Repeated runs are bit-identical (no hidden global RNG state)."""
+        t = random_sparse((14, 11, 8), nnz=120, seed=7)
+        results = [
+            cstf(t, rank=3, update="cuadmm", max_iters=4, seed=42).fits for _ in range(3)
+        ]
+        assert results[0] == results[1] == results[2]

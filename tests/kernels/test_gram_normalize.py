@@ -1,0 +1,98 @@
+"""Tests for Gram chains and factor normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.gram import gram, gram_chain, hadamard_of_grams
+from repro.kernels.normalize import normalize_factor
+
+
+class TestGram:
+    def test_gram_is_hth(self):
+        h = np.random.default_rng(0).random((10, 4))
+        assert np.allclose(gram(h), h.T @ h)
+
+    def test_gram_symmetric_psd(self):
+        h = np.random.default_rng(1).random((12, 5)) - 0.5
+        g = gram(h)
+        assert np.allclose(g, g.T)
+        assert (np.linalg.eigvalsh(g) > -1e-12).all()
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            gram(np.ones(4))
+
+
+class TestGramChain:
+    def test_chain_matches_manual(self):
+        rng = np.random.default_rng(2)
+        factors = [rng.random((d, 3)) for d in (7, 6, 5)]
+        grams = [gram(f) for f in factors]
+        assert np.allclose(hadamard_of_grams(grams), grams[0] * grams[1] * grams[2])
+
+    def test_skip_excludes_one(self):
+        rng = np.random.default_rng(3)
+        factors = [rng.random((d, 3)) for d in (7, 6, 5)]
+        grams = [gram(f) for f in factors]
+        assert np.allclose(hadamard_of_grams(grams, skip=1), grams[0] * grams[2])
+
+    def test_gram_chain_equals_hadamard_of_grams(self):
+        rng = np.random.default_rng(4)
+        factors = [rng.random((d, 4)) for d in (5, 6, 7, 8)]
+        for skip in (None, 0, 3):
+            assert np.allclose(
+                gram_chain(factors, skip=skip),
+                hadamard_of_grams([gram(f) for f in factors], skip=skip),
+            )
+
+    def test_cannot_skip_only_gram(self):
+        with pytest.raises(ValueError):
+            hadamard_of_grams([np.eye(2)], skip=0)
+
+    def test_input_not_mutated(self):
+        grams = [np.full((2, 2), 2.0), np.full((2, 2), 3.0)]
+        hadamard_of_grams(grams)
+        assert np.allclose(grams[0], 2.0)
+
+
+class TestNormalize:
+    def test_two_norm_columns_unit(self):
+        h = np.random.default_rng(5).random((20, 4)) + 0.1
+        normed, lam = normalize_factor(h, kind="2")
+        assert np.allclose(np.linalg.norm(normed, axis=0), 1.0)
+        assert np.allclose(normed * lam, h)
+
+    def test_max_norm_never_scales_up(self):
+        h = np.full((5, 2), 0.5)
+        normed, lam = normalize_factor(h, kind="max")
+        # Max norms below 1 are floored at 1 (PLANC convention).
+        assert np.allclose(lam, 1.0)
+        assert np.allclose(normed, h)
+
+    def test_max_norm_scales_down_large_columns(self):
+        h = np.array([[4.0, 0.5], [2.0, 0.25]])
+        normed, lam = normalize_factor(h, kind="max")
+        assert lam[0] == pytest.approx(4.0)
+        assert lam[1] == pytest.approx(1.0)
+        assert normed[:, 0].max() == pytest.approx(1.0)
+
+    def test_zero_column_safe(self):
+        h = np.zeros((4, 2))
+        h[:, 1] = 3.0
+        normed, lam = normalize_factor(h, kind="2")
+        assert lam[0] == 1.0
+        assert not np.isnan(normed).any()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            normalize_factor(np.ones((2, 2)), kind="1")
+
+    @given(st.integers(min_value=0, max_value=2**31), st.sampled_from(["2", "max"]))
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_invariant(self, seed, kind):
+        """Normalization never changes the product ``normed · diag(λ)``."""
+        h = np.random.default_rng(seed).random((9, 3)) * 5.0
+        normed, lam = normalize_factor(h, kind=kind)
+        assert np.allclose(normed * lam, h)

@@ -1,0 +1,159 @@
+"""MTTKRP kernels: every format must equal the dense oracle, plus algebraic
+property tests (linearity, zero tensors, dispatch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.mttkrp import khatri_rao, mttkrp, mttkrp_dense
+from repro.kernels.mttkrp_alto import mttkrp_alto
+from repro.kernels.mttkrp_blco import mttkrp_blco
+from repro.kernels.mttkrp_coo import mttkrp_coo, segment_accumulate
+from repro.kernels.mttkrp_csf import mttkrp_csf
+from repro.tensor.alto import AltoTensor
+from repro.tensor.blco import BlcoTensor
+from repro.tensor.coo import SparseTensor
+from repro.tensor.csf import CsfTensor
+from repro.tensor.dense import DenseTensor
+from repro.tensor.synthetic import random_sparse
+
+
+class TestKhatriRao:
+    def test_shape(self):
+        a = np.ones((3, 4))
+        b = np.ones((5, 4))
+        assert khatri_rao([a, b]).shape == (15, 4)
+
+    def test_columnwise_kronecker(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((3, 2)), rng.random((4, 2))
+        k = khatri_rao([a, b])
+        for col in range(2):
+            assert np.allclose(k[:, col], np.kron(a[:, col], b[:, col]))
+
+    def test_leftmost_slowest(self):
+        a = np.array([[1.0], [2.0]])
+        b = np.array([[10.0], [20.0], [30.0]])
+        assert np.allclose(khatri_rao([a, b]).ravel(), [10, 20, 30, 20, 40, 60])
+
+    def test_single_matrix_identity(self):
+        a = np.random.default_rng(1).random((4, 3))
+        assert np.array_equal(khatri_rao([a]), a)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            khatri_rao([np.ones((2, 3)), np.ones((2, 4))])
+
+
+class TestAgainstDenseOracle:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_all_formats_4mode(self, small4, factors4, mode):
+        ref = mttkrp_dense(small4.to_dense(), factors4, mode)
+        assert np.allclose(mttkrp_coo(small4, factors4, mode), ref)
+        assert np.allclose(mttkrp_coo(small4, factors4, mode, strategy="atomic"), ref)
+        assert np.allclose(
+            mttkrp_csf(CsfTensor.from_coo(small4, root_mode=mode), factors4, mode), ref
+        )
+        assert np.allclose(mttkrp_alto(AltoTensor.from_coo(small4), factors4, mode), ref)
+        assert np.allclose(
+            mttkrp_blco(BlcoTensor.from_coo(small4, bit_budget=8), factors4, mode), ref
+        )
+
+    def test_blco_multi_block_agrees(self, small4, factors4):
+        tight = BlcoTensor.from_coo(small4, bit_budget=5)
+        assert tight.num_blocks > 1
+        ref = mttkrp_dense(small4.to_dense(), factors4, 0)
+        assert np.allclose(mttkrp_blco(tight, factors4, 0), ref)
+
+    def test_csf_wrong_root_reroots(self, small3, factors3):
+        c = CsfTensor.from_coo(small3, root_mode=0)
+        ref = mttkrp_dense(small3.to_dense(), factors3, 2)
+        assert np.allclose(mttkrp_csf(c, factors3, 2), ref)
+
+    def test_empty_tensor_gives_zeros(self, factors3):
+        t = SparseTensor(np.zeros((0, 3), dtype=np.int64), np.zeros(0), (17, 13, 9))
+        for fn, arg in (
+            (mttkrp_coo, t),
+            (mttkrp_alto, AltoTensor.from_coo(t)),
+            (mttkrp_blco, BlcoTensor.from_coo(t)),
+            (mttkrp_csf, CsfTensor.from_coo(t)),
+        ):
+            out = fn(arg, factors3, 0)
+            assert out.shape == (17, 5)
+            assert not out.any()
+
+
+class TestDispatch:
+    def test_dispatch_matches_direct(self, small3, factors3):
+        ref = mttkrp_coo(small3, factors3, 1)
+        assert np.allclose(mttkrp(small3, factors3, 1), ref)
+        assert np.allclose(mttkrp(AltoTensor.from_coo(small3), factors3, 1), ref)
+        assert np.allclose(mttkrp(BlcoTensor.from_coo(small3), factors3, 1), ref)
+        assert np.allclose(mttkrp(CsfTensor.from_coo(small3, 1), factors3, 1), ref)
+        assert np.allclose(mttkrp(DenseTensor(small3.to_dense()), factors3, 1), ref)
+        assert np.allclose(mttkrp(small3.to_dense(), factors3, 1), ref)
+
+    def test_unknown_type_rejected(self, factors3):
+        with pytest.raises(TypeError, match="no MTTKRP kernel"):
+            mttkrp("not a tensor", factors3, 0)
+
+    def test_factor_shape_validated(self, small3, factors3):
+        bad = list(factors3)
+        bad[1] = np.ones((99, 5))
+        with pytest.raises(ValueError, match="rows"):
+            mttkrp_coo(small3, bad, 0)
+
+    def test_rank_mismatch_validated(self, small3, factors3):
+        bad = list(factors3)
+        bad[2] = np.ones((9, 7))
+        with pytest.raises(ValueError, match="rank"):
+            mttkrp_coo(small3, bad, 0)
+
+    def test_unknown_strategy_rejected(self, small3, factors3):
+        with pytest.raises(ValueError, match="strategy"):
+            mttkrp_coo(small3, factors3, 0, strategy="magic")
+
+
+class TestSegmentAccumulate:
+    def test_matches_add_at(self):
+        rng = np.random.default_rng(2)
+        rows = rng.random((50, 4))
+        targets = rng.integers(0, 8, 50)
+        expected = np.zeros((8, 4))
+        np.add.at(expected, targets, rows)
+        assert np.allclose(segment_accumulate(rows, targets, 8), expected)
+
+    def test_empty(self):
+        out = segment_accumulate(np.zeros((0, 3)), np.zeros(0, dtype=np.int64), 5)
+        assert out.shape == (5, 3)
+        assert not out.any()
+
+
+class TestAlgebraicProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_in_values(self, seed, rank):
+        """MTTKRP is linear in the tensor values: M(αX) = αM(X)."""
+        t = random_sparse((9, 8, 7), nnz=40, seed=seed)
+        rng = np.random.default_rng(seed)
+        factors = [rng.random((d, rank)) for d in t.shape]
+        base = mttkrp_coo(t, factors, 0)
+        scaled = mttkrp_coo(t.scale_values(3.5), factors, 0)
+        assert np.allclose(scaled, 3.5 * base)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_formats_agree_property(self, seed):
+        t = random_sparse((11, 6, 9), nnz=55, seed=seed)
+        rng = np.random.default_rng(seed)
+        factors = [rng.random((d, 3)) for d in t.shape]
+        for mode in range(3):
+            ref = mttkrp_dense(t.to_dense(), factors, mode)
+            assert np.allclose(mttkrp_alto(AltoTensor.from_coo(t), factors, mode), ref)
+            assert np.allclose(
+                mttkrp_blco(BlcoTensor.from_coo(t, bit_budget=7), factors, mode), ref
+            )
+            assert np.allclose(
+                mttkrp_csf(CsfTensor.from_coo(t, root_mode=mode), factors, mode), ref
+            )

@@ -1,0 +1,121 @@
+"""Deeper algebraic property tests for MTTKRP and the Gram machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.gram import gram_chain
+from repro.kernels.mttkrp import khatri_rao, mttkrp_dense
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.tensor.coo import SparseTensor
+from repro.tensor.synthetic import random_sparse
+
+
+def _problem(seed, rank=3, shape=(10, 8, 6)):
+    t = random_sparse(shape, nnz=50, seed=seed, value_dist="normal", nonneg=False)
+    rng = np.random.default_rng(seed)
+    factors = [rng.random((d, rank)) for d in shape]
+    return t, factors
+
+
+class TestAdditivity:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_additive_in_tensor(self, seed):
+        """M(X + Y) = M(X) + M(Y) for tensors on the same coordinates."""
+        t, factors = _problem(seed)
+        doubled = SparseTensor(t.indices, 2.0 * t.values, t.shape)
+        summed = SparseTensor(
+            np.vstack([t.indices, t.indices]),
+            np.concatenate([t.values, t.values]),
+            t.shape,
+        )  # duplicates coalesce to 2x
+        assert summed.allclose(doubled)
+        assert np.allclose(
+            mttkrp_coo(summed, factors, 0), 2.0 * mttkrp_coo(t, factors, 0)
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_in_factor(self, seed):
+        """MTTKRP is linear in each non-target factor."""
+        t, factors = _problem(seed)
+        base = mttkrp_coo(t, factors, 0)
+        scaled = list(factors)
+        scaled[1] = 3.0 * factors[1]
+        assert np.allclose(mttkrp_coo(t, scaled, 0), 3.0 * base)
+
+
+class TestPermutationInvariance:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_mode_permutation(self, seed):
+        """Permuting tensor modes and factors together permutes nothing in
+        the result for the tracked mode."""
+        t, factors = _problem(seed)
+        perm = [2, 0, 1]
+        t_perm = t.permute_modes(perm)
+        f_perm = [factors[p] for p in perm]
+        # Mode 0 of the permuted problem is mode 2 of the original.
+        assert np.allclose(
+            mttkrp_coo(t_perm, f_perm, 0), mttkrp_coo(t, factors, 2)
+        )
+
+
+class TestNormalEquationsIdentity:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_gram_chain_is_krp_gram(self, seed):
+        """The CP normal-equations identity the whole AO loop rests on:
+        ``KRPᵀKRP = ⊛_{m≠n} H⁽ᵐ⁾ᵀH⁽ᵐ⁾``."""
+        _, factors = _problem(seed)
+        krp = khatri_rao([factors[1], factors[2]])
+        assert np.allclose(krp.T @ krp, gram_chain(factors, skip=0))
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_solve_reconstructs_dense_ls(self, seed):
+        """Solving the normal equations with MTTKRP equals the dense
+        least-squares solution for the unfolding."""
+        t, factors = _problem(seed)
+        m = mttkrp_coo(t, factors, 0)
+        s = gram_chain(factors, skip=0)
+        h_star = np.linalg.solve(s + 1e-12 * np.eye(s.shape[0]), m.T).T
+        # Dense check: X_(0) ≈ H* · KRPᵀ in the least-squares sense — the
+        # residual must be orthogonal to the KRP column space.
+        from repro.tensor.dense import matricize
+
+        krp = khatri_rao([factors[1], factors[2]])
+        residual = matricize(t.to_dense(), 0) - h_star @ krp.T
+        assert np.allclose(residual @ krp, 0.0, atol=1e-8)
+
+
+class TestFitIdentity:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_sparse_fit_equals_dense_fit(self, seed):
+        """The sparse fit expansion must agree with densified computation."""
+        from repro.core.kruskal import KruskalTensor
+
+        t, factors = _problem(seed)
+        model = KruskalTensor(factors)
+        dense_residual = np.linalg.norm(t.to_dense() - model.full()) ** 2
+        assert model.residual_norm_sq(t) == pytest.approx(dense_residual, rel=1e-8, abs=1e-8)
+
+    def test_mttkrp_is_gradient_of_inner_product(self):
+        """⟨X, X̂⟩ differentiated in H⁽⁰⁾ is exactly the MTTKRP output —
+        finite-difference checked."""
+        t, factors = _problem(123)
+        m = mttkrp_coo(t, factors, 0)
+        from repro.core.kruskal import KruskalTensor
+
+        eps = 1e-6
+        for (i, r) in [(0, 0), (3, 2), (9, 1)]:
+            bumped = [f.copy() for f in factors]
+            bumped[0][i, r] += eps
+            delta = (
+                KruskalTensor(bumped).inner_with_sparse(t)
+                - KruskalTensor(factors).inner_with_sparse(t)
+            ) / eps
+            assert delta == pytest.approx(m[i, r], rel=1e-4, abs=1e-6)

@@ -1,0 +1,93 @@
+"""Nonzero partitioning and load-balance statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.partition import (
+    imbalance,
+    partition_by_output_row,
+    partition_equal_nnz,
+    partition_greedy_fibers,
+)
+from repro.tensor.synthetic import random_sparse, scaled_frostt_analogue
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """A tensor with a heavy-tailed mode-0 fiber histogram."""
+    return scaled_frostt_analogue((120, 60, 30), nnz=6000, seed=3, skew=1.1)
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        assert imbalance([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_worst_case(self):
+        assert imbalance([30, 0, 0]) == pytest.approx(3.0)
+
+    def test_empty_workers_ok(self):
+        assert imbalance([0, 0]) == 1.0
+
+
+class TestEqualNnz:
+    def test_counts_cover_all(self, skewed):
+        p = partition_equal_nnz(skewed, 7)
+        assert p.total == skewed.nnz
+        assert p.imbalance() < 1.01
+
+    def test_owner_array_matches_counts(self, skewed):
+        p = partition_equal_nnz(skewed, 5)
+        assert np.array_equal(np.bincount(p.owner_of_nnz, minlength=5), p.counts)
+
+    def test_not_conflict_free(self, skewed):
+        assert not partition_equal_nnz(skewed, 4).conflict_free()
+
+
+class TestByOutputRow:
+    def test_counts_cover_all(self, skewed):
+        p = partition_by_output_row(skewed, 0, 6)
+        assert p.total == skewed.nnz
+        assert p.conflict_free()
+
+    def test_owners_respect_row_ranges(self, skewed):
+        p = partition_by_output_row(skewed, 0, 6)
+        rows = skewed.mode_indices(0)
+        # Owner must be non-decreasing in the row index.
+        order = np.argsort(rows)
+        assert (np.diff(p.owner_of_nnz[order]) >= 0).all()
+
+    def test_skew_hurts_balance(self, skewed):
+        """Static row ranges are imbalanced under a heavy-tailed histogram."""
+        p = partition_by_output_row(skewed, 0, 8)
+        assert p.imbalance() > 1.3
+
+
+class TestGreedyFibers:
+    def test_counts_cover_all(self, skewed):
+        p = partition_greedy_fibers(skewed, 0, 6)
+        assert p.total == skewed.nnz
+        assert p.conflict_free()
+
+    def test_beats_static_ranges(self, skewed):
+        """The LPT fix: greedy fiber assignment dominates static ranges."""
+        static = partition_by_output_row(skewed, 0, 8)
+        greedy = partition_greedy_fibers(skewed, 0, 8)
+        assert greedy.imbalance() < static.imbalance()
+
+    def test_workers_consistent(self, skewed):
+        p = partition_greedy_fibers(skewed, 1, 4)
+        assert np.array_equal(
+            np.bincount(p.owner_of_nnz, minlength=4).astype(np.int64), p.counts
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=25, deadline=None)
+    def test_lpt_bound_property(self, seed, workers):
+        """LPT is a 4/3-approximation: imbalance ≤ 4/3 + heaviest/mean."""
+        t = random_sparse((40, 20, 10), nnz=400, seed=seed)
+        p = partition_greedy_fibers(t, 0, workers)
+        mean = t.nnz / workers
+        heaviest = float(t.mode_fiber_counts(0).max())
+        assert p.counts.max() <= (4.0 / 3.0) * mean + heaviest + 1e-9

@@ -1,0 +1,74 @@
+"""Tests for Cholesky factor/solve/explicit-inverse helpers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.cholesky import cholesky_factor, cholesky_solve, spd_inverse
+
+
+def _spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestCholesky:
+    def test_factor_reconstructs(self):
+        s = _spd(6)
+        l_factor = cholesky_factor(s)
+        assert np.allclose(l_factor @ l_factor.T, s)
+
+    def test_factor_lower_triangular(self):
+        l_factor = cholesky_factor(_spd(5))
+        assert np.allclose(l_factor, np.tril(l_factor))
+
+    def test_non_spd_rejected(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_factor(-np.eye(3))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            cholesky_factor(np.ones((2, 3)))
+
+    def test_solve_matches_direct(self):
+        s = _spd(8, seed=1)
+        rhs = np.random.default_rng(2).random((8, 5))
+        x = cholesky_solve(cholesky_factor(s), rhs)
+        assert np.allclose(s @ x, rhs)
+
+    def test_solve_vector_rhs(self):
+        s = _spd(4, seed=3)
+        rhs = np.arange(4.0)
+        x = cholesky_solve(cholesky_factor(s), rhs)
+        assert np.allclose(s @ x, rhs)
+
+    def test_spd_inverse_is_inverse(self):
+        s = _spd(7, seed=4)
+        inv = spd_inverse(cholesky_factor(s))
+        assert np.allclose(s @ inv, np.eye(7), atol=1e-10)
+
+    def test_spd_inverse_symmetric(self):
+        inv = spd_inverse(cholesky_factor(_spd(9, seed=5)))
+        assert np.allclose(inv, inv.T)
+
+    def test_preinversion_equivalence(self):
+        """The cuADMM identity: solving and multiplying by the explicit
+        inverse give the same result (the PI optimization changes cost, not
+        results)."""
+        s = _spd(6, seed=6)
+        l_factor = cholesky_factor(s)
+        rhs = np.random.default_rng(7).random((6, 10))
+        assert np.allclose(
+            cholesky_solve(l_factor, rhs), spd_inverse(l_factor) @ rhs, atol=1e-10
+        )
+
+    def test_diagonal_loading_conditions_problem(self):
+        """S + ρI is well-conditioned even when S is near-singular (the
+        paper's Section 4.3.2 stability argument)."""
+        h = np.random.default_rng(8).random((20, 4))
+        h[:, 3] = h[:, 2]  # rank-deficient Gram
+        s = h.T @ h
+        rho = np.trace(s) / 4
+        l_factor = cholesky_factor(s + rho * np.eye(4))
+        inv = spd_inverse(l_factor)
+        assert np.isfinite(inv).all()

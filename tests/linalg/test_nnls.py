@@ -1,0 +1,98 @@
+"""Block-principal-pivoting NNLS (the PLANC solver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.nnls import nnls_bpp
+
+
+def _spd(rank, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random((rank, rank))
+    return a @ a.T + 0.1 * np.eye(rank)
+
+
+def _kkt_satisfied(s, m, x, tol=1e-6):
+    """x >= 0; gradient >= 0 where x == 0; gradient == 0 where x > 0."""
+    grad = x @ s - m
+    if (x < -tol).any():
+        return False
+    active = x <= tol
+    if (grad[active] < -tol).any():
+        return False
+    return bool(np.abs(grad[~active]).max(initial=0.0) < 1e-5 * max(np.abs(m).max(), 1.0))
+
+
+class TestCorrectness:
+    def test_interior_solution_matches_unconstrained(self):
+        """If the unconstrained LS solution is positive, BPP returns it."""
+        rank = 4
+        s = _spd(rank, 0)
+        h_true = np.random.default_rng(1).random((20, rank)) + 0.5
+        m = h_true @ s
+        out = nnls_bpp(s, m)
+        assert np.allclose(out, h_true, atol=1e-8)
+
+    def test_kkt_conditions(self):
+        s = _spd(5, 2)
+        m = np.random.default_rng(3).normal(size=(50, 5))  # many negatives
+        out = nnls_bpp(s, m)
+        assert _kkt_satisfied(s, m, out)
+
+    def test_matches_scipy_per_row(self):
+        """Cross-check against scipy's reference NNLS on the equivalent
+        design-matrix formulation (S = AᵀA, m = AᵀB rows)."""
+        from scipy.optimize import nnls as scipy_nnls
+
+        rng = np.random.default_rng(4)
+        a = rng.random((12, 4))
+        s = a.T @ a
+        b = rng.normal(size=(6, 12))
+        m = b @ a
+        out = nnls_bpp(s, m)
+        for i in range(6):
+            ref, _ = scipy_nnls(a, b[i])
+            assert np.allclose(out[i], ref, atol=1e-6), i
+
+    def test_all_negative_rhs_gives_zero(self):
+        s = _spd(3, 5)
+        m = -np.abs(np.random.default_rng(6).random((10, 3))) - 0.1
+        assert not nnls_bpp(s, m).any()
+
+    def test_empty_rows(self):
+        s = _spd(3, 7)
+        out = nnls_bpp(s, np.zeros((0, 3)))
+        assert out.shape == (0, 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            nnls_bpp(np.ones((3, 2)), np.ones((4, 3)))
+        with pytest.raises(ValueError):
+            nnls_bpp(np.eye(3), np.ones((4, 2)))
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_kkt_property(self, seed):
+        rng = np.random.default_rng(seed)
+        rank = int(rng.integers(2, 6))
+        s = _spd(rank, seed)
+        m = rng.normal(size=(int(rng.integers(1, 30)), rank)) * 3
+        out = nnls_bpp(s, m)
+        assert _kkt_satisfied(s, m, out)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_objective_no_worse_than_clipped_ls(self, seed):
+        """BPP's exact solution beats the naive clip-the-LS heuristic."""
+        rng = np.random.default_rng(seed)
+        s = _spd(4, seed)
+        m = rng.normal(size=(15, 4)) * 2
+
+        def objective(x):
+            return 0.5 * np.einsum("ir,rs,is->", x, s, x) - np.einsum("ir,ir->", x, m)
+
+        exact = nnls_bpp(s, m)
+        clipped = np.maximum(np.linalg.solve(s, m.T).T, 0.0)
+        assert objective(exact) <= objective(clipped) + 1e-8

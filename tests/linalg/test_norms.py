@@ -1,0 +1,31 @@
+"""Tests for norm helpers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.norms import fro_norm_sq, relative_residual
+
+
+class TestFroNormSq:
+    def test_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(6, 7))
+        assert fro_norm_sq(x) == pytest.approx(np.linalg.norm(x) ** 2)
+
+    def test_zero(self):
+        assert fro_norm_sq(np.zeros((3, 3))) == 0.0
+
+    def test_vector(self):
+        assert fro_norm_sq(np.array([3.0, 4.0])) == pytest.approx(25.0)
+
+
+class TestRelativeResidual:
+    def test_basic_ratio(self):
+        assert relative_residual(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_zero_reference_is_large_not_nan(self):
+        out = relative_residual(1.0, 0.0)
+        assert np.isfinite(out)
+        assert out > 1e20
+
+    def test_zero_delta(self):
+        assert relative_residual(0.0, 5.0) == 0.0

@@ -1,0 +1,215 @@
+"""Proximity operators: correctness plus projection property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg.proximal import PROXIMAL_REGISTRY, get_proximal, project_simplex_rows
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestNonneg:
+    def test_clips_negatives(self):
+        op = get_proximal("nonneg")
+        x = np.array([[-1.0, 2.0], [0.0, -0.5]])
+        assert np.array_equal(op(x, 1.0), [[0.0, 2.0], [0.0, 0.0]])
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_projection_idempotent(self, x):
+        op = get_proximal("nonneg")
+        once = op(x, 1.0)
+        assert np.array_equal(op(once, 1.0), once)
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_constraint_set(self, x):
+        assert (get_proximal("nonneg")(x, 2.0) >= 0).all()
+
+
+class TestL1:
+    def test_soft_threshold(self):
+        op = get_proximal("l1", alpha=1.0)
+        x = np.array([[3.0, -3.0, 0.5]])
+        out = op(x, 1.0)  # threshold alpha/rho = 1
+        assert np.allclose(out, [[2.0, -2.0, 0.0]])
+
+    def test_threshold_scales_with_rho(self):
+        op = get_proximal("l1", alpha=1.0)
+        x = np.array([[3.0]])
+        assert op(x, 2.0)[0, 0] == pytest.approx(2.5)
+
+    @given(finite_arrays, st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_shrinks_toward_zero(self, x, rho):
+        out = get_proximal("l1", alpha=0.5)(x, rho)
+        assert (np.abs(out) <= np.abs(x) + 1e-12).all()
+
+
+class TestRidge:
+    def test_scaling(self):
+        op = get_proximal("ridge", alpha=1.0)
+        x = np.array([[2.0]])
+        assert op(x, 1.0)[0, 0] == pytest.approx(1.0)
+
+    @given(finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_contraction(self, x):
+        out = get_proximal("ridge", alpha=0.3)(x, 1.0)
+        assert (np.abs(out) <= np.abs(x) + 1e-12).all()
+
+
+class TestNonnegL1:
+    def test_combined(self):
+        op = get_proximal("nonneg_l1", alpha=1.0)
+        x = np.array([[2.0, -2.0, 0.5]])
+        assert np.allclose(op(x, 1.0), [[1.0, 0.0, 0.0]])
+
+
+class TestBox:
+    def test_projection(self):
+        op = get_proximal("box", lo=0.0, hi=1.0)
+        x = np.array([[-0.5, 0.5, 1.5]])
+        assert np.allclose(op(x, 1.0), [[0.0, 0.5, 1.0]])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            get_proximal("box", lo=2.0, hi=1.0)
+
+
+class TestSimplex:
+    def test_already_on_simplex(self):
+        x = np.array([[0.25, 0.75]])
+        assert np.allclose(project_simplex_rows(x), x)
+
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 5)) * 3
+        out = project_simplex_rows(x)
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert (out >= -1e-12).all()
+
+    def test_vector_input(self):
+        out = project_simplex_rows(np.array([5.0, 0.0]))
+        assert np.allclose(out, [1.0, 0.0])
+
+    def test_matches_known_case(self):
+        # Projection of (1, 1) onto the simplex is (0.5, 0.5).
+        assert np.allclose(project_simplex_rows(np.array([[1.0, 1.0]])), [[0.5, 0.5]])
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, x):
+        once = project_simplex_rows(x)
+        assert np.allclose(project_simplex_rows(once), once, atol=1e-9)
+
+    def test_simplex_not_elementwise(self):
+        assert get_proximal("simplex").elementwise is False
+
+
+class TestRegistry:
+    def test_all_registered_constructible(self):
+        for name in PROXIMAL_REGISTRY:
+            op = get_proximal(name)
+            out = op(np.array([[0.3, -0.3]]), 1.0)
+            assert out.shape == (1, 2)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown constraint"):
+            get_proximal("fancy")
+
+    def test_instance_passthrough(self):
+        op = get_proximal("nonneg")
+        assert get_proximal(op) is op
+
+    def test_nonpositive_rho_rejected(self):
+        with pytest.raises(ValueError, match="rho"):
+            get_proximal("nonneg")(np.zeros((1, 1)), 0.0)
+
+    @given(
+        finite_arrays,
+        st.sampled_from(["nonneg", "l1", "ridge", "nonneg_l1", "box", "unconstrained"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nonexpansive(self, x, name):
+        """Proximity operators are nonexpansive: ‖prox(x)-prox(y)‖ ≤ ‖x-y‖."""
+        op = get_proximal(name)
+        y = x + 1.0
+        lhs = np.linalg.norm(op(x, 1.0) - op(y, 1.0))
+        rhs = np.linalg.norm(x - y)
+        assert lhs <= rhs + 1e-9
+
+
+class TestSmooth:
+    def test_reduces_roughness(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 3)).cumsum(axis=0) + rng.normal(size=(50, 3))
+        out = get_proximal("smooth", alpha=20.0)(x, 1.0)
+        roughness = lambda a: float(np.abs(np.diff(a, axis=0)).sum())  # noqa: E731
+        assert roughness(out) < 0.5 * roughness(x)
+
+    def test_preserves_constant_columns(self):
+        """Constant columns have zero smoothness penalty — fixed points."""
+        x = np.full((30, 2), 3.0)
+        out = get_proximal("smooth", alpha=5.0)(x, 1.0)
+        assert np.allclose(out, x)
+
+    def test_alpha_zero_is_identity(self):
+        x = np.random.default_rng(1).normal(size=(10, 2))
+        out = get_proximal("smooth", alpha=0.0)(x, 1.0)
+        assert np.allclose(out, x)
+
+    def test_single_row_identity(self):
+        x = np.array([[1.0, -2.0]])
+        assert np.allclose(get_proximal("smooth", alpha=9.0)(x, 1.0), x)
+
+    def test_solves_exact_optimality(self):
+        """The output satisfies the prox optimality condition
+        (I + λ DᵀD) out = x."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(12, 2))
+        alpha, rho = 3.0, 2.0
+        out = get_proximal("smooth", alpha=alpha)(x, rho)
+        d = np.diff(np.eye(12), axis=0)
+        lhs = (np.eye(12) + (alpha / rho) * d.T @ d) @ out
+        assert np.allclose(lhs, x, atol=1e-10)
+
+    def test_smooth_nonneg_clips(self):
+        x = np.random.default_rng(3).normal(size=(20, 2)) - 1.0
+        out = get_proximal("smooth_nonneg", alpha=1.0)(x, 1.0)
+        assert (out >= 0).all()
+
+    def test_not_elementwise(self):
+        assert get_proximal("smooth").elementwise is False
+
+    def test_through_admm_driver(self):
+        """End to end: a smoothness-constrained factorization produces
+        smoother temporal columns than the unconstrained one."""
+        from repro.core import cstf
+        from repro.tensor.synthetic import planted_sparse_cp
+        from repro.updates.admm import AdmmUpdate
+
+        tensor, _ = planted_sparse_cp((15, 12, 30), rank=2, seed=12)
+        rough = cstf(tensor, rank=2, update=AdmmUpdate(constraint="nonneg"),
+                     max_iters=15, seed=1)
+        smooth = cstf(
+            tensor,
+            rank=2,
+            update=AdmmUpdate(constraint="smooth_nonneg",
+                              constraint_params={"alpha": 5.0}),
+            max_iters=15,
+            seed=1,
+        )
+
+        def roughness(model):
+            f = model.factors[2]
+            return float(np.abs(np.diff(f, axis=0)).sum())
+
+        assert roughness(smooth.kruskal) < roughness(rough.kruskal)

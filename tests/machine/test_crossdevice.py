@@ -1,0 +1,119 @@
+"""Cross-device properties of the cost model.
+
+These pin down the *relations between devices* that the paper's comparisons
+rest on, independent of any single calibration value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import kernel_seconds
+from repro.machine.counters import KernelRecord
+from repro.machine.executor import Executor
+from repro.machine.spec import A100, H100, ICELAKE_XEON
+from repro.machine.symbolic import SymArray
+from repro.updates.admm import AdmmUpdate, cuadmm
+
+
+def _stream(bytes_read, pw):
+    return KernelRecord(
+        name="k", phase="P", flops=0.0, bytes_read=bytes_read, bytes_written=0.0,
+        parallel_work=pw,
+    )
+
+
+class TestStreamingRelations:
+    @given(st.floats(min_value=1e6, max_value=1e12))
+    @settings(max_examples=40, deadline=None)
+    def test_gpus_beat_cpu_on_saturated_streams(self, nbytes):
+        """At full occupancy, both GPUs out-stream the CPU (the 10x HBM
+        advantage of Table 1)."""
+        rec = _stream(nbytes, 1e10)
+        assert kernel_seconds(A100, rec) < kernel_seconds(ICELAKE_XEON, rec)
+        assert kernel_seconds(H100, rec) < kernel_seconds(ICELAKE_XEON, rec)
+
+    def test_cpu_beats_gpu_on_tiny_streams(self):
+        """Launch overhead + occupancy: a tiny kernel is faster on the CPU."""
+        rec = _stream(1e3, 1e2)
+        assert kernel_seconds(ICELAKE_XEON, rec) < kernel_seconds(A100, rec)
+
+    @given(st.floats(min_value=1e5, max_value=1e11), st.floats(min_value=1e3, max_value=1e10))
+    @settings(max_examples=40, deadline=None)
+    def test_h100_never_slower_than_a100_streaming(self, nbytes, pw):
+        """Same HBM bandwidth, higher stream efficiency and lower overheads:
+        the H100 dominates the A100 on pure streaming work."""
+        rec = _stream(nbytes, pw)
+        assert kernel_seconds(H100, rec) <= kernel_seconds(A100, rec) * 1.15
+
+
+class TestUpdateRelations:
+    def _seconds(self, update, device, rows):
+        ex = Executor(device)
+        update.update(ex, 0, SymArray((rows, 32)), SymArray((32, 32)),
+                      SymArray((rows, 32)), {})
+        return ex.timeline.total_seconds()
+
+    @pytest.mark.parametrize("rows", [10_000, 100_000, 1_000_000, 10_000_000])
+    def test_gpu_admm_advantage_grows_with_rows(self, rows):
+        """Longer factor matrices widen the GPU's ADMM advantage — the
+        monotone mechanism behind Figures 5–8."""
+        update = cuadmm(inner_iters=10)
+        ratio = self._seconds(update, "cpu", rows) / self._seconds(update, "h100", rows)
+        if rows >= 1_000_000:
+            assert ratio > 5.0
+        small_ratio = self._seconds(update, "cpu", 1_000) / self._seconds(
+            update, "h100", 1_000
+        )
+        assert ratio >= small_ratio * 0.9
+
+    def test_fusion_helps_both_but_blocking_is_the_cpu_answer(self):
+        """Section 4.2: fusion reduces traffic on both devices, but the
+        CPU's own remedy — blockwise reformulation — beats plain fusion
+        there, while being pointless on the GPU."""
+        from repro.updates.blocked_admm import BlockedAdmmUpdate
+
+        plain = AdmmUpdate(inner_iters=10)
+        fused = AdmmUpdate(inner_iters=10, fuse_ops=True)
+        blocked = BlockedAdmmUpdate(inner_iters=10)
+        rows = 2_000_000
+        gpu_gain = self._seconds(plain, "h100", rows) / self._seconds(fused, "h100", rows)
+        cpu_fused_gain = self._seconds(plain, "cpu", rows) / self._seconds(fused, "cpu", rows)
+        cpu_blocked_gain = self._seconds(plain, "cpu", rows) / self._seconds(blocked, "cpu", rows)
+        assert gpu_gain > 1.1
+        assert cpu_fused_gain > 1.1
+        assert cpu_blocked_gain > cpu_fused_gain
+
+    def test_admm_iteration_cost_linear_in_rows(self):
+        """Bandwidth-bound regime: doubling rows ≈ doubles simulated time."""
+        update = cuadmm(inner_iters=10)
+        t1 = self._seconds(update, "h100", 4_000_000)
+        t2 = self._seconds(update, "h100", 8_000_000)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.15)
+
+
+class TestEndToEndRelations:
+    def test_update_share_grows_with_factor_rows(self):
+        """Fix nnz, grow the mode lengths: the UPDATE share of a CPU cSTF
+        iteration must grow — Figure 1's dense→sparse transition replayed
+        as a controlled sweep."""
+        from repro.core import cstf
+        from repro.machine.analytic import TensorStats
+
+        shares = []
+        for scale in (1, 20, 400):
+            stats = TensorStats.from_dims(
+                (5_000 * scale, 4_000 * scale, 3_000 * scale), nnz=20_000_000
+            )
+            res = cstf(stats, rank=32, update="admm", device="cpu",
+                       mttkrp_format="csf", max_iters=1)
+            tl = res.timeline
+            shares.append(
+                tl.seconds("UPDATE")
+                / (tl.seconds("UPDATE") + tl.seconds("MTTKRP"))
+            )
+        # The dense-like regime is MTTKRP-bound; growing the factor rows
+        # flips the bottleneck to UPDATE and keeps it there.
+        assert shares[0] < shares[1]
+        assert min(shares[1:]) > 0.5

@@ -1,0 +1,201 @@
+"""Executor ops: numerics correctness and symbolic/concrete record parity."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.proximal import get_proximal
+from repro.machine.executor import Executor
+from repro.machine.symbolic import SymArray, is_symbolic
+
+
+@pytest.fixture
+def ex():
+    return Executor("a100", keep_records=True)
+
+
+@pytest.fixture
+def abc(rng):
+    return rng.random((12, 5)), rng.random((12, 5)), rng.random((5, 5))
+
+
+class TestElementwiseOps:
+    def test_copy(self, ex, abc):
+        a, _, _ = abc
+        out = ex.copy(a)
+        assert np.array_equal(out, a)
+        assert out is not a
+
+    def test_geam(self, ex, abc):
+        a, b, _ = abc
+        assert np.allclose(ex.geam(2.0, a, -1.0, b), 2 * a - b)
+
+    def test_add_sub(self, ex, abc):
+        a, b, _ = abc
+        assert np.allclose(ex.add(a, b), a + b)
+        assert np.allclose(ex.sub(a, b), a - b)
+
+    def test_hadamard(self, ex, abc):
+        a, b, _ = abc
+        assert np.allclose(ex.hadamard(a, b), a * b)
+
+    def test_elementwise_div(self, ex, abc):
+        a, b, _ = abc
+        assert np.allclose(ex.elementwise_div(a, b, eps=0.5), a / (b + 0.5))
+
+    def test_scale_clip(self, ex, abc):
+        a, _, _ = abc
+        assert np.allclose(ex.scale(3.0, a), 3 * a)
+        assert (ex.clip_min(a - 0.5, 0.0) >= 0).all()
+
+    def test_col_scale(self, ex, abc):
+        a, _, _ = abc
+        lam = np.arange(1.0, 6.0)
+        assert np.allclose(ex.col_scale(a, lam), a * lam)
+
+    def test_normalize_columns(self, ex, abc):
+        a, _, _ = abc
+        normed, lam = ex.normalize_columns(a, kind="2")
+        assert np.allclose(normed * lam, a)
+
+    def test_norm_sq(self, ex, abc):
+        a, _, _ = abc
+        assert ex.norm_sq(a) == pytest.approx(np.linalg.norm(a) ** 2)
+
+    def test_prox(self, ex):
+        x = np.array([[-1.0, 2.0]])
+        assert np.allclose(ex.prox(get_proximal("nonneg"), x, 1.0), [[0.0, 2.0]])
+
+
+class TestBlasOps:
+    def test_gemm(self, ex, abc):
+        a, _, s = abc
+        assert np.allclose(ex.gemm(a, s), a @ s)
+
+    def test_gemm_shape_mismatch(self, ex, abc):
+        a, b, _ = abc
+        with pytest.raises(ValueError, match="mismatch"):
+            ex.gemm(a, b)
+
+    def test_gemv(self, ex, abc):
+        a, _, _ = abc
+        x = np.arange(5.0)
+        assert np.allclose(ex.gemv(a, x), a @ x)
+
+    def test_gram(self, ex, abc):
+        a, _, _ = abc
+        assert np.allclose(ex.gram(a), a.T @ a)
+
+    def test_cholesky_and_solve(self, ex, rng):
+        s = rng.random((5, 5))
+        s = s @ s.T + 5 * np.eye(5)
+        l_factor = ex.cholesky(s)
+        rhs = rng.random((5, 8))
+        x = ex.cholesky_solve(l_factor, rhs)
+        assert np.allclose(s @ x, rhs)
+
+    def test_spd_inverse(self, ex, rng):
+        s = rng.random((4, 4))
+        s = s @ s.T + 4 * np.eye(4)
+        inv = ex.spd_inverse(ex.cholesky(s))
+        assert np.allclose(s @ inv, np.eye(4), atol=1e-10)
+
+    def test_trsm_transpose_flag(self, ex, rng):
+        s = rng.random((4, 4))
+        s = s @ s.T + 4 * np.eye(4)
+        l_factor = np.linalg.cholesky(s)
+        b = rng.random((4, 3))
+        y = ex.trsm(l_factor, b, lower=True, transpose=False)
+        assert np.allclose(l_factor @ y, b)
+        z = ex.trsm(l_factor, b, lower=True, transpose=True)
+        assert np.allclose(l_factor.T @ z, b)
+
+
+class TestFusedKernels:
+    def test_fused_auxiliary(self, ex, abc):
+        a, b, _ = abc
+        m = np.ones_like(a)
+        assert np.allclose(ex.fused_auxiliary(m, a, b, 2.0), m + 2.0 * (a + b))
+
+    def test_fused_prox_primal(self, ex, abc):
+        a, b, _ = abc
+        out = ex.fused_prox_primal(get_proximal("nonneg"), a, b, 1.0)
+        assert np.allclose(out, np.maximum(a - b, 0.0))
+
+    def test_fused_dual_update(self, ex, abc):
+        a, b, _ = abc
+        h = np.abs(a)
+        h_prev = np.abs(b)
+        u = 0.1 * np.ones_like(a)
+        u_new, ndh, nh, ndp, nu = ex.fused_dual_update(u, h, a, h_prev)
+        dh = h - a
+        assert np.allclose(u_new, u + dh)
+        assert ndh == pytest.approx(float(np.sum(dh * dh)))
+        assert nh == pytest.approx(float(np.sum(h * h)))
+        assert ndp == pytest.approx(float(np.sum((h - h_prev) ** 2)))
+        assert nu == pytest.approx(float(np.sum(u_new * u_new)))
+
+
+class TestSymbolicMode:
+    def test_ops_return_symbolic(self, ex):
+        a = SymArray((10, 4))
+        b = SymArray((10, 4))
+        assert is_symbolic(ex.add(a, b))
+        assert is_symbolic(ex.gemm(a, SymArray((4, 4))))
+        assert is_symbolic(ex.cholesky(SymArray((4, 4))))
+        assert is_symbolic(ex.copy(a))
+        assert ex.norm_sq(a) != ex.norm_sq(a)  # NaN
+
+    def test_normalize_symbolic(self, ex):
+        normed, lam = ex.normalize_columns(SymArray((10, 4)))
+        assert is_symbolic(normed) and is_symbolic(lam)
+        assert lam.shape == (4,)
+
+    def test_fused_dual_symbolic(self, ex):
+        a = SymArray((10, 4))
+        u_new, *norms = ex.fused_dual_update(a, a, a, a)
+        assert is_symbolic(u_new)
+        assert all(n != n for n in norms)
+
+    def test_symbolic_and_concrete_charge_identically(self):
+        """The core analytic-mode guarantee: running an op symbolically
+        charges exactly the same simulated time as running it concretely at
+        the same shape."""
+        rng = np.random.default_rng(0)
+        for make in (
+            lambda e, c: e.add(*c[:2]),
+            lambda e, c: e.hadamard(*c[:2]),
+            lambda e, c: e.gemm(c[0], c[2]),
+            lambda e, c: e.gram(c[0]),
+            lambda e, c: e.copy(c[0]),
+            lambda e, c: e.normalize_columns(c[0]),
+            lambda e, c: e.fused_auxiliary(c[0], c[1], c[1], 1.0),
+        ):
+            ex_c = Executor("h100")
+            ex_s = Executor("h100")
+            a = rng.random((30, 6))
+            b = rng.random((30, 6))
+            s = rng.random((6, 6))
+            make(ex_c, (a, b, s))
+            make(ex_s, (SymArray((30, 6)), SymArray((30, 6)), SymArray((6, 6))))
+            assert ex_c.timeline.total_seconds() == pytest.approx(
+                ex_s.timeline.total_seconds()
+            )
+
+
+class TestPhases:
+    def test_phase_tagging(self, ex, abc):
+        a, b, _ = abc
+        with ex.phase("ALPHA"):
+            ex.add(a, b)
+            with ex.phase("BETA"):
+                ex.add(a, b)
+            ex.add(a, b)
+        assert ex.timeline.seconds("ALPHA") > 0
+        assert ex.timeline.seconds("BETA") > 0
+        assert ex.current_phase == "UNPHASED"
+
+    def test_records_carry_phase(self, ex, abc):
+        a, b, _ = abc
+        with ex.phase("P1"):
+            ex.add(a, b)
+        assert ex.timeline.records[-1].phase == "P1"

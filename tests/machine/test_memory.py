@@ -1,0 +1,93 @@
+"""Device-memory footprints and out-of-core MTTKRP streaming."""
+
+import pytest
+
+from repro.data.frostt import FROSTT_TABLE2, get_dataset
+from repro.machine.analytic import TensorStats, charge_mttkrp
+from repro.machine.executor import Executor
+from repro.machine.memory import (
+    DEVICE_MEMORY_BYTES,
+    charge_out_of_core_mttkrp,
+    factor_bytes,
+    fits_on_device,
+    footprint,
+    tensor_bytes,
+)
+
+
+class TestFootprints:
+    def test_blco_bytes_two_words_per_nnz(self):
+        stats = TensorStats.from_dims((100, 100, 100), nnz=1000)
+        assert tensor_bytes(stats, "blco") == pytest.approx(1000 * 16, rel=0.01)
+
+    def test_coo_larger_than_blco(self):
+        stats = get_dataset("nell1").stats()
+        assert tensor_bytes(stats, "coo") > tensor_bytes(stats, "blco")
+
+    def test_factor_bytes_scale_with_rank(self):
+        stats = get_dataset("uber").stats()
+        assert factor_bytes(stats, 64) == pytest.approx(2 * factor_bytes(stats, 32))
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            tensor_bytes(get_dataset("uber").stats(), "hicoo2")
+
+    def test_all_paper_tensors_fit_at_r64(self):
+        """Consistency with the paper: every Table 2 tensor ran resident on
+        the 80 GB devices at the largest evaluated rank."""
+        for ds in FROSTT_TABLE2:
+            assert fits_on_device(ds.stats(), 64), ds.name
+
+    def test_amazon_would_not_fit_on_a_smaller_gpu(self):
+        stats = get_dataset("amazon").stats()
+        assert not fits_on_device(stats, 64, capacity=24e9)  # a 24 GB card
+
+    def test_utilization(self):
+        fp = footprint(get_dataset("amazon").stats(), 32)
+        assert 0.0 < fp.utilization < 1.0
+        assert fp.total == fp.tensor + fp.factors
+
+
+class TestOutOfCore:
+    def test_resident_equals_plain_charge(self):
+        stats = get_dataset("delicious").stats()
+        ex_a, ex_b = Executor("a100"), Executor("a100")
+        a = charge_out_of_core_mttkrp(ex_a, stats, 32, 0)
+        b = charge_mttkrp(ex_b, stats, 32, 0, "blco")
+        assert a == pytest.approx(b)
+
+    def test_overlapped_streaming_can_hide_pcie(self):
+        """Amazon's MTTKRP is long enough to hide the PCIe stream — the
+        BLCO paper's out-of-memory overlap result."""
+        stats = get_dataset("amazon").stats()
+        ex = Executor("a100")
+        oc = charge_out_of_core_mttkrp(ex, stats, 64, 0, capacity=20e9)
+        ex2 = Executor("a100")
+        resident = charge_mttkrp(ex2, stats, 64, 0, "blco")
+        assert oc == pytest.approx(resident)
+
+    def test_slow_link_exposes_streaming(self):
+        """With a slow host link the transfer can no longer hide."""
+        stats = get_dataset("amazon").stats()
+        ex = Executor("a100")
+        oc = charge_out_of_core_mttkrp(
+            ex, stats, 16, 0, capacity=16e9, pcie_bandwidth=2e9
+        )
+        ex2 = Executor("a100")
+        resident = charge_mttkrp(ex2, stats, 16, 0, "blco")
+        assert oc > 1.5 * resident
+        assert "mttkrp_host_stream" in ex.timeline.kernel_seconds
+
+    def test_cpu_never_streams(self):
+        stats = get_dataset("amazon").stats()
+        ex = Executor("cpu")
+        oc = charge_out_of_core_mttkrp(ex, stats, 32, 0, fmt="csf", capacity=1e9)
+        assert "mttkrp_host_stream" not in ex.timeline.kernel_seconds
+        assert oc > 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            footprint(get_dataset("uber").stats(), 32, capacity=0)
+
+    def test_default_capacity_is_table1(self):
+        assert DEVICE_MEMORY_BYTES == 80e9

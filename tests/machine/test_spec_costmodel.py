@@ -1,0 +1,196 @@
+"""Device specs and the roofline cost model: unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import dram_traffic, kernel_seconds, miss_rate, utilization
+from repro.machine.counters import WORD_BYTES, KernelRecord, Timeline
+from repro.machine.spec import A100, H100, ICELAKE_XEON, DeviceSpec, get_device
+
+
+class TestSpecs:
+    def test_presets_resolve(self):
+        assert get_device("a100") is A100
+        assert get_device("H100") is H100
+        assert get_device("cpu") is ICELAKE_XEON
+        assert get_device(A100) is A100
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("tpu")
+
+    def test_table1_bandwidths(self):
+        # Both GPUs share the Table 1 HBM bandwidth.
+        assert A100.mem_bandwidth == H100.mem_bandwidth == 2039e9
+
+    def test_h100_larger_cache(self):
+        # 28.5+50 MB vs 20.3+40 MB (Table 1).
+        assert H100.cache_bytes > A100.cache_bytes
+
+    def test_gpu_needs_more_parallelism_than_cpu(self):
+        assert A100.saturation_work > 10 * ICELAKE_XEON.saturation_work
+
+    def test_cpu_handles_triangular_solves_better(self):
+        assert ICELAKE_XEON.trsm_efficiency > A100.trsm_efficiency
+
+    def test_with_override(self):
+        fast = A100.with_(mem_bandwidth=3e12)
+        assert fast.mem_bandwidth == 3e12
+        assert fast.name == A100.name
+        assert A100.mem_bandwidth == 2039e9  # original untouched
+
+    def test_validation_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            A100.with_(kind="fpga")
+
+    def test_validation_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            A100.with_(gemm_efficiency=1.5)
+
+
+def _rec(**kw):
+    base = dict(
+        name="k", phase="P", flops=0.0, bytes_read=0.0, bytes_written=0.0, parallel_work=1.0
+    )
+    base.update(kw)
+    return KernelRecord(**base)
+
+
+class TestUtilization:
+    def test_half_at_saturation(self):
+        assert utilization(A100, A100.saturation_work) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        values = [utilization(A100, w) for w in (1e2, 1e4, 1e6, 1e8)]
+        assert values == sorted(values)
+        assert values[-1] > 0.99
+
+    @given(st.floats(min_value=1, max_value=1e12), st.floats(min_value=1, max_value=1e12))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_property(self, a, b):
+        lo, hi = sorted((a, b))
+        assert utilization(H100, lo) <= utilization(H100, hi) + 1e-15
+
+
+class TestDramTraffic:
+    def test_no_reaccess_all_compulsory(self):
+        rec = _rec(bytes_read=1000.0, bytes_written=200.0)
+        assert dram_traffic(A100, rec) == 1200.0
+
+    def test_cache_resident_reaccess_free(self):
+        rec = _rec(
+            bytes_read=1e9, bytes_written=0.0, unique_bytes=1e6, working_set=1e6
+        )
+        assert dram_traffic(A100, rec) == pytest.approx(1e6)
+
+    def test_thrashing_reaccess_pays_full(self):
+        rec = _rec(
+            bytes_read=1e9, bytes_written=0.0, unique_bytes=1e6, working_set=1e12
+        )
+        assert dram_traffic(A100, rec) == pytest.approx(1e9, rel=0.01)
+
+    def test_bigger_cache_never_more_traffic(self):
+        rec = _rec(bytes_read=1e9, unique_bytes=1e7, working_set=100e6)
+        assert dram_traffic(H100, rec) <= dram_traffic(A100, rec)
+
+    def test_miss_rate_bounds(self):
+        rec = _rec(bytes_read=1.0, working_set=1.0)
+        assert 0.0 <= miss_rate(A100, rec) <= 1.0
+
+
+class TestKernelSeconds:
+    def test_launch_overhead_floor(self):
+        rec = _rec(launches=1)
+        assert kernel_seconds(A100, rec) >= A100.launch_overhead
+
+    def test_serial_steps_charged(self):
+        fast = kernel_seconds(A100, _rec(serial_steps=0))
+        slow = kernel_seconds(A100, _rec(serial_steps=1000))
+        assert slow - fast == pytest.approx(1000 * A100.sync_overhead)
+
+    def test_memory_bound_kernel_scales_with_bytes(self):
+        small = kernel_seconds(A100, _rec(bytes_read=1e6, parallel_work=1e9))
+        large = kernel_seconds(A100, _rec(bytes_read=1e9, parallel_work=1e9))
+        assert large > 100 * small
+
+    def test_compute_bound_kernel_scales_with_flops(self):
+        small = kernel_seconds(A100, _rec(flops=1e8, parallel_work=1e9))
+        large = kernel_seconds(A100, _rec(flops=1e12, parallel_work=1e9))
+        assert large > 100 * small
+
+    def test_roofline_takes_max(self):
+        mem = kernel_seconds(A100, _rec(bytes_read=1e9, parallel_work=1e9))
+        both = kernel_seconds(A100, _rec(bytes_read=1e9, flops=1.0, parallel_work=1e9))
+        assert both == pytest.approx(mem)
+
+    def test_gather_slower_than_stream_when_thrashing(self):
+        stream = _rec(bytes_read=1e9, parallel_work=1e9, traffic_kind="stream")
+        gather = _rec(
+            bytes_read=1e9,
+            parallel_work=1e9,
+            traffic_kind="gather",
+            unique_bytes=1e9,
+            working_set=100e9,
+        )
+        assert kernel_seconds(A100, gather) > kernel_seconds(A100, stream)
+
+    def test_low_parallelism_penalized(self):
+        narrow = kernel_seconds(A100, _rec(bytes_read=1e8, parallel_work=1e3))
+        wide = kernel_seconds(A100, _rec(bytes_read=1e8, parallel_work=1e9))
+        assert narrow > 10 * wide
+
+    def test_utilization_exempt_ignores_parallelism_for_flops(self):
+        narrow = kernel_seconds(
+            A100, _rec(flops=1e10, parallel_work=1e2, utilization_exempt=True)
+        )
+        wide = kernel_seconds(
+            A100, _rec(flops=1e10, parallel_work=1e9, utilization_exempt=True)
+        )
+        assert narrow == pytest.approx(wide)
+
+    @given(st.floats(min_value=0, max_value=1e12), st.floats(min_value=0, max_value=1e12))
+    @settings(max_examples=50, deadline=None)
+    def test_time_positive_and_monotone_in_bytes(self, b1, b2):
+        lo, hi = sorted((b1, b2))
+        t_lo = kernel_seconds(H100, _rec(bytes_read=lo, parallel_work=1e6))
+        t_hi = kernel_seconds(H100, _rec(bytes_read=hi, parallel_work=1e6))
+        assert 0 < t_lo <= t_hi + 1e-15
+
+
+class TestTimeline:
+    def test_phase_aggregation(self):
+        tl = Timeline()
+        tl.add(_rec(name="a", phase="X"), 1.0)
+        tl.add(_rec(name="b", phase="X"), 2.0)
+        tl.add(_rec(name="a", phase="Y"), 3.0)
+        assert tl.seconds("X") == 3.0
+        assert tl.seconds("Y") == 3.0
+        assert tl.total_seconds() == 6.0
+        assert tl.kernel_seconds["a"] == 4.0
+
+    def test_breakdown_sums_to_one(self):
+        tl = Timeline()
+        tl.add(_rec(phase="X"), 1.0)
+        tl.add(_rec(phase="Y"), 3.0)
+        assert sum(tl.breakdown().values()) == pytest.approx(1.0)
+
+    def test_launch_count(self):
+        tl = Timeline()
+        tl.add(_rec(launches=3), 0.1)
+        tl.add(_rec(launches=2), 0.1)
+        assert tl.launch_count == 5
+
+    def test_merged(self):
+        a, b = Timeline(), Timeline()
+        a.add(_rec(phase="X"), 1.0)
+        b.add(_rec(phase="X"), 2.0)
+        assert a.merged_with(b).seconds("X") == 3.0
+
+    def test_records_kept_on_request(self):
+        tl = Timeline(keep_records=True)
+        tl.add(_rec(), 0.1)
+        assert len(tl.records) == 1
+
+    def test_word_size_is_fp64(self):
+        assert WORD_BYTES == 8

@@ -1,0 +1,103 @@
+"""The CPU/GPU/heterogeneous decision model (paper Section 7 future work)."""
+
+import pytest
+
+from repro.core.trace import PHASE_MTTKRP, PHASE_UPDATE, PHASES
+from repro.data.frostt import get_dataset
+from repro.machine.analytic import TensorStats
+from repro.scheduler.decision import (
+    ExecutionPlan,
+    TransferModel,
+    estimate_phases,
+    plan_execution,
+)
+
+
+class TestTransferModel:
+    def test_zero_words_free(self):
+        assert TransferModel().seconds(0) == 0.0
+
+    def test_latency_floor(self):
+        tm = TransferModel(bandwidth=25e9, latency=1e-5)
+        assert tm.seconds(1) >= 1e-5
+
+    def test_scales_with_volume(self):
+        tm = TransferModel()
+        assert tm.seconds(10**9) > 100 * tm.seconds(10**6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TransferModel().seconds(-1)
+
+
+class TestEstimatePhases:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return get_dataset("enron").stats()
+
+    def test_device_defaults(self, stats):
+        gpu = estimate_phases(stats, 32, "a100")
+        cpu = estimate_phases(stats, 32, "cpu")
+        assert gpu.update == "cuadmm" and gpu.mttkrp_format == "blco"
+        assert cpu.update == "admm" and cpu.mttkrp_format == "csf"
+
+    def test_all_phases_present(self, stats):
+        est = estimate_phases(stats, 32, "a100")
+        assert set(est.seconds) == set(PHASES)
+        assert all(v > 0 for v in est.seconds.values())
+
+    def test_total_is_sum(self, stats):
+        est = estimate_phases(stats, 32, "cpu")
+        assert est.total == pytest.approx(sum(est.seconds.values()))
+
+    def test_override_configuration(self, stats):
+        est = estimate_phases(stats, 32, "a100", update="mu", mttkrp_format="coo")
+        assert est.update == "mu"
+        assert est.mttkrp_format == "coo"
+
+
+class TestPlanExecution:
+    def test_large_tensors_choose_gpu(self):
+        for name in ("flickr", "delicious", "nell1", "amazon"):
+            plan = plan_execution(get_dataset(name).stats(), rank=32)
+            assert plan.strategy == "gpu", name
+            assert not plan.is_heterogeneous
+            assert plan.transfer_seconds == 0.0
+
+    def test_vast_chooses_heterogeneous(self):
+        """VAST's length-2 mode poisons the GPU MTTKRP with atomic
+        contention; the planner should route MTTKRP to the CPU and keep the
+        bandwidth-hungry update on the GPU."""
+        plan = plan_execution(get_dataset("vast").stats(), rank=32)
+        assert plan.strategy == "het:mttkrp=cpu"
+        assert plan.placement[PHASE_MTTKRP] != plan.placement[PHASE_UPDATE]
+        assert plan.advantage() > 1.2
+        assert plan.transfer_seconds > 0.0
+
+    def test_alternatives_complete_and_consistent(self):
+        plan = plan_execution(get_dataset("nips").stats(), rank=32)
+        assert set(plan.alternatives) == {"cpu", "gpu", "het:mttkrp=cpu", "het:update=cpu"}
+        assert plan.predicted_seconds == min(plan.alternatives.values())
+
+    def test_pure_strategies_have_uniform_placement(self):
+        plan = plan_execution(get_dataset("nell2").stats(), rank=32)
+        if not plan.is_heterogeneous:
+            assert len(set(plan.placement.values())) == 1
+
+    def test_advantage_never_below_one(self):
+        """The planner always has the pure strategies available, so it can
+        never choose something slower than both."""
+        for name in ("uber", "vast", "enron"):
+            plan = plan_execution(get_dataset(name).stats(), rank=32)
+            assert plan.advantage() >= 1.0 - 1e-12, name
+
+    def test_expensive_interconnect_disables_hybrid(self):
+        """With a very slow link, shipping M/H every mode can't pay off."""
+        slow = TransferModel(bandwidth=1e6, latency=1e-3)
+        plan = plan_execution(get_dataset("vast").stats(), rank=32, transfer=slow)
+        assert not plan.is_heterogeneous
+
+    def test_plan_is_dataclass_with_fields(self):
+        plan = plan_execution(TensorStats.from_dims((100, 80, 60), 5000), rank=8)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.predicted_seconds > 0

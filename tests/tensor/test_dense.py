@@ -1,0 +1,62 @@
+"""Tests for dense tensors and Kolda-style matricization."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import DenseTensor, fold, matricize
+
+
+class TestMatricize:
+    def test_shape(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        assert matricize(x, 0).shape == (2, 12)
+        assert matricize(x, 1).shape == (3, 8)
+        assert matricize(x, 2).shape == (4, 6)
+
+    def test_mode0_rows_are_slices(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        assert np.array_equal(matricize(x, 0)[0], x[0].ravel())
+
+    def test_column_order_last_mode_fastest(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        m = matricize(x, 1)
+        # Column j enumerates (i, k) with k fastest: column 1 is (i=0, k=1).
+        assert np.array_equal(m[:, 1], x[0, :, 1])
+
+    def test_fold_inverts_matricize(self):
+        x = np.arange(120.0).reshape(2, 3, 4, 5)
+        for mode in range(4):
+            assert np.array_equal(fold(matricize(x, mode), mode, x.shape), x)
+
+    def test_negative_mode(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        assert np.array_equal(matricize(x, -1), matricize(x, 2))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            matricize(np.zeros((2, 2)), 5)
+
+
+class TestDenseTensor:
+    def test_properties(self):
+        t = DenseTensor(np.ones((3, 4, 5)))
+        assert t.shape == (3, 4, 5)
+        assert t.ndim == 3
+        assert t.size == 60
+
+    def test_norm(self):
+        t = DenseTensor(2.0 * np.ones((2, 2)))
+        assert t.norm() == pytest.approx(4.0)
+
+    def test_matricize_method(self):
+        data = np.arange(8.0).reshape(2, 2, 2)
+        t = DenseTensor(data)
+        assert np.array_equal(t.matricize(1), matricize(data, 1))
+
+    def test_data_is_float64_contiguous(self):
+        t = DenseTensor(np.arange(6, dtype=np.int32).reshape(2, 3))
+        assert t.data.dtype == np.float64
+        assert t.data.flags["C_CONTIGUOUS"]
+
+    def test_repr(self):
+        assert "2x3" in repr(DenseTensor(np.zeros((2, 3))))

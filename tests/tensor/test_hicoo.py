@@ -1,0 +1,89 @@
+"""HiCOO format and its MTTKRP kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.mttkrp import mttkrp_dense
+from repro.kernels.mttkrp_hicoo import mttkrp_hicoo
+from repro.tensor.coo import SparseTensor
+from repro.tensor.hicoo import HicooTensor
+from repro.tensor.synthetic import random_sparse
+
+
+class TestFormat:
+    @pytest.mark.parametrize("block_bits", [1, 2, 4, 7])
+    def test_roundtrip(self, small4, block_bits):
+        h = HicooTensor.from_coo(small4, block_bits=block_bits)
+        assert h.to_coo().allclose(small4)
+
+    def test_block_count_shrinks_with_bigger_blocks(self, small4):
+        fine = HicooTensor.from_coo(small4, block_bits=1)
+        coarse = HicooTensor.from_coo(small4, block_bits=5)
+        assert coarse.num_blocks < fine.num_blocks
+
+    def test_block_nnz_sums_to_total(self, small4):
+        h = HicooTensor.from_coo(small4, block_bits=3)
+        assert h.block_nnz().sum() == small4.nnz
+        assert (h.block_nnz() >= 1).all()
+
+    def test_offsets_within_block(self, small4):
+        h = HicooTensor.from_coo(small4, block_bits=3)
+        for b in range(h.num_blocks):
+            _, offsets, _ = h.block_slice(b)
+            assert (offsets >= 0).all()
+            assert (offsets < 8).all()
+
+    def test_index_compression(self):
+        """HiCOO's raison d'être: index metadata smaller than raw COO
+        (ndim × int64 per nonzero) for clustered data."""
+        rng = np.random.default_rng(0)
+        # Clustered nonzeros: a few dense 8x8x8 bricks.
+        base = rng.integers(0, 32, size=(6, 3)) * 8
+        offs = rng.integers(0, 8, size=(400, 3))
+        coords = np.unique(base[rng.integers(0, 6, 400)] + offs, axis=0)
+        t = SparseTensor(coords, rng.random(coords.shape[0]), (256, 256, 256))
+        h = HicooTensor.from_coo(t, block_bits=3)
+        raw_bytes = t.indices.nbytes
+        assert h.index_storage_bytes() < raw_bytes
+
+    def test_empty(self):
+        t = SparseTensor(np.zeros((0, 3), dtype=np.int64), np.zeros(0), (8, 8, 8))
+        h = HicooTensor.from_coo(t)
+        assert h.num_blocks == 0
+        assert h.to_coo().nnz == 0
+
+    def test_block_bits_validated(self, small4):
+        with pytest.raises(ValueError):
+            HicooTensor.from_coo(small4, block_bits=0)
+
+    def test_block_slice_bounds(self, small4):
+        h = HicooTensor.from_coo(small4, block_bits=3)
+        with pytest.raises(ValueError):
+            h.block_slice(h.num_blocks)
+
+
+class TestMttkrp:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_matches_dense_oracle(self, small4, factors4, mode):
+        h = HicooTensor.from_coo(small4, block_bits=2)
+        ref = mttkrp_dense(small4.to_dense(), factors4, mode)
+        assert np.allclose(mttkrp_hicoo(h, factors4, mode), ref)
+
+    def test_empty_gives_zeros(self, factors3):
+        t = SparseTensor(np.zeros((0, 3), dtype=np.int64), np.zeros(0), (17, 13, 9))
+        out = mttkrp_hicoo(HicooTensor.from_coo(t), factors3, 0)
+        assert out.shape == (17, 5)
+        assert not out.any()
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_and_mttkrp_property(self, seed, block_bits):
+        t = random_sparse((13, 9, 11), nnz=45, seed=seed)
+        h = HicooTensor.from_coo(t, block_bits=block_bits)
+        assert h.to_coo().allclose(t)
+        rng = np.random.default_rng(seed)
+        factors = [rng.random((d, 3)) for d in t.shape]
+        ref = mttkrp_dense(t.to_dense(), factors, 1)
+        assert np.allclose(mttkrp_hicoo(h, factors, 1), ref)

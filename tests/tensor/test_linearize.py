@@ -1,0 +1,132 @@
+"""Unit and property tests for the bit-linearization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import linearize as lin
+
+
+class TestBitWidth:
+    @pytest.mark.parametrize(
+        "dim,expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)],
+    )
+    def test_values(self, dim, expected):
+        assert lin.bit_width(dim) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lin.bit_width(0)
+
+    def test_mode_bit_widths(self):
+        assert lin.mode_bit_widths((8, 1, 3)) == [3, 0, 2]
+
+
+class TestAltoPositions:
+    def test_positions_are_disjoint_and_complete(self):
+        shape = (100, 7, 33)
+        positions = lin.alto_bit_positions(shape)
+        flat = sorted(int(p) for arr in positions for p in arr)
+        total = sum(lin.mode_bit_widths(shape))
+        assert flat == list(range(total))
+
+    def test_widths_match(self):
+        shape = (100, 7, 33)
+        positions = lin.alto_bit_positions(shape)
+        assert [len(p) for p in positions] == lin.mode_bit_widths(shape)
+
+    def test_long_mode_gets_lsb(self):
+        # The mode with the most bits should own bit 0 (locality of the
+        # longest mode is preserved best).
+        positions = lin.alto_bit_positions((1 << 10, 4))
+        assert 0 in positions[0]
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ValueError, match="BLCO"):
+            lin.alto_bit_positions((1 << 40, 1 << 40))
+
+    def test_singleton_mode_gets_no_bits(self):
+        positions = lin.alto_bit_positions((16, 1, 4))
+        assert len(positions[1]) == 0
+
+
+class TestPackUnpack:
+    def test_roundtrip_fixed(self):
+        shape = (20, 6, 50)
+        positions = lin.alto_bit_positions(shape)
+        rng = np.random.default_rng(0)
+        idx = np.column_stack([rng.integers(0, d, 64) for d in shape]).astype(np.int64)
+        packed = lin.pack_bits(idx, positions)
+        assert np.array_equal(lin.unpack_bits(packed, positions), idx)
+
+    def test_packing_is_injective(self):
+        shape = (5, 5, 5)
+        positions = lin.alto_bit_positions(shape)
+        all_idx = np.array(
+            [(i, j, k) for i in range(5) for j in range(5) for k in range(5)],
+            dtype=np.int64,
+        )
+        packed = lin.pack_bits(all_idx, positions)
+        assert len(np.unique(packed)) == len(all_idx)
+
+
+class TestConcat:
+    def test_offsets_last_mode_lsb(self):
+        assert lin.concat_bit_offsets([3, 2, 4]) == [6, 4, 0]
+
+    def test_roundtrip(self):
+        widths = [5, 0, 3]
+        rng = np.random.default_rng(1)
+        idx = np.column_stack(
+            [rng.integers(0, 1 << w if w else 1, 32) for w in widths]
+        ).astype(np.int64)
+        packed = lin.encode_concat(idx, widths)
+        assert np.array_equal(lin.decode_concat(packed, widths), idx)
+
+    def test_concat_order_matches_lexicographic(self):
+        # With power-of-two dims, sorting by the concatenated key equals
+        # row-major coordinate order.
+        widths = [2, 3]
+        idx = np.array([[1, 0], [0, 7], [1, 3], [0, 0]], dtype=np.int64)
+        packed = lin.encode_concat(idx, widths)
+        order = np.argsort(packed)
+        expected = np.lexsort((idx[:, 1], idx[:, 0]))
+        assert np.array_equal(order, expected)
+
+    def test_budget_enforced(self):
+        with pytest.raises(ValueError, match="exceed"):
+            lin.encode_concat(np.zeros((1, 2), dtype=np.int64), [40, 40])
+
+
+@st.composite
+def shapes_and_indices(draw):
+    ndim = draw(st.integers(min_value=1, max_value=5))
+    shape = tuple(draw(st.integers(min_value=1, max_value=200)) for _ in range(ndim))
+    n = draw(st.integers(min_value=0, max_value=40))
+    idx = [[draw(st.integers(min_value=0, max_value=d - 1)) for d in shape] for _ in range(n)]
+    return shape, np.asarray(idx, dtype=np.int64).reshape(n, ndim)
+
+
+class TestProperties:
+    @given(shapes_and_indices())
+    @settings(max_examples=60, deadline=None)
+    def test_alto_roundtrip_any_shape(self, case):
+        shape, idx = case
+        positions = lin.alto_bit_positions(shape)
+        assert np.array_equal(lin.unpack_bits(lin.pack_bits(idx, positions), positions), idx)
+
+    @given(shapes_and_indices())
+    @settings(max_examples=60, deadline=None)
+    def test_concat_roundtrip_any_shape(self, case):
+        shape, idx = case
+        widths = lin.mode_bit_widths(shape)
+        assert np.array_equal(lin.decode_concat(lin.encode_concat(idx, widths), widths), idx)
+
+    @given(shapes_and_indices())
+    @settings(max_examples=40, deadline=None)
+    def test_packed_values_nonnegative(self, case):
+        shape, idx = case
+        positions = lin.alto_bit_positions(shape)
+        assert (lin.pack_bits(idx, positions) >= 0).all()

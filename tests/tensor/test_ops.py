@@ -1,0 +1,97 @@
+"""Sparse tensor algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.ops import (
+    add,
+    drop_mode_index,
+    mode_slice,
+    stack_along_new_mode,
+    subtract,
+)
+from repro.tensor.synthetic import random_sparse
+
+
+class TestArithmetic:
+    def test_add_matches_dense(self, small3):
+        other = random_sparse(small3.shape, nnz=100, seed=99, value_dist="normal",
+                              nonneg=False)
+        out = add(small3, other)
+        assert np.allclose(out.to_dense(), small3.to_dense() + other.to_dense())
+
+    def test_subtract_self_is_empty_valued(self, small3):
+        out = subtract(small3, small3)
+        assert np.allclose(out.to_dense(), 0.0)
+
+    def test_shape_mismatch(self, small3):
+        other = random_sparse((5, 5), nnz=4, seed=0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            add(small3, other)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_add_commutative(self, seed):
+        a = random_sparse((8, 7), nnz=20, seed=seed)
+        b = random_sparse((8, 7), nnz=20, seed=seed + 1)
+        assert add(a, b).allclose(add(b, a))
+
+
+class TestSlicing:
+    def test_mode_slice_matches_dense(self, small4):
+        dense = small4.to_dense()
+        for mode in range(4):
+            for index in (0, small4.shape[mode] - 1):
+                sliced = mode_slice(small4, mode, index)
+                assert np.allclose(sliced.to_dense(), np.take(dense, index, axis=mode))
+
+    def test_slice_reduces_ndim(self, small4):
+        assert mode_slice(small4, 1, 0).ndim == 3
+
+    def test_out_of_range(self, small3):
+        with pytest.raises(ValueError, match="out of range"):
+            mode_slice(small3, 0, 99)
+
+
+class TestStack:
+    def test_stack_then_slice_roundtrip(self):
+        slabs = [random_sparse((6, 5), nnz=8, seed=s) for s in range(4)]
+        stacked = stack_along_new_mode(slabs, position=-1)
+        assert stacked.shape == (6, 5, 4)
+        for t, slab in enumerate(slabs):
+            assert mode_slice(stacked, 2, t).allclose(slab)
+
+    def test_stack_front_position(self):
+        slabs = [random_sparse((6, 5), nnz=8, seed=s) for s in range(3)]
+        stacked = stack_along_new_mode(slabs, position=0)
+        assert stacked.shape == (3, 6, 5)
+        assert mode_slice(stacked, 0, 1).allclose(slabs[1])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            stack_along_new_mode([])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            stack_along_new_mode(
+                [random_sparse((4, 4), nnz=2, seed=0), random_sparse((5, 4), nnz=2, seed=0)]
+            )
+
+
+class TestDrop:
+    def test_drop_matches_dense_delete(self, small4):
+        dense = small4.to_dense()
+        out = drop_mode_index(small4, 2, 3)
+        assert np.allclose(out.to_dense(), np.delete(dense, 3, axis=2))
+
+    def test_drop_shrinks_mode(self, small3):
+        out = drop_mode_index(small3, 0, 5)
+        assert out.shape == (16, 13, 9)
+
+    def test_cannot_drop_singleton(self):
+        t = SparseTensor(np.array([[0, 0]]), np.array([1.0]), (1, 4))
+        with pytest.raises(ValueError, match="only index"):
+            drop_mode_index(t, 0, 0)

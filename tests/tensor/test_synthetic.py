@@ -1,0 +1,117 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.kruskal import KruskalTensor
+from repro.tensor.synthetic import (
+    planted_nonneg_cp,
+    planted_sparse_cp,
+    random_sparse,
+    scaled_frostt_analogue,
+)
+
+
+class TestRandomSparse:
+    def test_requested_nnz(self):
+        t = random_sparse((30, 20, 10), nnz=500, seed=0)
+        assert t.nnz == 500
+
+    def test_deterministic_per_seed(self):
+        a = random_sparse((10, 10), nnz=40, seed=7)
+        b = random_sparse((10, 10), nnz=40, seed=7)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = random_sparse((30, 30), nnz=100, seed=1)
+        b = random_sparse((30, 30), nnz=100, seed=2)
+        assert not (a.indices.shape == b.indices.shape and np.array_equal(a.indices, b.indices))
+
+    def test_nonneg_values(self):
+        t = random_sparse((10, 10), nnz=50, seed=3, value_dist="normal", nonneg=True)
+        assert (t.values > 0).all()
+
+    def test_signed_values_possible(self):
+        t = random_sparse((20, 20), nnz=150, seed=3, value_dist="normal", nonneg=False)
+        assert (t.values < 0).any()
+
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal", "normal"])
+    def test_all_distributions(self, dist):
+        t = random_sparse((10, 10), nnz=30, seed=0, value_dist=dist)
+        assert t.nnz == 30
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="value_dist"):
+            random_sparse((10, 10), nnz=5, value_dist="cauchy")
+
+    def test_too_many_nnz_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            random_sparse((2, 2), nnz=5)
+
+    def test_full_density_possible(self):
+        t = random_sparse((3, 3), nnz=9, seed=0)
+        assert t.nnz == 9
+
+
+class TestPlantedNonneg:
+    def test_returns_factors_matching_shape(self):
+        t, factors = planted_nonneg_cp((12, 10, 8), rank=3, nnz=200, seed=0)
+        assert [f.shape for f in factors] == [(12, 3), (10, 3), (8, 3)]
+        assert t.nnz == 200
+
+    def test_values_match_model_when_noiseless(self):
+        t, factors = planted_nonneg_cp((10, 9, 8), rank=2, nnz=100, noise=0.0, seed=1)
+        model = KruskalTensor(factors)
+        assert np.allclose(t.values, np.maximum(model.values_at(t.indices), 1e-12))
+
+    def test_factor_sparsity_zeroes_entries(self):
+        _, factors = planted_nonneg_cp(
+            (40, 40, 40), rank=4, nnz=100, factor_sparsity=0.7, seed=2
+        )
+        frac_zero = np.mean([np.mean(f == 0.0) for f in factors])
+        assert 0.4 < frac_zero < 0.8
+
+    def test_no_dead_rows_with_sparsity(self):
+        _, factors = planted_nonneg_cp(
+            (30, 30, 30), rank=3, nnz=50, factor_sparsity=0.9, seed=3
+        )
+        for f in factors:
+            assert f.any(axis=1).all()
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            planted_nonneg_cp((5, 5), rank=2, nnz=5, factor_sparsity=1.0)
+
+
+class TestPlantedSparseCp:
+    def test_exactly_low_rank(self):
+        t, factors = planted_sparse_cp((15, 12, 10), rank=3, seed=4)
+        model = KruskalTensor(factors)
+        assert np.allclose(t.to_dense(), model.full())
+
+    def test_fit_of_planted_model_is_one(self):
+        t, factors = planted_sparse_cp((15, 12, 10), rank=3, seed=5)
+        assert KruskalTensor(factors).fit(t) == pytest.approx(1.0, abs=1e-8)
+
+    def test_sparsity_increases_with_factor_sparsity(self):
+        dense_t, _ = planted_sparse_cp((15, 12, 10), rank=3, factor_sparsity=0.2, seed=6)
+        sparse_t, _ = planted_sparse_cp((15, 12, 10), rank=3, factor_sparsity=0.8, seed=6)
+        assert sparse_t.nnz < dense_t.nnz
+
+
+class TestFrosttAnalogue:
+    def test_shape_and_nnz(self):
+        t = scaled_frostt_analogue((50, 40, 8), nnz=300, seed=0)
+        assert t.shape == (50, 40, 8)
+        assert t.nnz == 300
+
+    def test_positive_values(self):
+        t = scaled_frostt_analogue((50, 40, 8), nnz=300, seed=0)
+        assert (t.values > 0).all()
+
+    def test_skewed_histogram(self):
+        # With skew, the most popular index should carry far more than the
+        # uniform share of nonzeros.
+        t = scaled_frostt_analogue((200, 50, 10), nnz=2000, seed=1, skew=1.1)
+        counts = t.mode_fiber_counts(0)
+        assert counts.max() > 3 * (t.nnz / t.shape[0])

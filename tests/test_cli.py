@@ -1,0 +1,127 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.tns import write_tns
+from repro.tensor.synthetic import planted_sparse_cp
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["meditate"])
+
+
+class TestDatasets:
+    def test_lists_all_ten(self):
+        code, text = _run(["datasets"])
+        assert code == 0
+        for name in ("nips", "uber", "amazon", "delicious"):
+            assert name in text
+
+    def test_devices(self):
+        code, text = _run(["devices"])
+        assert code == 0
+        assert "A100" in text and "H100" in text
+        assert "2039" in text
+
+
+class TestFactorize:
+    def test_tns_file(self, tmp_path):
+        tensor, _ = planted_sparse_cp((12, 10, 8), rank=2, seed=0)
+        path = tmp_path / "t.tns"
+        write_tns(tensor, path)
+        code, text = _run(
+            ["factorize", str(path), "--rank", "2", "--iters", "15", "--update", "cuadmm"]
+        )
+        assert code == 0
+        assert "fit:" in text
+        assert "UPDATE" in text
+
+    def test_dataset_analogue(self):
+        code, text = _run(
+            ["factorize", "uber", "--rank", "4", "--iters", "2", "--nnz", "2000"]
+        )
+        assert code == 0
+        assert "scaled analogue" in text
+
+    def test_other_update_and_device(self, tmp_path):
+        tensor, _ = planted_sparse_cp((10, 9, 8), rank=2, seed=1)
+        path = tmp_path / "t.tns"
+        write_tns(tensor, path)
+        code, text = _run(
+            ["factorize", str(path), "--rank", "2", "--iters", "3",
+             "--update", "mu", "--device", "cpu", "--format", "alto"]
+        )
+        assert code == 0
+        assert "IceLake" in text
+
+    def test_unknown_dataset_errors(self):
+        with pytest.raises(KeyError):
+            _run(["factorize", "netflix"])
+
+
+class TestPlanAndReport:
+    def test_plan_vast_is_heterogeneous(self):
+        code, text = _run(["plan", "vast"])
+        assert code == 0
+        assert "het:mttkrp=cpu" in text
+        assert "chosen:" in text
+
+    def test_plan_large_is_gpu(self):
+        code, text = _run(["plan", "amazon"])
+        assert code == 0
+        assert "chosen: gpu" in text
+
+    def test_report(self):
+        code, text = _run(["report", "--device", "a100"])
+        assert code == 0
+        assert "GMean" in text
+        assert "delicious" in text
+
+
+class TestAnalyze:
+    def test_analyze_vast(self):
+        code, text = _run(["analyze", "vast"])
+        assert code == 0
+        assert "contention risk" in text
+        assert "MTTKRP" in text
+
+    def test_analyze_delicious_update_bound(self):
+        code, text = _run(["analyze", "delicious"])
+        assert code == 0
+        assert "UPDATE" in text
+        assert "large" in text
+
+
+class TestTrace:
+    def test_factorize_with_trace(self, tmp_path):
+        import json
+
+        tensor, _ = planted_sparse_cp((10, 9, 8), rank=2, seed=2)
+        tns_path = tmp_path / "t.tns"
+        write_tns(tensor, tns_path)
+        trace_path = tmp_path / "trace.json"
+        code, text = _run(
+            ["factorize", str(tns_path), "--rank", "2", "--iters", "2",
+             "--trace", str(trace_path)]
+        )
+        assert code == 0
+        assert "chrome trace written" in text
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "mttkrp_blco" in names
+        assert "fused_auxiliary" in names

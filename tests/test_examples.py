@@ -1,0 +1,47 @@
+"""Examples: compile-check all, execute the fast ones end to end."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+class TestCompile:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLES) >= 5
+
+
+def _run_example(name: str, timeout: int = 240) -> str:
+    path = Path(__file__).parent.parent / "examples" / name
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExecution:
+    def test_quickstart(self):
+        out = _run_example("quickstart.py")
+        assert "factor match score" in out
+        assert "per-iteration" in out
+
+    def test_anomaly_detection_detects(self):
+        out = _run_example("anomaly_detection.py")
+        assert "detection: SUCCESS" in out
+
+    def test_custom_constraint(self):
+        out = _run_example("custom_constraint.py")
+        assert "custom cap" in out
+        assert "nonneg + L1" in out

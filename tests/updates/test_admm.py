@@ -1,0 +1,177 @@
+"""ADMM/cuADMM: numerical equivalence of all four optimization configs,
+constraint satisfaction, convergence behavior, and cost ordering."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gram import gram_chain
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.machine.executor import Executor
+from repro.machine.symbolic import SymArray
+from repro.updates.admm import AdmmUpdate, cuadmm
+
+
+@pytest.fixture
+def subproblem(small3, factors3):
+    """A realistic per-mode subproblem (M, S, H) from a real tensor."""
+    mode = 0
+    m_mat = mttkrp_coo(small3, factors3, mode)
+    s_mat = gram_chain(factors3, skip=mode)
+    h = np.array(factors3[mode])
+    return mode, m_mat, s_mat, h, small3.shape
+
+
+def _run(update, subproblem, device="a100"):
+    mode, m_mat, s_mat, h, shape = subproblem
+    ex = Executor(device)
+    state = update.init_state(shape, h.shape[1])
+    with ex.phase("UPDATE"):
+        out = update.update(ex, mode, m_mat, s_mat, h, state)
+    return out, ex, state
+
+
+ALL_CONFIGS = [
+    dict(),
+    dict(fuse_ops=True),
+    dict(preinvert=True),
+    dict(fuse_ops=True, preinvert=True),
+]
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("config", ALL_CONFIGS[1:])
+    def test_optimizations_change_cost_not_results(self, subproblem, config):
+        """OF and PI are performance transforms: iterates must agree with
+        the baseline to floating-point accuracy."""
+        base, _, _ = _run(AdmmUpdate(inner_iters=10), subproblem)
+        opt, _, _ = _run(AdmmUpdate(inner_iters=10, **config), subproblem)
+        assert np.allclose(base, opt, rtol=1e-8, atol=1e-10)
+
+    def test_cuadmm_factory_is_both_flags(self):
+        u = cuadmm()
+        assert u.fuse_ops and u.preinvert
+        assert u.name == "cuadmm"
+
+    def test_names(self):
+        assert AdmmUpdate().name == "admm"
+        assert AdmmUpdate(fuse_ops=True).name == "admm+OF"
+        assert AdmmUpdate(preinvert=True).name == "admm+PI"
+
+
+class TestConstraints:
+    def test_nonneg_output(self, subproblem):
+        out, _, _ = _run(cuadmm(inner_iters=10), subproblem)
+        assert (out >= 0).all()
+
+    def test_l1_sparsifies(self, subproblem):
+        dense_out, _, _ = _run(AdmmUpdate(constraint="unconstrained"), subproblem)
+        sparse_out, _, _ = _run(
+            AdmmUpdate(constraint="l1", constraint_params={"alpha": 5.0}), subproblem
+        )
+        assert np.mean(sparse_out == 0.0) > np.mean(dense_out == 0.0)
+
+    def test_box_constraint(self, subproblem):
+        out, _, _ = _run(
+            AdmmUpdate(constraint="box", constraint_params={"lo": 0.0, "hi": 0.5}),
+            subproblem,
+        )
+        assert (out >= 0).all() and (out <= 0.5).all()
+
+    def test_unconstrained_approaches_least_squares(self, subproblem):
+        """With no constraint, ADMM converges to the exact LS solution."""
+        mode, m_mat, s_mat, h, shape = subproblem
+        out, _, _ = _run(AdmmUpdate(constraint="unconstrained", inner_iters=200), subproblem)
+        rho = np.trace(s_mat) / h.shape[1]
+        exact = np.linalg.solve(s_mat, m_mat.T).T
+        assert np.allclose(out, exact, rtol=1e-2, atol=1e-3)
+
+
+class TestConvergence:
+    def test_residual_decreases(self, subproblem):
+        """More inner iterations move the iterate closer to the fixed point."""
+        mode, m_mat, s_mat, h, shape = subproblem
+        ref, _, _ = _run(AdmmUpdate(inner_iters=300), subproblem)
+        few, _, _ = _run(AdmmUpdate(inner_iters=2), subproblem)
+        many, _, _ = _run(AdmmUpdate(inner_iters=50), subproblem)
+        assert np.linalg.norm(many - ref) < np.linalg.norm(few - ref)
+
+    def test_tolerance_stops_early(self, subproblem):
+        _, ex_fixed, _ = _run(AdmmUpdate(inner_iters=100, tol=0.0), subproblem)
+        _, ex_tol, _ = _run(AdmmUpdate(inner_iters=100, tol=1e-3), subproblem)
+        assert (
+            ex_tol.timeline.kernel_seconds.get("dgeam_aux", 0.0)
+            < ex_fixed.timeline.kernel_seconds.get("dgeam_aux", 0.0)
+        )
+
+    def test_dual_state_warm_start(self, subproblem):
+        """The dual variable persists in state and is reused next visit."""
+        mode, m_mat, s_mat, h, shape = subproblem
+        update = AdmmUpdate(inner_iters=5)
+        state = update.init_state(shape, h.shape[1])
+        ex = Executor("a100")
+        update.update(ex, mode, m_mat, s_mat, h, state)
+        assert state["dual"][mode].any()
+
+    def test_requires_state_when_concrete(self, subproblem):
+        mode, m_mat, s_mat, h, _ = subproblem
+        with pytest.raises(ValueError, match="state"):
+            AdmmUpdate().update(Executor("a100"), mode, m_mat, s_mat, h, {})
+
+
+class TestCostOrdering:
+    def _update_seconds(self, update, rows=200_000, rank=32, device="h100"):
+        ex = Executor(device)
+        with ex.phase("UPDATE"):
+            update.update(
+                ex, 0, SymArray((rows, rank)), SymArray((rank, rank)), SymArray((rows, rank)), {}
+            )
+        return ex.timeline.seconds("UPDATE")
+
+    def test_each_optimization_helps_on_gpu(self):
+        base = self._update_seconds(AdmmUpdate())
+        of = self._update_seconds(AdmmUpdate(fuse_ops=True))
+        pi = self._update_seconds(AdmmUpdate(preinvert=True))
+        both = self._update_seconds(cuadmm())
+        assert of < base
+        assert pi < base
+        assert both < min(of, pi)
+
+    def test_preinversion_matters_less_on_cpu(self):
+        """CPUs handle triangular solves well (high trsm efficiency), so PI
+        buys much less than on the GPU — the reason SPLATT never needed it."""
+        gpu_gain = self._update_seconds(AdmmUpdate(), device="h100") / self._update_seconds(
+            AdmmUpdate(preinvert=True), device="h100"
+        )
+        cpu_gain = self._update_seconds(AdmmUpdate(), device="cpu") / self._update_seconds(
+            AdmmUpdate(preinvert=True), device="cpu"
+        )
+        assert gpu_gain > cpu_gain
+
+    def test_fixed_iterations_in_symbolic_mode(self):
+        """NaN residuals must never trigger early exit."""
+        ex = Executor("a100")
+        update = AdmmUpdate(inner_iters=7, tol=0.5)
+        update.update(ex, 0, SymArray((100, 8)), SymArray((8, 8)), SymArray((100, 8)), {})
+        # 7 iterations × 1 fused-free aux kernel each.
+        assert ex.timeline.kernel_seconds["dgeam_aux"] > 0
+        count = sum(1 for _ in range(1))  # records not kept; check via launches
+        assert ex.timeline.launch_count > 7  # at least one kernel per iteration
+
+    def test_symbolic_concrete_same_cost(self, subproblem):
+        """Paper-scale analytic runs must charge exactly what a concrete run
+        charges at equal shape (the analytic-mode contract)."""
+        mode, m_mat, s_mat, h, shape = subproblem
+        update = AdmmUpdate(inner_iters=4)
+        _, ex_c, _ = _run(update, subproblem)
+        ex_s = Executor("a100")
+        update.update(
+            ex_s,
+            mode,
+            SymArray(m_mat.shape),
+            SymArray(s_mat.shape),
+            SymArray(h.shape),
+            {},
+        )
+        assert ex_s.timeline.total_seconds() == pytest.approx(
+            ex_c.timeline.total_seconds(), rel=1e-12
+        )

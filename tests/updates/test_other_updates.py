@@ -1,0 +1,173 @@
+"""HALS, MU, ALS and APG updates: correctness, monotonicity, symbolic parity."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gram import gram_chain
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.machine.executor import Executor
+from repro.machine.symbolic import SymArray, is_symbolic
+from repro.updates.als import AlsUpdate
+from repro.updates.apg import ApgUpdate
+from repro.updates.base import UPDATE_REGISTRY, get_update
+from repro.updates.hals import HalsUpdate
+from repro.updates.mu import MuUpdate
+
+
+@pytest.fixture
+def subproblem(small3, factors3):
+    mode = 1
+    m_mat = mttkrp_coo(small3, factors3, mode)
+    s_mat = gram_chain(factors3, skip=mode)
+    return mode, m_mat, s_mat, np.array(factors3[mode]), small3.shape
+
+
+def _loss(h, m_mat, s_mat, x_norm_sq):
+    """The per-mode quadratic objective ½‖X₍ₙ₎ - H·KRPᵀ‖² up to a constant:
+    ½tr(HSHᵀ) - tr(HᵀM) + ½‖X‖²."""
+    return 0.5 * np.trace(h @ s_mat @ h.T) - np.trace(h.T @ m_mat) + 0.5 * x_norm_sq
+
+
+def _run(update, subproblem):
+    mode, m_mat, s_mat, h, shape = subproblem
+    ex = Executor("a100")
+    state = update.init_state(shape, h.shape[1])
+    out = update.update(ex, mode, m_mat, s_mat, h, state)
+    return out, ex
+
+
+class TestMu:
+    def test_nonneg_preserved(self, subproblem):
+        out, _ = _run(MuUpdate(), subproblem)
+        assert (out > 0).all()
+
+    def test_loss_nonincreasing(self, subproblem, small3):
+        """Lee-Seung guarantee: MU never increases the objective."""
+        mode, m_mat, s_mat, h, _ = subproblem
+        x2 = small3.norm() ** 2
+        before = _loss(h, m_mat, s_mat, x2)
+        out, _ = _run(MuUpdate(), subproblem)
+        assert _loss(out, m_mat, s_mat, x2) <= before + 1e-9
+
+    def test_multiple_iters_progress(self, subproblem, small3):
+        mode, m_mat, s_mat, h, _ = subproblem
+        x2 = small3.norm() ** 2
+        one, _ = _run(MuUpdate(iters=1), subproblem)
+        five, _ = _run(MuUpdate(iters=5), subproblem)
+        assert _loss(five, m_mat, s_mat, x2) <= _loss(one, m_mat, s_mat, x2) + 1e-9
+
+    def test_fixed_point_of_exact_solution(self, subproblem):
+        """If H already solves HS=M (elementwise positive), MU leaves it be."""
+        mode, m_mat, s_mat, h, shape = subproblem
+        h_star = np.abs(np.linalg.solve(s_mat, m_mat.T).T) + 0.1
+        m_star = h_star @ s_mat
+        out = MuUpdate().update(Executor("a100"), mode, m_star, s_mat, h_star, {})
+        assert np.allclose(out, h_star, rtol=1e-10)
+
+    def test_symbolic_parity(self, subproblem):
+        mode, m_mat, s_mat, h, _ = subproblem
+        _, ex_c = _run(MuUpdate(), subproblem)
+        ex_s = Executor("a100")
+        MuUpdate().update(ex_s, mode, SymArray(m_mat.shape), SymArray(s_mat.shape), SymArray(h.shape), {})
+        assert ex_s.timeline.total_seconds() == pytest.approx(ex_c.timeline.total_seconds())
+
+
+class TestHals:
+    def test_nonneg_preserved(self, subproblem):
+        out, _ = _run(HalsUpdate(), subproblem)
+        assert (out >= 0).all()
+
+    def test_loss_nonincreasing(self, subproblem, small3):
+        mode, m_mat, s_mat, h, _ = subproblem
+        x2 = small3.norm() ** 2
+        out, _ = _run(HalsUpdate(), subproblem)
+        assert _loss(out, m_mat, s_mat, x2) <= _loss(h, m_mat, s_mat, x2) + 1e-9
+
+    def test_more_sweeps_no_worse(self, subproblem, small3):
+        mode, m_mat, s_mat, h, _ = subproblem
+        x2 = small3.norm() ** 2
+        one, _ = _run(HalsUpdate(sweeps=1), subproblem)
+        four, _ = _run(HalsUpdate(sweeps=4), subproblem)
+        assert _loss(four, m_mat, s_mat, x2) <= _loss(one, m_mat, s_mat, x2) + 1e-9
+
+    def test_symbolic_parity(self, subproblem):
+        mode, m_mat, s_mat, h, _ = subproblem
+        _, ex_c = _run(HalsUpdate(sweeps=2), subproblem)
+        ex_s = Executor("a100")
+        HalsUpdate(sweeps=2).update(
+            ex_s, mode, SymArray(m_mat.shape), SymArray(s_mat.shape), SymArray(h.shape), {}
+        )
+        assert ex_s.timeline.total_seconds() == pytest.approx(ex_c.timeline.total_seconds())
+
+    def test_symbolic_returns_symarray(self, subproblem):
+        mode, m_mat, s_mat, h, _ = subproblem
+        out = HalsUpdate().update(
+            Executor("a100"), mode, SymArray(m_mat.shape), SymArray(s_mat.shape), SymArray(h.shape), {}
+        )
+        assert is_symbolic(out)
+
+
+class TestAls:
+    def test_exact_least_squares(self, subproblem):
+        mode, m_mat, s_mat, h, _ = subproblem
+        out, _ = _run(AlsUpdate(), subproblem)
+        assert np.allclose(out @ s_mat, m_mat, rtol=1e-6, atol=1e-8)
+
+    def test_not_nonnegative(self):
+        assert AlsUpdate().nonnegative is False
+
+    def test_loss_at_minimum(self, subproblem, small3):
+        """No constrained method can beat the unconstrained LS optimum."""
+        mode, m_mat, s_mat, h, _ = subproblem
+        x2 = small3.norm() ** 2
+        ls, _ = _run(AlsUpdate(), subproblem)
+        for factory in (MuUpdate, HalsUpdate):
+            constrained, _ = _run(factory(), subproblem)
+            assert _loss(ls, m_mat, s_mat, x2) <= _loss(constrained, m_mat, s_mat, x2) + 1e-9
+
+
+class TestApg:
+    def test_nonneg_preserved(self, subproblem):
+        out, _ = _run(ApgUpdate(inner_iters=10), subproblem)
+        assert (out >= 0).all()
+
+    def test_loss_improves_over_start(self, subproblem, small3):
+        mode, m_mat, s_mat, h, _ = subproblem
+        x2 = small3.norm() ** 2
+        out, _ = _run(ApgUpdate(inner_iters=20), subproblem)
+        assert _loss(out, m_mat, s_mat, x2) < _loss(h, m_mat, s_mat, x2)
+
+    def test_momentum_state_persists(self, subproblem):
+        mode, m_mat, s_mat, h, shape = subproblem
+        update = ApgUpdate(inner_iters=5)
+        state = update.init_state(shape, h.shape[1])
+        update.update(Executor("a100"), mode, m_mat, s_mat, h, state)
+        assert state["t"][mode] > 1.0
+
+    def test_symbolic_runs(self, subproblem):
+        mode, m_mat, s_mat, h, _ = subproblem
+        out = ApgUpdate(inner_iters=3).update(
+            Executor("a100"), mode, SymArray(m_mat.shape), SymArray(s_mat.shape), SymArray(h.shape), {}
+        )
+        assert is_symbolic(out)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["admm", "cuadmm", "admm_of", "admm_pi", "hals", "mu", "als", "apg"])
+    def test_all_registered(self, name):
+        assert get_update(name) is not None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown update"):
+            get_update("sgd")
+
+    def test_instance_passthrough(self):
+        u = MuUpdate()
+        assert get_update(u) is u
+
+    def test_kwargs_forwarded(self):
+        u = get_update("admm", inner_iters=3)
+        assert u.inner_iters == 3
+
+    def test_registry_has_core_methods(self):
+        assert {"admm", "cuadmm", "hals", "mu"} <= set(UPDATE_REGISTRY)
