@@ -30,6 +30,16 @@ from repro.data.frostt import FROSTT_TABLE2, get_dataset
 from repro.machine.analytic import TensorStats
 from repro.machine.executor import Executor
 from repro.machine.spec import A100, H100, ICELAKE_XEON, DeviceSpec, get_device
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    ResilienceError,
+    ResilienceEvent,
+    ResiliencePolicy,
+    guarded_cholesky,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.tensor.coo import SparseTensor
 from repro.tensor.synthetic import (
     planted_nonneg_cp,
@@ -62,5 +72,13 @@ __all__ = [
     "planted_nonneg_cp",
     "planted_sparse_cp",
     "scaled_frostt_analogue",
+    "FaultInjector",
+    "FaultSpec",
+    "ResilienceError",
+    "ResilienceEvent",
+    "ResiliencePolicy",
+    "guarded_cholesky",
+    "load_checkpoint",
+    "save_checkpoint",
     "__version__",
 ]

@@ -39,6 +39,22 @@ class CstfConfig:
         Track the model fit each outer iteration (concrete mode only).
     seed:
         Factor initialization seed.
+    resilience:
+        Numerical-resilience policy: ``None`` (default policy, sentinel
+        ``"repair"``), a :class:`~repro.resilience.ResiliencePolicy`, one of
+        ``"raise"``/``"repair"``/``"warn"`` (default policy with that
+        sentinel behavior), or ``"off"`` (historical fail-fast behavior).
+    checkpoint_every:
+        Write an atomic checkpoint every K outer iterations (0 disables).
+        Requires ``checkpoint_path``.
+    checkpoint_path:
+        Destination file for checkpoints (``.npz``).
+    resume_from:
+        Path of a checkpoint to continue from; the resumed run reproduces
+        the uninterrupted run bit-identically. Concrete tensors only.
+    fault_injector:
+        A :class:`~repro.resilience.FaultInjector` corrupting intermediates
+        at chosen phases (testing only).
     """
 
     rank: int = 32
@@ -56,10 +72,22 @@ class CstfConfig:
     :class:`~repro.core.kruskal.KruskalTensor`) used instead of random
     initialization. Weights of a KruskalTensor are folded into the factors."""
 
+    resilience: object = None
+    checkpoint_every: int = 0
+    checkpoint_path: object = None
+    resume_from: object = None
+    fault_injector: object = None
+
     def __post_init__(self):
         self.rank = check_rank(self.rank)
         self.max_iters = check_positive_int(self.max_iters, "max_iters")
         require(self.tol >= 0.0, "tol must be non-negative")
+        self.checkpoint_every = int(self.checkpoint_every)
+        require(self.checkpoint_every >= 0, "checkpoint_every must be >= 0")
+        require(
+            self.checkpoint_every == 0 or self.checkpoint_path is not None,
+            "checkpoint_every > 0 requires checkpoint_path",
+        )
         require(
             self.mttkrp_format in _FORMATS,
             f"mttkrp_format must be one of {_FORMATS}, got {self.mttkrp_format!r}",

@@ -37,12 +37,17 @@ from repro.kernels.mttkrp_csf import mttkrp_csf
 from repro.machine.analytic import TensorStats, charge_mttkrp
 from repro.machine.executor import Executor
 from repro.machine.symbolic import SymArray
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from repro.resilience.events import CHECKPOINT_RESUMED, CHECKPOINT_SAVED, ResilienceEvent
+from repro.resilience.guards import ensure_finite
+from repro.resilience.policy import STATE_KEY, ResilienceContext, ResiliencePolicy
 from repro.tensor.alto import AltoTensor
 from repro.tensor.blco import BlcoTensor
 from repro.tensor.coo import SparseTensor
 from repro.tensor.csf import CsfTensor
 from repro.updates.base import get_update
 from repro.utils.rng import as_generator
+from repro.utils.validation import require
 
 __all__ = ["CstfResult", "cstf"]
 
@@ -61,6 +66,12 @@ class CstfResult:
     converged: bool
     fits: list[float] = field(default_factory=list)
 
+    events: list[ResilienceEvent] = field(default_factory=list)
+    """Every recovery/injection/checkpoint action taken during the run."""
+
+    start_iteration: int = 0
+    """Outer iteration the run (re)started from; nonzero after a resume."""
+
     @property
     def timeline(self):
         return self.executor.timeline
@@ -69,13 +80,20 @@ class CstfResult:
     def fit(self) -> float | None:
         return self.fits[-1] if self.fits else None
 
+    @property
+    def recoveries(self) -> int:
+        """Number of resilience events excluding checkpoint bookkeeping."""
+        skip = (CHECKPOINT_SAVED, CHECKPOINT_RESUMED)
+        return sum(1 for e in self.events if e.kind not in skip)
+
     def per_iteration_seconds(self) -> float:
-        """Simulated seconds per outer iteration over the four timed phases."""
+        """Simulated seconds per outer iteration over the four timed phases
+        (iterations executed by *this* process, for resumed runs)."""
         timed = sum(
             self.timeline.seconds(p)
             for p in (PHASE_GRAM, PHASE_MTTKRP, PHASE_UPDATE, PHASE_NORMALIZE)
         )
-        return timed / max(self.iterations, 1)
+        return timed / max(self.iterations - self.start_iteration, 1)
 
 
 class _ConcreteMttkrp:
@@ -188,6 +206,30 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
     rank = config.rank
     shape = tensor.shape
 
+    # Resilience plumbing: one policy + event log per run, threaded to the
+    # update methods through their state dict. Analytic (symbolic) runs have
+    # no numerics to guard.
+    policy = ResiliencePolicy.resolve(config.resilience)
+    ctx = ResilienceContext(policy) if (policy is not None and not analytic) else None
+    injector = config.fault_injector
+    require(
+        injector is None or not analytic,
+        "fault injection requires a concrete tensor (analytic runs have no numerics)",
+    )
+
+    checkpoint = None
+    if config.resume_from is not None:
+        require(not analytic, "resume_from requires a concrete tensor")
+        checkpoint = load_checkpoint(config.resume_from)
+        require(
+            checkpoint.shape == tuple(shape),
+            f"checkpoint shape {checkpoint.shape} does not match tensor {tuple(shape)}",
+        )
+        require(
+            checkpoint.rank == rank,
+            f"checkpoint rank {checkpoint.rank} does not match config rank {rank}",
+        )
+
     if analytic:
         mttkrp_engine = _SymbolicMttkrp(tensor, config.mttkrp_format)
         factors = [SymArray((dim, rank)) for dim in shape]
@@ -198,33 +240,73 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
                 f"tensor must be SparseTensor or TensorStats, got {type(tensor).__name__}"
             )
         mttkrp_engine = _ConcreteMttkrp(tensor, config.mttkrp_format)
-        factors = _init_factors(
-            shape, rank, update.nonnegative, config.seed, config.init_factors
-        )
-        weights = np.ones(rank, dtype=np.float64)
+        if checkpoint is not None:
+            factors = [np.array(f, dtype=np.float64) for f in checkpoint.factors]
+            weights = np.array(checkpoint.weights, dtype=np.float64)
+        else:
+            factors = _init_factors(
+                shape, rank, update.nonnegative, config.seed, config.init_factors
+            )
+            weights = np.ones(rank, dtype=np.float64)
 
     # Analytic runs must not allocate concrete per-mode state (dual
     # variables at paper scale would be gigabytes); updates detect symbolic
     # operands and synthesize shape-only state on the fly.
     state = {} if analytic else update.init_state(tuple(shape), rank)
+    if checkpoint is not None:
+        # Restore the update method's array state (ADMM duals) and, for
+        # resumed fault campaigns, the injector's RNG stream.
+        state.update(checkpoint.state_arrays)
+        if injector is not None and checkpoint.rng_state is not None:
+            injector.set_rng_state(checkpoint.rng_state)
+    if ctx is not None:
+        state[STATE_KEY] = ctx
     ndim = len(shape)
 
-    # Initial Gram cache (line 4 of Algorithm 1).
-    with ex.phase(PHASE_GRAM):
-        grams = [ex.gram(f) for f in factors]
+    if checkpoint is not None:
+        # The Gram cache resumes from the checkpoint verbatim — recomputing
+        # it would give the same bits, but the saved arrays are the record.
+        grams = [np.array(g, dtype=np.float64) for g in checkpoint.grams]
+        if ctx is not None:
+            ctx.events.record(
+                CHECKPOINT_RESUMED, "CHECKPOINT", iteration=checkpoint.iteration,
+                detail=f"resumed from {config.resume_from} at outer iteration "
+                       f"{checkpoint.iteration}",
+            )
+    else:
+        # Initial Gram cache (line 4 of Algorithm 1).
+        with ex.phase(PHASE_GRAM):
+            grams = [ex.gram(f) for f in factors]
 
-    fits: list[float] = []
+    fits: list[float] = list(checkpoint.fits) if checkpoint is not None else []
     converged = False
-    iterations = 0
-    for _ in range(config.max_iters):
+    start_iteration = checkpoint.iteration if checkpoint is not None else 0
+    iterations = start_iteration
+    events = ctx.events if ctx is not None else None
+    for _ in range(start_iteration, config.max_iters):
         iterations += 1
         for mode in range(ndim):
             needs_tensor = getattr(update, "needs_tensor", False)
             if not needs_tensor:
                 with ex.phase(PHASE_GRAM):
                     s_mat = _gram_chain(ex, grams, mode, rank, analytic)
+                if injector is not None:
+                    s_mat = injector.inject(
+                        PHASE_GRAM, s_mat, mode=mode, iteration=iterations,
+                        events=events,
+                    )
                 with ex.phase(PHASE_MTTKRP):
                     m_mat = mttkrp_engine.compute(ex, factors, mode, rank)
+                if injector is not None:
+                    m_mat = injector.inject(
+                        PHASE_MTTKRP, m_mat, mode=mode, iteration=iterations,
+                        events=events,
+                    )
+                # Phase-boundary sentinel (host-side; charges no device time).
+                m_mat = ensure_finite(
+                    m_mat, ctx, phase=PHASE_MTTKRP, what="MTTKRP result",
+                    mode=mode, iteration=iterations,
+                )
             with ex.phase(PHASE_UPDATE):
                 # The update solves for the unnormalized factor H·diag(λ);
                 # reapply the weights to warm-start from the current model.
@@ -237,8 +319,31 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
                     )
                 else:
                     h_new = update.update(ex, mode, m_mat, s_mat, h_start, state)
+            if injector is not None:
+                h_new = injector.inject(
+                    PHASE_UPDATE, h_new, mode=mode, iteration=iterations,
+                    events=events,
+                )
+            h_new = ensure_finite(
+                h_new, ctx, phase=PHASE_UPDATE, what=f"mode-{mode} factor update",
+                mode=mode, iteration=iterations,
+            )
             with ex.phase(PHASE_NORMALIZE):
                 factors[mode], weights = ex.normalize_columns(h_new, kind=config.normalize)
+            if injector is not None:
+                factors[mode] = injector.inject(
+                    PHASE_NORMALIZE, factors[mode], mode=mode,
+                    iteration=iterations, events=events,
+                )
+            factors[mode] = ensure_finite(
+                factors[mode], ctx, phase=PHASE_NORMALIZE,
+                what=f"normalized mode-{mode} factor", mode=mode,
+                iteration=iterations,
+            )
+            weights = ensure_finite(
+                weights, ctx, phase=PHASE_NORMALIZE, what="weight vector λ",
+                mode=mode, iteration=iterations,
+            )
             with ex.phase(PHASE_GRAM):
                 grams[mode] = ex.gram(factors[mode])
 
@@ -253,7 +358,16 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
                 and abs(fits[-1] - fits[-2]) < config.tol
             ):
                 converged = True
-                break
+
+        if (
+            config.checkpoint_every > 0
+            and not analytic
+            and iterations % config.checkpoint_every == 0
+        ):
+            _write_checkpoint(config, update, shape, rank, iterations,
+                              factors, weights, grams, fits, state, ctx)
+        if converged:
+            break
 
     kruskal = None if analytic else KruskalTensor(factors, weights)
     return CstfResult(
@@ -262,7 +376,37 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
         iterations=iterations,
         converged=converged,
         fits=fits,
+        events=list(ctx.events) if ctx is not None else [],
+        start_iteration=start_iteration,
     )
+
+
+def _write_checkpoint(config, update, shape, rank, iteration, factors, weights,
+                      grams, fits, state, ctx) -> None:
+    """Persist the AO-loop state atomically and log the save."""
+    injector = config.fault_injector
+    state_arrays = {k: v for k, v in state.items() if k != STATE_KEY}
+    save_checkpoint(
+        config.checkpoint_path,
+        iteration=iteration,
+        factors=factors,
+        weights=weights,
+        grams=grams,
+        fits=fits,
+        state_arrays=state_arrays,
+        rng_state=injector.rng_state() if injector is not None else None,
+        meta={
+            "shape": [int(d) for d in shape],
+            "rank": int(rank),
+            "update": getattr(update, "name", str(config.update)),
+        },
+    )
+    if ctx is not None:
+        ctx.events.record(
+            CHECKPOINT_SAVED, "CHECKPOINT", iteration=iteration,
+            detail=f"checkpoint written to {config.checkpoint_path} "
+                   f"after outer iteration {iteration}",
+        )
 
 
 def _gram_chain(ex: Executor, grams, skip: int, rank: int, analytic: bool):

@@ -24,8 +24,20 @@ from repro.utils.validation import require
 __all__ = ["read_tns", "write_tns"]
 
 
-def read_tns(source, shape=None) -> SparseTensor:
-    """Parse a ``.tns`` file (path, string content, or file object)."""
+def read_tns(source, shape=None, *, dedupe: bool = False) -> SparseTensor:
+    """Parse a ``.tns`` file (path, string content, or file object).
+
+    Every malformed line is reported with its 1-based line number — an
+    unparsable coordinate or value never surfaces as a bare
+    ``ValueError: could not convert string to float``. Non-finite values
+    (``nan``/``inf``) are rejected outright: they would silently poison
+    every Gram matrix and fit downstream.
+
+    Duplicate coordinates are rejected by default — in a file exported by
+    well-behaved tooling they almost always indicate a corrupted or
+    double-concatenated dump. Pass ``dedupe=True`` to opt into the
+    coalescing (values summed) semantics instead.
+    """
     if isinstance(source, (str, Path)) and "\n" not in str(source):
         text = Path(source).read_text()
     elif isinstance(source, str):
@@ -33,31 +45,78 @@ def read_tns(source, shape=None) -> SparseTensor:
     else:
         text = source.read()
 
-    rows = []
+    rows = []  # (source line number, tokens)
     for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.split("#", 1)[0].strip()
         if not stripped:
             continue
         parts = stripped.split()
         require(len(parts) >= 2, f"line {lineno}: need at least one index and a value")
-        rows.append(parts)
+        rows.append((lineno, parts))
 
     require(bool(rows), "no nonzeros found in .tns input")
-    ndim = len(rows[0]) - 1
-    for lineno, parts in enumerate(rows, start=1):
+    ndim = len(rows[0][1]) - 1
+    index_rows = []
+    value_list = []
+    for lineno, parts in rows:
         require(
             len(parts) == ndim + 1,
-            f"inconsistent column count at data row {lineno} "
+            f"line {lineno}: inconsistent column count "
             f"({len(parts)} vs {ndim + 1})",
         )
+        try:
+            coords = [int(p) for p in parts[:-1]]
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed coordinate in {parts[:-1]!r} "
+                f"(coordinates must be integers)"
+            ) from None
+        try:
+            value = float(parts[-1])
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed value {parts[-1]!r} "
+                f"(must be a real number)"
+            ) from None
+        require(
+            bool(np.isfinite(value)),
+            f"line {lineno}: non-finite value {parts[-1]!r} "
+            f"(NaN/inf would silently poison Gram matrices and fits)",
+        )
+        require(
+            all(c >= 1 for c in coords),
+            f"line {lineno}: .tns coordinates are 1-indexed; found index < 1",
+        )
+        index_rows.append(coords)
+        value_list.append(value)
 
-    indices = np.array([[int(p) for p in parts[:-1]] for parts in rows], dtype=np.int64)
-    values = np.array([float(parts[-1]) for parts in rows], dtype=np.float64)
-    require(bool((indices >= 1).all()), ".tns coordinates are 1-indexed; found index < 1")
+    indices = np.array(index_rows, dtype=np.int64)
+    values = np.array(value_list, dtype=np.float64)
+    if not dedupe:
+        _reject_duplicates(indices, rows)
     indices -= 1  # to 0-indexed
     if shape is None:
         shape = tuple(int(m) + 1 for m in indices.max(axis=0))
     return SparseTensor(indices, values, shape)
+
+
+def _reject_duplicates(indices: np.ndarray, rows) -> None:
+    """Raise with the offending line numbers if any coordinate repeats."""
+    _, first, counts = np.unique(
+        indices, axis=0, return_index=True, return_counts=True
+    )
+    if not (counts > 1).any():
+        return
+    dup_row = int(first[counts > 1][0])
+    coord = indices[dup_row]
+    offenders = [
+        rows[r][0] for r in range(len(rows)) if np.array_equal(indices[r], coord)
+    ]
+    raise ValueError(
+        f"duplicate coordinate {tuple(int(c) for c in coord)} on lines "
+        f"{offenders} — pass dedupe=True to coalesce duplicates "
+        f"(values summed) instead"
+    )
 
 
 def write_tns(tensor: SparseTensor, target) -> None:

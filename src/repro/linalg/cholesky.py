@@ -22,8 +22,15 @@ def cholesky_factor(spd: np.ndarray) -> np.ndarray:
     """Lower-triangular ``L`` with ``spd = L Lᵀ``.
 
     Raises :class:`numpy.linalg.LinAlgError` if *spd* is not positive
-    definite — in the ADMM setting this cannot happen because ``ρI`` is
-    always added (diagonal loading; see Section 4.3.2 of the paper).
+    definite. Diagonal loading (``S + ρI``, Section 4.3.2 of the paper)
+    makes this rare in the ADMM setting, but it *does* happen in practice:
+    a Gram chain built from rank-deficient or numerically damaged factors
+    can carry negative eigenvalues larger than ρ, and a single non-finite
+    entry anywhere upstream lands here as a LAPACK failure. Long-running
+    campaigns should go through
+    :func:`repro.resilience.guarded_cholesky`, which sanitizes non-finite
+    inputs and retries with bounded escalating diagonal jitter instead of
+    aborting the run.
     """
     spd = np.asarray(spd, dtype=np.float64)
     require(spd.ndim == 2 and spd.shape[0] == spd.shape[1], "matrix must be square")

@@ -1,0 +1,153 @@
+"""Deterministic fault injection for resilience testing.
+
+A :class:`FaultInjector` corrupts intermediate arrays at chosen cSTF phases
+with chosen probabilities, driven entirely by one seeded
+:class:`numpy.random.Generator` — so a fault campaign is exactly
+reproducible from its seed, and the injector's RNG state can be
+checkpointed alongside the run (a resumed faulty run replays the *same*
+remaining faults).
+
+Fault kinds:
+
+- ``"nan"`` / ``"inf"`` — overwrite ``count`` random entries.
+- ``"perturb"`` — multiply ``count`` random entries by ``magnitude``
+  (finite but wildly wrong values; exercises divergence detection rather
+  than NaN sentinels).
+- ``"indefinite"`` — subtract ``magnitude × diag-scale × I`` from a square
+  matrix, destroying positive definiteness (exercises the guarded
+  Cholesky); falls back to ``"perturb"`` on non-square targets.
+
+Used by the ``faults``-marked test suite to prove every recovery path in
+:mod:`repro.resilience` actually fires; see ``scripts/run_fault_suite.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.resilience.events import FAULT_INJECTED, EventLog
+from repro.utils.rng import as_generator
+from repro.utils.validation import require
+
+__all__ = ["FaultSpec", "FaultInjector", "INJECTABLE_PHASES"]
+
+#: Driver phases at which the injector can corrupt an intermediate.
+INJECTABLE_PHASES = ("GRAM", "MTTKRP", "UPDATE", "NORMALIZE")
+
+_KINDS = ("nan", "inf", "perturb", "indefinite")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault pattern: where, what, how often, how hard."""
+
+    phase: str
+    kind: str = "nan"
+    probability: float = 1.0
+    magnitude: float = 1e6
+    count: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "phase", str(self.phase).upper())
+        require(
+            self.phase in INJECTABLE_PHASES,
+            f"fault phase must be one of {INJECTABLE_PHASES}, got {self.phase!r}",
+        )
+        require(self.kind in _KINDS, f"fault kind must be one of {_KINDS}, got {self.kind!r}")
+        require(0.0 <= self.probability <= 1.0, "probability must be in [0, 1]")
+        require(self.count >= 1, "count must be >= 1")
+
+
+class FaultInjector:
+    """Seeded, phase-targeted corruption of intermediate arrays.
+
+    Parameters
+    ----------
+    specs:
+        One or more :class:`FaultSpec` (a single spec may be passed bare).
+    seed:
+        Seed for the injector's private generator. Determinism contract:
+        the *k*-th call to :meth:`inject` always draws the same randomness
+        for a given seed, independent of the arrays' contents.
+    """
+
+    def __init__(self, specs, seed=0):
+        if isinstance(specs, FaultSpec):
+            specs = [specs]
+        self.specs = list(specs)
+        require(bool(self.specs), "need at least one FaultSpec")
+        for s in self.specs:
+            require(isinstance(s, FaultSpec), f"expected FaultSpec, got {type(s).__name__}")
+        self.rng = as_generator(seed)
+        self.injected = 0
+
+    # ------------------------------------------------------------------ #
+    # RNG state (for checkpoint/resume of faulty campaigns)
+    # ------------------------------------------------------------------ #
+    def rng_state(self) -> dict:
+        return self.rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------ #
+    def inject(
+        self,
+        phase: str,
+        array,
+        *,
+        mode: int | None = None,
+        iteration: int | None = None,
+        events: EventLog | None = None,
+    ):
+        """Return *array*, possibly corrupted per the matching specs.
+
+        Non-ndarray inputs (symbolic placeholders) pass through untouched,
+        but the RNG is still advanced per matching spec so concrete and
+        symbolic campaigns stay in lockstep.
+        """
+        phase = str(phase).upper()
+        out = array
+        for spec in self.specs:
+            if spec.phase != phase:
+                continue
+            fire = bool(self.rng.random() < spec.probability)
+            if not fire or not isinstance(out, np.ndarray):
+                if fire:
+                    # Burn the position draws so the stream stays aligned.
+                    self.rng.integers(0, 2**31, size=spec.count)
+                continue
+            out = self._corrupt(out, spec)
+            self.injected += 1
+            if events is not None:
+                events.record(
+                    FAULT_INJECTED, phase, mode=mode, iteration=iteration,
+                    detail=f"injected {spec.kind} fault "
+                           f"(count={spec.count}, magnitude={spec.magnitude:g})",
+                    fault_kind=spec.kind, count=spec.count,
+                )
+        return out
+
+    def _corrupt(self, array: np.ndarray, spec: FaultSpec) -> np.ndarray:
+        out = np.array(array, dtype=np.float64, copy=True)
+        if spec.kind == "indefinite" and out.ndim == 2 and out.shape[0] == out.shape[1]:
+            # Keep the draw count identical to the element-wise kinds.
+            self.rng.integers(0, 2**31, size=spec.count)
+            rank = out.shape[0]
+            scale = max(abs(float(np.trace(out))) / rank, 1.0)
+            out -= spec.magnitude * scale * np.eye(rank)
+            return out
+        flat_positions = self.rng.integers(0, 2**31, size=spec.count) % max(out.size, 1)
+        flat = out.ravel()
+        if spec.kind == "nan":
+            flat[flat_positions] = np.nan
+        elif spec.kind == "inf":
+            flat[flat_positions] = np.inf
+        else:  # "perturb", and "indefinite" on non-square arrays
+            flat[flat_positions] = flat[flat_positions] * spec.magnitude + spec.magnitude
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjector(specs={len(self.specs)}, injected={self.injected})"

@@ -1,0 +1,239 @@
+"""Guarded linear algebra and phase-boundary sentinels.
+
+``cholesky_factor`` raises :class:`numpy.linalg.LinAlgError` the moment a
+Gram chain loses positive definiteness — which *does* happen in long
+AO-ADMM campaigns when factors lose rank or a kernel produces garbage
+(cf. Huang et al.'s conditioning discussion). The guarded wrappers here
+never pass a non-finite operand to LAPACK and retry a failed factorization
+with bounded, escalating diagonal jitter ``S + (ρ + δ_k)I`` (δ doubling),
+recording every recovery as a structured event.
+
+The sentinels (:func:`ensure_finite`) are the driver's phase-boundary
+checks: pure host-side validation that charges **no** simulated kernel
+time, so resilient and non-resilient runs produce identical timelines when
+nothing goes wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.cholesky import cholesky_factor, cholesky_solve
+from repro.resilience.events import (
+    CHOLESKY_JITTER,
+    CHOLESKY_RECOVERED,
+    NONFINITE_INPUT,
+    SENTINEL_REPAIR,
+    SENTINEL_WARN,
+    EventLog,
+    ResilienceError,
+)
+from repro.resilience.policy import ResilienceContext, ResiliencePolicy
+
+__all__ = [
+    "guarded_cholesky",
+    "guarded_spd_inverse",
+    "sanitize_nonfinite",
+    "ensure_finite",
+]
+
+
+def _diag_scale(s: np.ndarray) -> float:
+    """Characteristic diagonal magnitude used to scale the initial jitter."""
+    rank = s.shape[0]
+    trace = float(np.trace(s))
+    return max(abs(trace) / max(rank, 1), 1.0)
+
+
+def _spd_deficit(s: np.ndarray, rho: float) -> float:
+    """Shift that provably restores positive definiteness of ``s + ρI``.
+
+    ``δ > -λ_min(s) - ρ`` guarantees SPD; the small relative margin covers
+    factorization round-off. Eigenvalues of the R×R system matrix are cheap
+    next to one retried DPOTRF. Returns 0 when ρ alone should suffice (the
+    failure was round-off level; the caller's doubling handles it).
+    """
+    try:
+        lam_min = float(np.linalg.eigvalsh(s)[0])
+    except np.linalg.LinAlgError:  # pragma: no cover - eigvalsh rarely fails
+        return 0.0
+    deficit = -lam_min - rho
+    if deficit <= 0.0:
+        return 0.0
+    return deficit * (1.0 + 1e-6) + 1e-12 * _diag_scale(s)
+
+
+def sanitize_nonfinite(arr: np.ndarray, fill: float = 0.0) -> tuple[np.ndarray, int]:
+    """Replace NaN/±Inf entries with *fill*; returns (clean copy, #bad).
+
+    When the array is already finite it is returned as-is (no copy)."""
+    arr = np.asarray(arr, dtype=np.float64)
+    bad = ~np.isfinite(arr)
+    n_bad = int(bad.sum())
+    if n_bad == 0:
+        return arr, 0
+    out = arr.copy()
+    out[bad] = fill
+    return out, n_bad
+
+
+def guarded_cholesky(
+    spd: np.ndarray,
+    *,
+    rho: float = 0.0,
+    policy: ResiliencePolicy | None = None,
+    events: EventLog | None = None,
+    phase: str = "SOLVE",
+    mode: int | None = None,
+    iteration: int | None = None,
+    chol=None,
+):
+    """Factor ``spd + (ρ + δ)I`` with bounded escalating jitter.
+
+    Returns ``(L, shift)`` where ``shift = ρ + δ`` is the total diagonal
+    loading actually applied (``δ = 0`` on the clean path, so a healthy
+    input costs exactly one factorization and behaves bit-identically to
+    :func:`~repro.linalg.cholesky.cholesky_factor`).
+
+    Parameters
+    ----------
+    spd:
+        Nominally-SPD R×R matrix. Non-finite entries are zeroed (and
+        recorded) before anything reaches LAPACK.
+    rho:
+        Diagonal loading already required by the caller (ADMM's ρ); applied
+        on every attempt, including the first.
+    policy / events:
+        Escalation bounds and the event sink. Defaults: fresh policy, no
+        recording.
+    chol:
+        The factorization callable, ``matrix -> L``. Defaults to
+        :func:`cholesky_factor`; the executor-aware caller passes
+        ``ex.cholesky`` so retried attempts are charged simulated time like
+        any real re-launch would be.
+
+    Raises
+    ------
+    ResilienceError
+        If the matrix stays non-positive-definite after
+        ``policy.max_jitter_attempts`` escalations.
+    """
+    policy = policy or ResiliencePolicy()
+    chol = chol or cholesky_factor
+    s = np.asarray(spd, dtype=np.float64)
+    s, n_bad = sanitize_nonfinite(s)
+    if n_bad:
+        if events is not None:
+            events.record(
+                NONFINITE_INPUT, phase, mode=mode, iteration=iteration,
+                detail=f"zeroed {n_bad} non-finite entries of the {s.shape[0]}x"
+                       f"{s.shape[1]} system matrix before factorization",
+                bad_entries=n_bad,
+            )
+        # A sanitized matrix is symmetric only if the damage was; restore it.
+        s = 0.5 * (s + s.T)
+
+    rank = s.shape[0]
+    eye = np.eye(rank, dtype=np.float64)
+    delta = 0.0
+    scale = _diag_scale(s)
+    for attempt in range(policy.max_jitter_attempts + 1):
+        try:
+            l_factor = chol(s + (rho + delta) * eye)
+        except np.linalg.LinAlgError:
+            if events is not None:
+                events.record(
+                    CHOLESKY_JITTER, phase, mode=mode, iteration=iteration,
+                    detail=f"attempt {attempt}: factorization failed with "
+                           f"shift {rho + delta:.3e}; escalating jitter",
+                    attempt=attempt, shift=rho + delta,
+                )
+            if delta == 0.0:
+                delta = max(scale * policy.jitter_init, _spd_deficit(s, rho))
+            else:
+                delta *= 2.0
+            continue
+        if attempt and events is not None:
+            events.record(
+                CHOLESKY_RECOVERED, phase, mode=mode, iteration=iteration,
+                detail=f"factorization recovered after {attempt} jitter "
+                       f"escalation(s) with total shift {rho + delta:.3e}",
+                attempts=attempt, shift=rho + delta,
+            )
+        return l_factor, rho + delta
+    raise ResilienceError(
+        f"Cholesky failed after {policy.max_jitter_attempts} jitter "
+        f"escalations (final shift {rho + delta:.3e}); matrix is too "
+        f"indefinite to repair",
+        events=events,
+    )
+
+
+def guarded_spd_inverse(
+    spd: np.ndarray,
+    *,
+    rho: float = 0.0,
+    policy: ResiliencePolicy | None = None,
+    events: EventLog | None = None,
+    **event_kw,
+):
+    """Explicit ``(spd + shift·I)⁻¹`` through the guarded factorization.
+
+    Returns ``(inverse, shift)``; the cuADMM pre-inversion analogue of
+    :func:`guarded_cholesky`.
+    """
+    l_factor, shift = guarded_cholesky(
+        spd, rho=rho, policy=policy, events=events, **event_kw
+    )
+    inv = cholesky_solve(l_factor, np.eye(l_factor.shape[0], dtype=np.float64))
+    return 0.5 * (inv + inv.T), shift
+
+
+def ensure_finite(
+    arr,
+    ctx: ResilienceContext | None,
+    *,
+    phase: str,
+    what: str,
+    mode: int | None = None,
+    iteration: int | None = None,
+):
+    """Phase-boundary sentinel: validate (and per policy repair) an array.
+
+    Returns the array — repaired (bad entries zeroed) under the ``repair``
+    policy, untouched under ``warn``. Raises :class:`ResilienceError`
+    under ``raise``. With ``ctx is None`` (resilience off) this is a no-op,
+    preserving historical behavior. Charges no simulated kernel time.
+    """
+    if ctx is None:
+        return arr
+    a = np.asarray(arr)
+    if a.dtype.kind != "f" or np.isfinite(a).all():
+        return arr
+    n_bad = int((~np.isfinite(a)).sum())
+    policy = ctx.policy.sentinel
+    if policy == "raise":
+        ctx.events.record(
+            NONFINITE_INPUT, phase, mode=mode, iteration=iteration,
+            detail=f"{what} contains {n_bad} non-finite entries",
+            bad_entries=n_bad,
+        )
+        raise ResilienceError(
+            f"{what} contains {n_bad} non-finite entries after phase {phase} "
+            f"(sentinel policy 'raise')",
+            events=ctx.events,
+        )
+    if policy == "warn":
+        ctx.events.record(
+            SENTINEL_WARN, phase, mode=mode, iteration=iteration,
+            detail=f"{what} contains {n_bad} non-finite entries (left in place)",
+            bad_entries=n_bad,
+        )
+        return arr
+    repaired, _ = sanitize_nonfinite(a)
+    ctx.events.record(
+        SENTINEL_REPAIR, phase, mode=mode, iteration=iteration,
+        detail=f"zeroed {n_bad} non-finite entries of {what}",
+        bad_entries=n_bad,
+    )
+    return repaired

@@ -1,0 +1,109 @@
+"""Resilience policy knobs and the per-run context threaded through updates.
+
+A :class:`ResiliencePolicy` says *how aggressively* to recover; a
+:class:`ResilienceContext` bundles one policy with one
+:class:`~repro.resilience.events.EventLog` for a single run. The driver
+creates the context and passes it to update methods through their ``state``
+dict (key ``"resilience"``), so the :class:`UpdateMethod` interface is
+unchanged and updates invoked without a driver keep their historical
+fail-fast behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.events import EventLog
+from repro.utils.validation import require
+
+__all__ = ["ResiliencePolicy", "ResilienceContext", "STATE_KEY"]
+
+#: Key under which the driver stores the context in an update's state dict.
+STATE_KEY = "resilience"
+
+_SENTINEL_POLICIES = ("raise", "repair", "warn")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tuning of every recovery mechanism (defaults are conservative).
+
+    Attributes
+    ----------
+    sentinel:
+        What phase-boundary sentinels do on a non-finite factor/operand:
+        ``"repair"`` (zero the bad entries and log), ``"raise"`` (abort with
+        :class:`ResilienceError`), or ``"warn"`` (log only and continue).
+    max_jitter_attempts:
+        Bounded escalation of the guarded Cholesky: retries with
+        ``S + (ρ+δ_k)I``, δ doubling each attempt, before giving up.
+    jitter_init:
+        Initial δ as a fraction of the matrix's diagonal scale
+        (``max(trace/R, 1)``).
+    max_admm_failures:
+        Rollback-and-rescale attempts inside one ADMM update before falling
+        back to a fresh restart (zero duals, sanitized warm start).
+    rho_rescale:
+        Multiplier applied to ρ on each ADMM divergence recovery.
+    divergence_threshold:
+        Magnitude-growth factor (relative to the warm start and RHS scale)
+        beyond which a still-finite ADMM iterate counts as diverged.
+    """
+
+    sentinel: str = "repair"
+    max_jitter_attempts: int = 6
+    jitter_init: float = 1e-8
+    max_admm_failures: int = 3
+    rho_rescale: float = 2.0
+    divergence_threshold: float = 1e8
+
+    def __post_init__(self):
+        require(
+            self.sentinel in _SENTINEL_POLICIES,
+            f"sentinel policy must be one of {_SENTINEL_POLICIES}, got {self.sentinel!r}",
+        )
+        require(self.max_jitter_attempts >= 1, "max_jitter_attempts must be >= 1")
+        require(self.jitter_init > 0.0, "jitter_init must be positive")
+        require(self.max_admm_failures >= 0, "max_admm_failures must be >= 0")
+        require(self.rho_rescale > 1.0, "rho_rescale must be > 1")
+        require(self.divergence_threshold > 0.0, "divergence_threshold must be positive")
+
+    @classmethod
+    def resolve(cls, spec) -> "ResiliencePolicy | None":
+        """Coerce a config value into a policy.
+
+        ``None`` → default policy; a policy instance passes through;
+        ``"off"`` → ``None`` (resilience disabled, historical fail-fast
+        behavior); any sentinel-policy name (``"raise"``/``"repair"``/
+        ``"warn"``) → default policy with that sentinel behavior.
+        """
+        if spec is None:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        key = str(spec).lower()
+        if key == "off":
+            return None
+        require(
+            key in _SENTINEL_POLICIES,
+            f"resilience must be a ResiliencePolicy, 'off', or one of "
+            f"{_SENTINEL_POLICIES}; got {spec!r}",
+        )
+        return cls(sentinel=key)
+
+
+@dataclass
+class ResilienceContext:
+    """One run's policy plus its shared event log."""
+
+    policy: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    events: EventLog = field(default_factory=EventLog)
+
+    @staticmethod
+    def from_state(state) -> "ResilienceContext | None":
+        """Fetch the context a driver stashed in an update's state dict."""
+        if isinstance(state, dict):
+            ctx = state.get(STATE_KEY)
+            if isinstance(ctx, ResilienceContext):
+                return ctx
+        return None

@@ -33,6 +33,7 @@ from repro.core.kruskal import KruskalTensor
 from repro.core.trace import PHASE_GRAM, PHASE_MTTKRP, PHASE_NORMALIZE, PHASE_UPDATE
 from repro.kernels.mttkrp_coo import partial_khatri_rao_rows, segment_accumulate
 from repro.machine.executor import Executor
+from repro.resilience.events import SLICE_SKIPPED, EventLog
 from repro.tensor.coo import SparseTensor
 from repro.updates.base import get_update
 from repro.utils.rng import as_generator
@@ -51,6 +52,11 @@ class StreamStep:
 
     seconds: float
     """Simulated device seconds spent on this step."""
+
+    skipped: bool = False
+    """True when the slice was rejected (all-zero or non-finite) and the
+    history accumulators were left untouched; a zero temporal row keeps the
+    time axis aligned."""
 
 
 class StreamingCstf:
@@ -109,6 +115,8 @@ class StreamingCstf:
         self._hist_temporal_gram = np.zeros((self.rank, self.rank))
         self._grams = [f.T @ f for f in self.factors]
         self._step = 0
+        self.events = EventLog()
+        """Resilience log: one :class:`ResilienceEvent` per skipped slice."""
 
     # ------------------------------------------------------------------ #
     @property
@@ -133,6 +141,27 @@ class StreamingCstf:
             slice_tensor.shape == self.spatial_shape,
             f"slice shape {slice_tensor.shape} != spatial shape {self.spatial_shape}",
         )
+        # Robustness gate: an all-zero slice carries no information and a
+        # non-finite one would poison every history accumulator (the γ-decay
+        # never forgets a NaN). Skip-and-log instead of ingesting; a zero
+        # temporal row keeps the time axis aligned with the slice sequence.
+        values = np.asarray(slice_tensor.values)
+        finite = bool(np.isfinite(values).all())
+        if slice_tensor.nnz == 0 or not values.any() or not finite:
+            reason = "non-finite values" if not finite else "all-zero slice"
+            self.events.record(
+                SLICE_SKIPPED, "STREAM", iteration=self._step,
+                detail=f"skipped incoming slice at step {self._step}: {reason}",
+                nnz=int(slice_tensor.nnz),
+            )
+            self._step += 1
+            self.temporal_rows.append(np.zeros(self.rank, dtype=np.float64))
+            return StreamStep(
+                step=self._step,
+                slice_fit=1.0 if finite else 0.0,
+                seconds=0.0,
+                skipped=True,
+            )
         ex = self.executor
         start = ex.timeline.total_seconds()
 

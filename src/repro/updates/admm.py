@@ -23,6 +23,7 @@ returns the both-flags-on configuration.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -30,6 +31,15 @@ import numpy as np
 from repro.linalg.proximal import get_proximal
 from repro.machine.executor import Executor
 from repro.machine.symbolic import SymArray, is_symbolic
+from repro.resilience.events import (
+    ADMM_DIVERGENCE,
+    ADMM_GIVEUP,
+    ADMM_RESTART,
+    ADMM_RHO_RESCALE,
+    NONFINITE_INPUT,
+)
+from repro.resilience.guards import guarded_cholesky, sanitize_nonfinite
+from repro.resilience.policy import ResilienceContext
 from repro.updates.base import UpdateMethod, register_update
 from repro.utils.validation import check_positive_int, require
 
@@ -104,6 +114,11 @@ class AdmmUpdate(UpdateMethod):
         symbolic = is_symbolic(m_mat, s_mat, h)
         rank = h.shape[1]
         u = self._dual(state, mode, h)
+        # Resilience context arrives through the driver's state dict; update
+        # calls without one (direct use, historical tests) keep fail-fast
+        # semantics. Symbolic mode never needs recovery — no numerics run.
+        ctx = None if symbolic else ResilienceContext.from_state(state)
+        s_arr = None
 
         # Preconditioning ρ = trace(S)/R and diagonal loading S + ρI — one
         # tiny R×R kernel, identical record in symbolic and concrete mode.
@@ -116,21 +131,119 @@ class AdmmUpdate(UpdateMethod):
         )
         if symbolic:
             rho = 1.0
-            s_loaded = SymArray((rank, rank))
+            l_factor = ex.cholesky(SymArray((rank, rank)))
         else:
             s_arr = np.asarray(s_mat, dtype=np.float64)
+            if ctx is not None:
+                s_arr, n_bad = sanitize_nonfinite(s_arr)
+                if n_bad:
+                    ctx.events.record(
+                        NONFINITE_INPUT, "UPDATE", mode=mode,
+                        detail=f"zeroed {n_bad} non-finite entries of S before "
+                               f"diagonal loading",
+                        bad_entries=n_bad,
+                    )
+                    s_arr = 0.5 * (s_arr + s_arr.T)
             rho = float(np.trace(s_arr)) / rank
-            rho = rho if rho > 0.0 else 1.0
-            s_loaded = s_arr + rho * np.eye(rank)
-        l_factor = ex.cholesky(s_loaded)
+            rho = rho if math.isfinite(rho) and rho > 0.0 else 1.0
+            l_factor, rho = self._factorize(ex, s_arr, rho, ctx, mode)
         g_inv = ex.spd_inverse(l_factor) if self.preinvert else None
 
         residuals: list[tuple[float, float]] = []
-        for _ in range(self.inner_iters):
-            if self.fuse_ops:
-                h, u, r_primal, r_dual = self._iter_fused(ex, m_mat, h, u, rho, l_factor, g_inv)
-            else:
-                h, u, r_primal, r_dual = self._iter_generic(ex, m_mat, h, u, rho, l_factor, g_inv)
+        h0 = h  # pristine warm start, used by the fresh-restart fallback
+        last_good = (h, u)
+        failures = 0
+        it = 0
+        ref_scale = 0.0
+        if ctx is not None:
+            # Scale reference for blow-up detection: the warm start and the
+            # RHS bound any sane iterate's magnitude. Computed once, from
+            # finite entries only (NaN/Inf operands must not poison the
+            # reference they are judged against).
+            ref_scale = 1.0 + _finite_max(h0) + _finite_max(m_mat)
+        while it < self.inner_iters:
+            solver_error = None
+            try:
+                if self.fuse_ops:
+                    h_new, u_new, r_primal, r_dual = self._iter_fused(
+                        ex, m_mat, h, u, rho, l_factor, g_inv
+                    )
+                else:
+                    h_new, u_new, r_primal, r_dual = self._iter_generic(
+                        ex, m_mat, h, u, rho, l_factor, g_inv
+                    )
+            except (ValueError, FloatingPointError, np.linalg.LinAlgError) as exc:
+                if ctx is None:
+                    raise
+                # SciPy's finiteness checks fire *inside* the triangular
+                # solve when the RHS carries NaN/Inf — same root cause as a
+                # diverged iterate, so it takes the same escalation path.
+                solver_error = exc
+                h_new = u_new = None
+                r_primal = r_dual = float("nan")
+            if ctx is not None and (
+                solver_error is not None
+                or self._diverged(h_new, u_new, r_primal, r_dual, ctx, ref_scale)
+            ):
+                failures += 1
+                cause = (
+                    f"solver raised {type(solver_error).__name__}"
+                    if solver_error is not None
+                    else f"inner iterate diverged (r_primal={r_primal:.3e}, "
+                         f"r_dual={r_dual:.3e})"
+                )
+                ctx.events.record(
+                    ADMM_DIVERGENCE, "UPDATE", mode=mode,
+                    detail=f"{cause}; failure {failures}",
+                    r_primal=r_primal, r_dual=r_dual, failures=failures,
+                )
+                if failures <= ctx.policy.max_admm_failures:
+                    # ρ-rescale (Liavas & Sidiropoulos' standard remedy) and
+                    # roll back to the last finite iterate; the failed
+                    # iteration is retried, not counted.
+                    rho *= ctx.policy.rho_rescale
+                    ctx.events.record(
+                        ADMM_RHO_RESCALE, "UPDATE", mode=mode,
+                        detail=f"rescaled rho to {rho:.3e} and rolled back",
+                        rho=rho,
+                    )
+                    l_factor, rho = self._factorize(ex, s_arr, rho, ctx, mode)
+                    g_inv = ex.spd_inverse(l_factor) if self.preinvert else None
+                    h, u = last_good
+                    continue
+                if failures == ctx.policy.max_admm_failures + 1:
+                    # Fresh restart: sanitized warm start, zero duals,
+                    # one more ρ escalation, inner count reset.
+                    h_restart, _ = sanitize_nonfinite(np.asarray(h0, dtype=np.float64))
+                    if self.nonnegative:
+                        h_restart = np.maximum(h_restart, 0.0)
+                    u_restart = np.zeros_like(h_restart)
+                    rho *= ctx.policy.rho_rescale
+                    l_factor, rho = self._factorize(ex, s_arr, rho, ctx, mode)
+                    g_inv = ex.spd_inverse(l_factor) if self.preinvert else None
+                    ctx.events.record(
+                        ADMM_RESTART, "UPDATE", mode=mode,
+                        detail=f"fresh restart with zero duals and rho={rho:.3e}",
+                        rho=rho,
+                    )
+                    h, u = h_restart, u_restart
+                    last_good = (h, u)
+                    it = 0
+                    continue
+                # Even the restart diverged (e.g. M itself is corrupt):
+                # return the last finite iterate rather than garbage and let
+                # the driver's sentinel decide what to do.
+                ctx.events.record(
+                    ADMM_GIVEUP, "UPDATE", mode=mode,
+                    detail="divergence persisted after restart; returning the "
+                           "last finite iterate",
+                    failures=failures,
+                )
+                h, u = last_good
+                break
+            h, u = h_new, u_new
+            last_good = (h, u)
+            it += 1
             if self.record_residuals:
                 residuals.append((r_primal, r_dual))
             # Every inner iteration ends with the convergence scalars being
@@ -151,6 +264,40 @@ class AdmmUpdate(UpdateMethod):
             # and dual residual ratios of the last update call.
             state["residuals"] = residuals
         return h
+
+    # ------------------------------------------------------------------ #
+    def _factorize(self, ex: Executor, s_arr, rho: float, ctx, mode: int):
+        """Factor ``S + ρI``; guarded (jitter escalation) when a resilience
+        context is present, historical fail-fast otherwise."""
+        rank = s_arr.shape[0]
+        if ctx is None:
+            return ex.cholesky(s_arr + rho * np.eye(rank)), rho
+        return guarded_cholesky(
+            s_arr, rho=rho, policy=ctx.policy, events=ctx.events,
+            phase="UPDATE", mode=mode, chol=ex.cholesky,
+        )
+
+    @staticmethod
+    def _diverged(
+        h_new, u_new, r_primal: float, r_dual: float, ctx, ref_scale: float
+    ) -> bool:
+        """Blow-up test: any non-finite iterate/residual, or iterate
+        magnitudes a ``divergence_threshold`` factor beyond the scale the
+        warm start and RHS justify (finite but headed for overflow).
+
+        Residual *ratios* are deliberately not thresholded — their
+        denominators legitimately approach zero on sparse factors (a mostly
+        zero H or a freshly zeroed dual), which would flag healthy updates.
+        """
+        if not (math.isfinite(r_primal) and math.isfinite(r_dual)):
+            return True
+        if not (np.isfinite(h_new).all() and np.isfinite(u_new).all()):
+            return True
+        thresh = ctx.policy.divergence_threshold
+        return bool(
+            max(np.abs(h_new).max(initial=0.0), np.abs(u_new).max(initial=0.0))
+            > thresh * ref_scale
+        )
 
     # ------------------------------------------------------------------ #
     def _solve(self, ex: Executor, h_aux, l_factor, g_inv):
@@ -193,6 +340,13 @@ class AdmmUpdate(UpdateMethod):
         r_primal = r_primal_num / max(h_norm, 1e-30)
         r_dual = r_dual_num / max(u_norm, 1e-30)
         return h_new, u_new, r_primal, r_dual
+
+
+def _finite_max(arr) -> float:
+    """Largest finite magnitude in *arr* (0.0 when none exist)."""
+    a = np.asarray(arr, dtype=np.float64)
+    finite = a[np.isfinite(a)]
+    return float(np.abs(finite).max()) if finite.size else 0.0
 
 
 def cuadmm(constraint="nonneg", inner_iters: int = 10, tol: float = 0.0, **kwargs) -> AdmmUpdate:

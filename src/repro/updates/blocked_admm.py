@@ -23,6 +23,8 @@ from typing import Any
 
 from repro.machine.executor import Executor
 from repro.machine.symbolic import SymArray, is_symbolic
+from repro.resilience.events import ADMM_RESTART, ADMM_RHO_RESCALE, CHOLESKY_JITTER
+from repro.resilience.policy import ResilienceContext
 from repro.updates.admm import AdmmUpdate
 from repro.updates.base import register_update
 from repro.utils.validation import check_positive_int
@@ -53,7 +55,12 @@ class BlockedAdmmUpdate(AdmmUpdate):
 
         # The numerical result is the plain ADMM result (row separability):
         # run the parent update for the numbers and the *logical* kernel
-        # stream, on a silent executor so nothing is double-charged.
+        # stream, on a silent executor so nothing is double-charged. The
+        # resilience context (if the driver installed one) rides along in
+        # `state`, so guarded factorization and divergence recovery apply to
+        # the blocked path identically.
+        ctx = None if symbolic else ResilienceContext.from_state(state)
+        events_before = len(ctx.events) if ctx is not None else 0
         silent = Executor(ex.device)
         out = super().update(silent, mode, m_mat, s_mat, h, state)
 
@@ -70,6 +77,17 @@ class BlockedAdmmUpdate(AdmmUpdate):
         )
         sym_s = SymArray((rank, rank))
         ex.cholesky(sym_s)
+        if ctx is not None:
+            # Every recovery on the silent executor re-ran DPOTRF (jittered
+            # retries, ρ-rescales, restarts); charge those re-factorizations
+            # on the real timeline too so faulty runs are not under-billed.
+            recovery_kinds = (ADMM_RHO_RESCALE, ADMM_RESTART, CHOLESKY_JITTER)
+            extra = sum(
+                1 for e in list(ctx.events)[events_before:]
+                if e.kind in recovery_kinds
+            )
+            for _ in range(extra):
+                ex.cholesky(sym_s)
 
         n = float(rows) * rank
         logical_words = self.inner_iters * 26.0 * n  # the generic schedule's traffic

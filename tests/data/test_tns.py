@@ -42,10 +42,41 @@ class TestRead:
         t = read_tns(io.StringIO("3 4 9.0\n"))
         assert t.shape == (3, 4)
 
-    def test_duplicates_coalesced(self):
-        t = read_tns("1 1 2.0\n1 1 3.0\n")
+    def test_duplicates_rejected_by_default(self):
+        with pytest.raises(ValueError, match=r"duplicate coordinate \(1, 1\) on lines \[1, 2\]"):
+            read_tns("1 1 2.0\n1 1 3.0\n")
+
+    def test_duplicates_coalesced_on_request(self):
+        t = read_tns("1 1 2.0\n1 1 3.0\n", dedupe=True)
         assert t.nnz == 1
         assert t.values[0] == 5.0
+
+
+class TestMalformedInput:
+    def test_bad_coordinate_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2: malformed coordinate"):
+            read_tns("1 1 2.0\n1 x 3.0\n")
+
+    def test_bad_value_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 3: malformed value 'oops'"):
+            read_tns("1 1 2.0\n2 2 3.0\n3 3 oops\n")
+
+    def test_line_numbers_account_for_comments_and_blanks(self):
+        text = "# header\n\n1 1 2.0\n# interlude\n2 q 3.0\n"
+        with pytest.raises(ValueError, match="line 5: malformed coordinate"):
+            read_tns(text)
+
+    def test_nan_value_rejected(self):
+        with pytest.raises(ValueError, match="line 2: non-finite value 'nan'"):
+            read_tns("1 1 2.0\n2 2 nan\n")
+
+    def test_inf_value_rejected(self):
+        with pytest.raises(ValueError, match="line 1: non-finite value"):
+            read_tns("1 1 inf\n")
+
+    def test_inconsistent_columns_report_source_line(self):
+        with pytest.raises(ValueError, match="line 3: inconsistent column count"):
+            read_tns("# c\n1 1 2.0\n1 1 1 2.0\n")
 
 
 class TestRoundtrip:

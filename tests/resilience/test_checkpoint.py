@@ -1,0 +1,129 @@
+"""Atomic checkpoint/resume: bit-identical continuation of a cSTF run."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cstf import cstf
+from repro.resilience import load_checkpoint, save_checkpoint
+from repro.tensor.synthetic import random_sparse
+
+
+@pytest.fixture
+def tensor():
+    return random_sparse((14, 11, 9), nnz=260, seed=7)
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.npz"
+        rng = np.random.default_rng(0)
+        factors = [rng.random((6, 3)), rng.random((5, 3))]
+        save_checkpoint(
+            path,
+            iteration=4,
+            factors=factors,
+            weights=np.array([1.0, 2.0, 3.0]),
+            grams=[f.T @ f for f in factors],
+            fits=[0.1, 0.5],
+            state_arrays={"dual": [np.zeros((6, 3)), np.zeros((5, 3))]},
+            rng_state={"bit_generator": "PCG64"},
+            meta={"shape": [6, 5], "rank": 3},
+        )
+        ckpt = load_checkpoint(path)
+        assert ckpt.iteration == 4
+        assert ckpt.shape == (6, 5)
+        assert ckpt.rank == 3
+        for a, b in zip(ckpt.factors, factors):
+            assert np.array_equal(a, b)
+        assert np.array_equal(ckpt.weights, [1.0, 2.0, 3.0])
+        assert ckpt.fits == [0.1, 0.5]
+        assert ckpt.rng_state == {"bit_generator": "PCG64"}
+        dual = ckpt.state_arrays["dual"]
+        assert isinstance(dual, list) and len(dual) == 2
+
+    def test_write_is_atomic(self, tmp_path):
+        """No ``.tmp`` debris after a successful save — the temp file is
+        renamed over the destination, never left behind."""
+        path = tmp_path / "run.npz"
+        save_checkpoint(
+            path, iteration=1, factors=[np.ones((2, 2))], weights=np.ones(2),
+            grams=[np.eye(2)], fits=[], state_arrays={}, rng_state=None,
+            meta={"shape": [2], "rank": 2},
+        )
+        assert path.exists()
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_overwrite_keeps_last_complete_checkpoint(self, tmp_path):
+        path = tmp_path / "run.npz"
+        for it in (1, 2):
+            save_checkpoint(
+                path, iteration=it, factors=[np.full((2, 2), float(it))],
+                weights=np.ones(2), grams=[np.eye(2)], fits=[],
+                state_arrays={}, rng_state=None, meta={"shape": [2], "rank": 2},
+            )
+        assert load_checkpoint(path).iteration == 2
+
+
+class TestDriverCheckpointing:
+    def test_checkpoint_written_every_k_iterations(self, tensor, tmp_path):
+        path = tmp_path / "cp.npz"
+        result = cstf(
+            tensor, rank=3, max_iters=6, seed=0,
+            checkpoint_every=2, checkpoint_path=path,
+        )
+        assert path.exists()
+        ckpt = load_checkpoint(path)
+        assert ckpt.iteration == 6
+        saves = [e for e in result.events if e.kind == "checkpoint_saved"]
+        assert len(saves) == 3  # iterations 2, 4, 6
+
+    def test_checkpoint_every_requires_path(self, tensor):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            cstf(tensor, rank=3, max_iters=2, checkpoint_every=1)
+
+    def test_resume_is_bit_identical(self, tensor, tmp_path):
+        """Satellite: 10 outer iterations straight vs. 5 + resume + 5 must
+        produce identical factors, weights, and fit trajectories."""
+        straight = cstf(tensor, rank=3, max_iters=10, seed=3, tol=0.0)
+
+        path = tmp_path / "half.npz"
+        first = cstf(
+            tensor, rank=3, max_iters=5, seed=3, tol=0.0,
+            checkpoint_every=5, checkpoint_path=path,
+        )
+        assert first.iterations == 5
+        second = cstf(
+            tensor, rank=3, max_iters=10, seed=3, tol=0.0, resume_from=path
+        )
+        assert second.start_iteration == 5
+        assert second.iterations == 10
+        for a, b in zip(straight.kruskal.factors, second.kruskal.factors):
+            assert np.array_equal(a, b)
+        assert np.array_equal(straight.kruskal.weights, second.kruskal.weights)
+        assert straight.fits == second.fits
+        resumed = [e for e in second.events if e.kind == "checkpoint_resumed"]
+        assert len(resumed) == 1
+
+    def test_resume_validates_shape_and_rank(self, tensor, tmp_path):
+        path = tmp_path / "cp.npz"
+        cstf(tensor, rank=3, max_iters=2, seed=0,
+             checkpoint_every=2, checkpoint_path=path)
+        other = random_sparse((8, 8, 8), nnz=64, seed=1)
+        with pytest.raises(ValueError, match="shape"):
+            cstf(other, rank=3, max_iters=4, resume_from=path)
+        with pytest.raises(ValueError, match="rank"):
+            cstf(tensor, rank=4, max_iters=4, resume_from=path)
+
+    def test_resume_after_convergence_checkpoint(self, tensor, tmp_path):
+        """A checkpoint taken on the converged iteration resumes cleanly:
+        the continuation re-checks convergence and stops immediately."""
+        path = tmp_path / "cp.npz"
+        first = cstf(tensor, rank=3, max_iters=30, seed=2, tol=1e-6,
+                     checkpoint_every=1, checkpoint_path=path)
+        second = cstf(tensor, rank=3, max_iters=30, seed=2, tol=1e-6,
+                      resume_from=path)
+        assert second.iterations >= first.iterations
+        for b in second.kruskal.factors:
+            assert np.isfinite(b).all()

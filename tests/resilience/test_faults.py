@@ -1,0 +1,179 @@
+"""Fault-injection campaigns: the acceptance gate for the resilience layer.
+
+Every test here is marked ``faults`` and driven by seeded RNGs — run the
+whole suite via ``python scripts/run_fault_suite.py``. The contract under
+test: with injected corruption at *any* phase, ``cstf`` either completes
+with finite factors or raises a structured ``ResilienceError`` — never an
+unhandled ``LinAlgError``/``ValueError``, never silent NaN output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cstf import cstf
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    ResilienceError,
+    ResiliencePolicy,
+)
+from repro.resilience.faults import INJECTABLE_PHASES
+from repro.tensor.synthetic import random_sparse
+
+pytestmark = pytest.mark.faults
+
+KINDS = ("nan", "inf", "perturb", "indefinite")
+
+
+@pytest.fixture
+def tensor():
+    return random_sparse((13, 10, 8), nnz=240, seed=11)
+
+
+def _run(tensor, injector, **overrides):
+    return cstf(
+        tensor, rank=3, max_iters=6, seed=0, tol=0.0,
+        fault_injector=injector, **overrides,
+    )
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_faults(self, tensor):
+        outs = []
+        for _ in range(2):
+            inj = FaultInjector(
+                FaultSpec("MTTKRP", kind="perturb", probability=0.5), seed=42
+            )
+            res = _run(tensor, inj)
+            outs.append((inj.injected, res.fits, [f.copy() for f in res.kruskal.factors]))
+        assert outs[0][0] == outs[1][0] > 0
+        assert outs[0][1] == outs[1][1]
+        for a, b in zip(outs[0][2], outs[1][2]):
+            assert np.array_equal(a, b)
+
+    def test_different_seed_different_faults(self, tensor):
+        fits = []
+        for seed in (0, 1):
+            inj = FaultInjector(
+                FaultSpec("MTTKRP", kind="perturb", probability=0.5), seed=seed
+            )
+            fits.append(_run(tensor, inj).fits)
+        assert fits[0] != fits[1]
+
+    def test_zero_probability_is_a_clean_run(self, tensor):
+        inj = FaultInjector(FaultSpec("UPDATE", probability=0.0), seed=0)
+        faulty = _run(tensor, inj)
+        clean = cstf(tensor, rank=3, max_iters=6, seed=0, tol=0.0)
+        assert inj.injected == 0
+        assert faulty.fits == clean.fits
+
+
+class TestEveryPhaseEveryKind:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    @pytest.mark.parametrize("phase", INJECTABLE_PHASES)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_completes_with_finite_factors(self, tensor, phase, kind):
+        """The blanket guarantee: corruption anywhere, of any kind, and the
+        default (repair) policy still delivers finite factors plus an event
+        trail explaining what happened."""
+        inj = FaultInjector(FaultSpec(phase, kind=kind, probability=0.6), seed=5)
+        result = _run(tensor, inj)
+        assert inj.injected > 0
+        assert result.iterations == 6
+        for f in result.kruskal.factors:
+            assert np.isfinite(f).all()
+        assert np.isfinite(result.kruskal.weights).all()
+        injected = [e for e in result.events if e.kind == "fault_injected"]
+        assert len(injected) == inj.injected
+        assert all(e.phase == phase for e in injected)
+        assert result.recoveries > 0
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    @pytest.mark.parametrize("phase", INJECTABLE_PHASES)
+    def test_raise_policy_raises_structured_error(self, tensor, phase):
+        """With sentinel='raise', NaN corruption surfaces as ResilienceError
+        carrying the event log — not LinAlgError, not silent NaNs."""
+        inj = FaultInjector(FaultSpec(phase, kind="nan", probability=1.0), seed=1)
+        try:
+            result = _run(tensor, inj, resilience="raise")
+        except ResilienceError as err:
+            assert err.events  # structured: the history travels with it
+        else:
+            # GRAM-phase NaNs are sanitized before any sentinel sees the
+            # factors, so the run may legitimately complete — but then the
+            # factors must be finite and the recovery logged.
+            for f in result.kruskal.factors:
+                assert np.isfinite(f).all()
+            assert result.recoveries > 0
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_all_phases_at_once(self, tensor):
+        specs = [FaultSpec(p, kind="nan", probability=0.3) for p in INJECTABLE_PHASES]
+        inj = FaultInjector(specs, seed=9)
+        result = _run(tensor, inj)
+        assert inj.injected > 0
+        for f in result.kruskal.factors:
+            assert np.isfinite(f).all()
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_aggressive_policy_still_bounded(self, tensor):
+        """Even a 100 %-probability campaign terminates (no retry loops run
+        away) and yields finite output under the repair policy."""
+        inj = FaultInjector(
+            [FaultSpec(p, kind="inf", probability=1.0) for p in INJECTABLE_PHASES],
+            seed=2,
+        )
+        result = _run(
+            tensor, inj,
+            resilience=ResiliencePolicy(max_admm_failures=1, max_jitter_attempts=4),
+        )
+        assert result.iterations == 6
+        for f in result.kruskal.factors:
+            assert np.isfinite(f).all()
+
+
+class TestFaultyCheckpointResume:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_resumed_faulty_run_replays_remaining_faults(self, tensor, tmp_path):
+        """The injector RNG state rides in the checkpoint: 6 faulty
+        iterations straight equal 3 + resume + 3, fault-for-fault."""
+        spec = FaultSpec("MTTKRP", kind="perturb", probability=0.4, magnitude=50.0)
+
+        straight = _run(tensor, FaultInjector(spec, seed=3))
+
+        path = tmp_path / "faulty.npz"
+        inj1 = FaultInjector(spec, seed=3)
+        cstf(tensor, rank=3, max_iters=3, seed=0, tol=0.0, fault_injector=inj1,
+             checkpoint_every=3, checkpoint_path=path)
+        inj2 = FaultInjector(spec, seed=3)
+        second = cstf(tensor, rank=3, max_iters=6, seed=0, tol=0.0,
+                      fault_injector=inj2, resume_from=path)
+        assert straight.fits == second.fits
+        for a, b in zip(straight.kruskal.factors, second.kruskal.factors):
+            assert np.array_equal(a, b)
+
+
+class TestSpecValidation:
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            FaultSpec("COMPILE")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("GRAM", kind="gamma-ray")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("GRAM", probability=1.5)
+
+    def test_injector_requires_specs(self):
+        with pytest.raises(ValueError, match="FaultSpec"):
+            FaultInjector([])
+
+    def test_injector_rejected_in_analytic_mode(self):
+        from repro.machine.analytic import TensorStats
+
+        stats = TensorStats.from_dims((100, 100, 100), nnz=10_000)
+        inj = FaultInjector(FaultSpec("GRAM"), seed=0)
+        with pytest.raises(ValueError, match="concrete"):
+            cstf(stats, rank=4, max_iters=2, fault_injector=inj)

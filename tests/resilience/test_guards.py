@@ -1,0 +1,198 @@
+"""Guarded Cholesky/inverse and the phase-boundary sentinels."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.cholesky import cholesky_factor
+from repro.resilience import (
+    EventLog,
+    ResilienceContext,
+    ResilienceError,
+    ResiliencePolicy,
+    ensure_finite,
+    guarded_cholesky,
+    guarded_spd_inverse,
+    sanitize_nonfinite,
+)
+
+
+def _spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+def _indefinite(n, seed=0, deficit=5.0):
+    """An explicitly indefinite symmetric matrix (negative eigenvalue)."""
+    s = _spd(n, seed)
+    return s - (np.linalg.eigvalsh(s)[0] + deficit) * np.eye(n)
+
+
+class TestGuardedCholesky:
+    def test_clean_path_matches_plain_factorization(self):
+        s = _spd(6)
+        l_guarded, shift = guarded_cholesky(s)
+        assert shift == 0.0
+        assert np.array_equal(l_guarded, cholesky_factor(s))
+
+    def test_rho_loading_matches_plain_path_bitwise(self):
+        """With a clean input, the guarded solve must be bit-identical to the
+        historical S + ρI path (no behavioral drift for healthy runs)."""
+        s = _spd(5, seed=1)
+        rho = float(np.trace(s)) / 5
+        l_guarded, shift = guarded_cholesky(s, rho=rho)
+        assert shift == rho
+        assert np.array_equal(l_guarded, cholesky_factor(s + rho * np.eye(5)))
+
+    def test_indefinite_matrix_recovers_with_jitter(self):
+        """Regression for the old docstring's claim that non-SPD input
+        'cannot happen': it can, and the guarded path must absorb it."""
+        s = _indefinite(6, seed=2)
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_factor(s)  # the raw path still fails loudly
+        events = EventLog()
+        l_factor, shift = guarded_cholesky(s, events=events)
+        assert shift > 0.0
+        recon = l_factor @ l_factor.T
+        assert np.allclose(recon, s + shift * np.eye(6), atol=1e-8)
+        kinds = events.counts()
+        assert kinds.get("cholesky_jitter", 0) >= 1
+        assert kinds.get("cholesky_recovered", 0) == 1
+
+    def test_severely_indefinite_matrix_recovers(self):
+        """The eigenvalue-informed first escalation must cover deficits far
+        beyond what doubling from a tiny seed could reach."""
+        s = _spd(4, seed=3) - 1e9 * np.eye(4)
+        l_factor, shift = guarded_cholesky(s)
+        assert np.isfinite(l_factor).all()
+        assert shift > 1e8
+
+    def test_nonfinite_input_sanitized_and_recorded(self):
+        s = _spd(5, seed=4)
+        s[1, 3] = np.nan
+        s[3, 1] = np.inf
+        events = EventLog()
+        l_factor, _ = guarded_cholesky(s, events=events)
+        assert np.isfinite(l_factor).all()
+        assert len(events.of_kind("nonfinite_input")) == 1
+        assert events.of_kind("nonfinite_input")[0].data["bad_entries"] == 2
+
+    def test_gives_up_with_structured_error(self):
+        """If the factorization keeps failing, the guard must raise a
+        ResilienceError carrying the escalation history — not loop forever
+        and not surface a bare LinAlgError."""
+
+        def always_fails(_):
+            raise np.linalg.LinAlgError("synthetic")
+
+        events = EventLog()
+        policy = ResiliencePolicy(max_jitter_attempts=3)
+        with pytest.raises(ResilienceError) as exc_info:
+            guarded_cholesky(_spd(4), policy=policy, events=events, chol=always_fails)
+        err = exc_info.value
+        assert len(err.events) == len(events)
+        assert len(events.of_kind("cholesky_jitter")) == 4  # initial + 3 retries
+
+    def test_escalation_doubles(self):
+        attempts = []
+
+        def capture(m):
+            attempts.append(float(m[0, 0]))
+            raise np.linalg.LinAlgError("synthetic")
+
+        base = np.zeros((3, 3))
+        with pytest.raises(ResilienceError):
+            guarded_cholesky(
+                base, policy=ResiliencePolicy(max_jitter_attempts=4), chol=capture
+            )
+        # attempt 0 has shift 0; later shifts double.
+        shifts = attempts[1:]
+        for a, b in zip(shifts, shifts[1:]):
+            assert b == pytest.approx(2 * a)
+
+
+class TestGuardedInverse:
+    def test_inverse_of_indefinite_through_guard(self):
+        s = _indefinite(5, seed=6)
+        inv, shift = guarded_spd_inverse(s)
+        assert np.allclose((s + shift * np.eye(5)) @ inv, np.eye(5), atol=1e-8)
+
+    def test_clean_inverse_matches_plain(self):
+        from repro.linalg.cholesky import spd_inverse
+
+        s = _spd(6, seed=7)
+        inv, shift = guarded_spd_inverse(s)
+        assert shift == 0.0
+        assert np.allclose(inv, spd_inverse(cholesky_factor(s)))
+
+
+class TestSanitize:
+    def test_no_copy_when_clean(self):
+        a = np.ones((3, 3))
+        out, n_bad = sanitize_nonfinite(a)
+        assert n_bad == 0
+        assert out is a
+
+    def test_replaces_all_nonfinite(self):
+        a = np.array([1.0, np.nan, np.inf, -np.inf, 2.0])
+        out, n_bad = sanitize_nonfinite(a)
+        assert n_bad == 3
+        assert np.array_equal(out, [1.0, 0.0, 0.0, 0.0, 2.0])
+        assert np.isnan(a[1])  # original untouched
+
+
+class TestSentinels:
+    def test_noop_without_context(self):
+        bad = np.array([np.nan, 1.0])
+        out = ensure_finite(bad, None, phase="UPDATE", what="x")
+        assert out is bad
+
+    def test_repair_zeroes_and_logs(self):
+        ctx = ResilienceContext(ResiliencePolicy(sentinel="repair"))
+        out = ensure_finite(
+            np.array([np.nan, 2.0]), ctx, phase="UPDATE", what="factor", mode=1
+        )
+        assert np.array_equal(out, [0.0, 2.0])
+        (event,) = list(ctx.events)
+        assert event.kind == "sentinel_repair"
+        assert event.mode == 1
+
+    def test_raise_policy_raises_with_events(self):
+        ctx = ResilienceContext(ResiliencePolicy(sentinel="raise"))
+        with pytest.raises(ResilienceError) as exc_info:
+            ensure_finite(np.array([np.inf]), ctx, phase="MTTKRP", what="M")
+        assert exc_info.value.events  # the log travels with the error
+
+    def test_warn_policy_passes_through(self):
+        ctx = ResilienceContext(ResiliencePolicy(sentinel="warn"))
+        bad = np.array([np.nan])
+        out = ensure_finite(bad, ctx, phase="NORMALIZE", what="λ")
+        assert out is bad
+        assert len(ctx.events.of_kind("sentinel_warn")) == 1
+
+    def test_finite_array_untouched_and_unlogged(self):
+        ctx = ResilienceContext()
+        a = np.ones(4)
+        assert ensure_finite(a, ctx, phase="UPDATE", what="x") is a
+        assert len(ctx.events) == 0
+
+
+class TestPolicy:
+    def test_resolve_shorthands(self):
+        assert ResiliencePolicy.resolve(None).sentinel == "repair"
+        assert ResiliencePolicy.resolve("raise").sentinel == "raise"
+        assert ResiliencePolicy.resolve("off") is None
+        p = ResiliencePolicy(max_admm_failures=7)
+        assert ResiliencePolicy.resolve(p) is p
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="resilience"):
+            ResiliencePolicy.resolve("explode")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(sentinel="panic")
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_jitter_attempts=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(rho_rescale=1.0)

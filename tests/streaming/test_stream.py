@@ -160,3 +160,51 @@ class TestCheckpoint:
         np.savez(path, a=np.ones(3))
         with pytest.raises(ValueError, match="checkpoint"):
             StreamingCstf.load(path)
+
+
+class TestDegenerateSlices:
+    def test_all_zero_slice_skipped_and_logged(self):
+        stream = StreamingCstf((10, 8), rank=2, seed=0)
+        factors_before = [f.copy() for f in stream.factors]
+        step = stream.ingest(SparseTensor.from_dense(np.zeros((10, 8))))
+        assert step.skipped
+        assert step.seconds == 0.0
+        assert step.slice_fit == 1.0  # trivially explained: nothing to model
+        assert stream.steps_ingested == 1
+        # The model is untouched; only a zero temporal row keeps the time
+        # axis aligned with the slice sequence.
+        for before, after in zip(factors_before, stream.factors):
+            assert np.array_equal(before, after)
+        assert np.array_equal(stream.temporal_factor(), np.zeros((1, 2)))
+        (event,) = list(stream.events)
+        assert event.kind == "slice_skipped"
+        assert event.iteration == 0
+
+    def test_nonfinite_slice_skipped_without_poisoning_history(self):
+        stream = StreamingCstf((10, 8), rank=2, seed=0)
+        healthy = list(_make_stream((10, 8), 2, steps=3, seed=4))
+        stream.ingest(healthy[0][0])
+        hist_before = [h.copy() for h in stream._hist_mttkrp]
+
+        corrupt = healthy[1][0]
+        corrupt._values = corrupt._values.copy()
+        corrupt._values[0] = np.nan  # simulate in-flight corruption
+        step = stream.ingest(corrupt)
+        assert step.skipped
+        assert step.slice_fit == 0.0
+        for before, after in zip(hist_before, stream._hist_mttkrp):
+            assert np.array_equal(before, after)
+        assert np.isfinite(stream._hist_temporal_gram).all()
+
+        # The stream keeps working on the next healthy slice.
+        good = stream.ingest(healthy[2][0])
+        assert not good.skipped
+        assert np.isfinite(good.slice_fit)
+        assert stream.temporal_factor().shape == (3, 2)
+        assert np.array_equal(stream.temporal_factor()[1], np.zeros(2))
+        assert len(stream.events.of_kind("slice_skipped")) == 1
+
+    def test_skipped_steps_charge_no_simulated_time(self):
+        stream = StreamingCstf((10, 8), rank=2, seed=0)
+        stream.ingest(SparseTensor.from_dense(np.zeros((10, 8))))
+        assert stream.executor.timeline.total_seconds() == 0.0
