@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Telemetry tour: spans, metrics, JSONL, and a Perfetto-ready trace.
+
+Factorizes a small planted tensor with telemetry on, then walks the three
+outputs of the observability layer (docs/OBSERVABILITY.md):
+
+1. the span tree — host wall time with inclusive simulated-device
+   attribution, phase by phase;
+2. the metrics registry — convergence telemetry (fit trajectory, ADMM
+   inner-iteration counts, per-format MTTKRP call counters) as
+   min/max/mean/percentile summaries;
+3. the exporters — a streaming JSONL audit trail, validated against the
+   published schema, converted to a Chrome trace for ui.perfetto.dev.
+
+Run:  python examples/telemetry_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import cstf, planted_sparse_cp
+from repro.core.trace import PHASES
+from repro.obs import (
+    Telemetry,
+    validate_jsonl,
+    write_telemetry_chrome_trace,
+)
+
+
+def main() -> None:
+    tensor, _ = planted_sparse_cp((30, 24, 18), rank=4, factor_sparsity=0.5, seed=11)
+    print(f"input: {tensor}")
+
+    workdir = Path(tempfile.mkdtemp(prefix="telemetry_tour_"))
+    jsonl = workdir / "run.jsonl"
+
+    # One session: in-memory record + streaming JSONL sink.
+    tel = Telemetry(jsonl_path=jsonl)
+    result = cstf(
+        tensor,
+        rank=4,
+        update="cuadmm",
+        device="a100",
+        mttkrp_format="blco",
+        max_iters=8,
+        seed=0,
+        telemetry=tel,
+    )
+    tel.close()  # writes the final summary line and releases the sink
+    rec = result.telemetry
+
+    print("\n-- 1. span tree (host seconds, inclusive simulated seconds) --")
+    for line in rec.span_tree_lines()[:14]:
+        print(line)
+    print(f"   ... {len(rec.spans)} spans total")
+
+    print("\n-- 2. simulated-device attribution per phase --")
+    print(f"{'phase':<10} {'record':>12} {'timeline':>12}")
+    for phase in PHASES:
+        print(f"{phase:<10} {rec.phase_seconds(phase):>12.3e} "
+              f"{result.timeline.seconds(phase):>12.3e}")
+
+    print("\n-- 3. metrics registry --")
+    summary = rec.metrics_summary
+    print("counters:", {k: int(v) for k, v in sorted(summary["counters"].items())})
+    inner = summary["histograms"]["admm.inner_iters"]
+    print(f"admm.inner_iters: count={inner['count']} mean={inner['mean']:.1f} "
+          f"p99={inner['p99']:.0f}")
+    fit = summary["histograms"]["cstf.fit"]
+    print(f"cstf.fit: min={fit['min']:.4f} max={fit['max']:.4f} "
+          f"(final {summary['gauges']['cstf.last_fit']:.4f})")
+
+    print("\n-- 4. exporters --")
+    errors = validate_jsonl(jsonl)
+    n_lines = sum(1 for line in open(jsonl, encoding="utf-8") if line.strip())
+    print(f"JSONL: {jsonl} ({n_lines} lines, "
+          f"{'schema OK' if not errors else errors[:3]})")
+    trace_path = workdir / "trace.json"
+    trace = write_telemetry_chrome_trace(jsonl, trace_path)
+    print(f"chrome trace: {trace_path} ({len(trace['traceEvents'])} events) — "
+          f"open in ui.perfetto.dev")
+    print("\ntelemetry tour complete")
+
+
+if __name__ == "__main__":
+    main()

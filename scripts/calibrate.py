@@ -7,10 +7,15 @@ published per-tensor A100 end-to-end speedups (Figure 5) in log space, and
 reports the best setting plus the resulting per-tensor table for both GPUs.
 
 Run:  python scripts/calibrate.py
+
+With ``--trace-out PATH`` the *final* per-device evaluation at the best
+setting streams telemetry to a JSONL file. The grid search itself is never
+traced — it runs thousands of model evaluations and would drown the stream.
 """
 
 from __future__ import annotations
 
+import argparse
 import itertools
 import math
 
@@ -76,7 +81,11 @@ def set_params(cpu_stream, cpu_gather, cpu_random, gpu_gather, gpu_random, blco_
     analytic_mod.MTTKRP_LOCALITY["csf"] = csf_loc
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="calibrate machine-model constants")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="stream telemetry of the final evaluation to a JSONL file")
+    args = parser.parse_args(argv)
     grid = {
         "cpu_stream": [0.45, 0.6, 0.8],
         "cpu_gather": [0.35, 0.5],
@@ -102,13 +111,25 @@ def main():
     score, params, sp = best
     print("\nBEST:", params, "loss:", round(score, 3))
     set_params(**params)
-    for dev in ("a100", "h100"):
-        table = model_speedups(dev)
-        gmean = math.exp(sum(math.log(v) for v in table.values()) / len(table))
-        print(f"\n{dev}: gmean={gmean:.2f}")
-        for k, v in table.items():
-            target = PAPER_A100[k] if dev == "a100" else None
-            print(f"  {k:10s} {v:7.2f}x" + (f"   (paper {target})" if target else ""))
+
+    def final_tables():
+        for dev in ("a100", "h100"):
+            table = model_speedups(dev)
+            gmean = math.exp(sum(math.log(v) for v in table.values()) / len(table))
+            print(f"\n{dev}: gmean={gmean:.2f}")
+            for k, v in table.items():
+                target = PAPER_A100[k] if dev == "a100" else None
+                print(f"  {k:10s} {v:7.2f}x" + (f"   (paper {target})" if target else ""))
+
+    if args.trace_out:
+        from repro.obs import telemetry_session
+
+        with telemetry_session(jsonl_path=args.trace_out, kind="calibrate",
+                               **{k: float(v) for k, v in params.items()}):
+            final_tables()
+        print(f"\ntelemetry written to {args.trace_out}")
+    else:
+        final_tables()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Validate telemetry JSONL files against the published schema.
+
+Checks every line of each file against ``repro.obs.schema.TELEMETRY_SCHEMA``
+(the stable on-disk contract documented in docs/OBSERVABILITY.md) and then
+confirms the stream converts to a loadable Chrome trace. Exit code 0 iff
+every file passes.
+
+Run:  python scripts/check_trace.py run.jsonl [more.jsonl ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import jsonl_to_chrome_trace, validate_jsonl  # noqa: E402
+
+
+def check_file(path: str) -> list[str]:
+    """Return a list of problems with *path* (empty = valid)."""
+    errors = validate_jsonl(path)
+    if errors:
+        return errors
+    try:
+        trace = jsonl_to_chrome_trace(path)
+    except Exception as exc:  # defensive: schema-valid should always convert
+        return [f"chrome-trace conversion failed: {exc}"]
+    if not isinstance(trace.get("traceEvents"), list) or not trace["traceEvents"]:
+        return ["chrome-trace conversion produced no events"]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="telemetry JSONL files to validate")
+    args = parser.parse_args(argv)
+
+    failed = 0
+    for path in args.files:
+        if not Path(path).exists():
+            print(f"[FAIL] {path}: no such file")
+            failed += 1
+            continue
+        problems = check_file(path)
+        if problems:
+            failed += 1
+            print(f"[FAIL] {path}")
+            for p in problems[:10]:
+                print(f"       {p}")
+            if len(problems) > 10:
+                print(f"       ... and {len(problems) - 10} more")
+        else:
+            n = sum(1 for line in open(path, encoding="utf-8") if line.strip())
+            print(f"[PASS] {path} ({n} records)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,9 +19,55 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline fault run with JSONL telemetry: injects faults at a high rate so
+# recovery events land in the stream, which check_trace.py then validates
+# against the published schema (resilience events must round-trip).
+_FAULT_TRACE_SNIPPET = """
+import numpy as np
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.obs import Telemetry
+from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.tensor.coo import SparseTensor
+
+rng = np.random.default_rng(0)
+idx = rng.integers(0, [14, 12, 10], size=(300, 3))
+vals = rng.random(300)
+X = SparseTensor(idx, vals, (14, 12, 10))
+injector = FaultInjector(
+    [FaultSpec(phase="UPDATE", kind="nan", probability=0.5),
+     FaultSpec(phase="MTTKRP", kind="perturb", probability=0.5)],
+    seed=7,
+)
+cstf(X, CstfConfig(
+    rank=4, max_iters=4, update="admm", device="cpu", mttkrp_format="coo",
+    seed=3, fault_injector=injector,
+    telemetry=Telemetry(jsonl_path=SYS_ARGV_PATH),
+))
+"""
+
+
+def _check_fault_trace(env) -> int:
+    """Run a faulty factorization with telemetry and validate the stream."""
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "fault_run.jsonl"
+        code = subprocess.call(
+            [sys.executable, "-c",
+             _FAULT_TRACE_SNIPPET.replace("SYS_ARGV_PATH", repr(str(trace)))],
+            cwd=REPO_ROOT, env=env,
+        )
+        if code != 0:
+            print("fault-trace generation failed")
+            return code
+        return subprocess.call(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"), str(trace)],
+            cwd=REPO_ROOT, env=env,
+        )
 
 
 def main(extra_args: list[str]) -> int:
@@ -43,7 +89,11 @@ def main(extra_args: list[str]) -> int:
         *extra_args,
     ]
     print("$", " ".join(cmd))
-    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+    code = subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+    if code != 0:
+        return code
+    print("\nvalidating fault-run telemetry against the schema")
+    return _check_fault_trace(env)
 
 
 if __name__ == "__main__":

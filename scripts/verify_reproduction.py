@@ -6,10 +6,15 @@ qualitative claims listed in DESIGN.md §4 — the same assertions the
 benchmark suite enforces, collected into a single human-readable scorecard.
 
 Run:  python scripts/verify_reproduction.py      (exit code 0 iff all pass)
+
+With ``--trace-out PATH`` the entire scorecard run streams telemetry
+(spans, simulated kernels, metrics) to a JSONL file; convert it with
+``python -m repro trace PATH`` and validate with ``scripts/check_trace.py``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.experiments.figures import (
@@ -30,7 +35,7 @@ def check(label: str, condition: bool) -> None:
     print(f"  [{'PASS' if condition else 'FAIL'}] {label}")
 
 
-def main() -> int:
+def run_checks() -> int:
     print("Figure 1 — dense vs sparse breakdown")
     dense, sparse = fig1_dense_vs_sparse_breakdown()
     check("MTTKRP dominates dense TF", dense.dominant == "MTTKRP")
@@ -93,6 +98,23 @@ def main() -> int:
     passed = sum(ok for _, ok in CHECKS)
     print(f"\n{passed}/{len(CHECKS)} shape targets reproduced")
     return 0 if passed == len(CHECKS) else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="reproduction scorecard")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="stream run telemetry to a JSONL file")
+    args = parser.parse_args(argv)
+    if args.trace_out:
+        # One ambient session for the whole scorecard: every cstf() call
+        # inside the figure functions (telemetry="auto") joins it.
+        from repro.obs import telemetry_session
+
+        with telemetry_session(jsonl_path=args.trace_out, kind="verify_reproduction"):
+            code = run_checks()
+        print(f"telemetry written to {args.trace_out}")
+        return code
+    return run_checks()
 
 
 if __name__ == "__main__":

@@ -17,6 +17,9 @@ Commands
 ``analyze``
     Structural report of a registered dataset: size group, balance,
     contention risk, and the update-vs-MTTKRP-bound prediction.
+``trace``
+    Convert a telemetry JSONL stream (``--trace-out`` of ``factorize`` or
+    the scripts) into a Chrome/Perfetto trace JSON.
 """
 
 from __future__ import annotations
@@ -61,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="target nonzeros for dataset analogues")
     fac.add_argument("--trace", default=None, metavar="PATH",
                      help="write a Chrome trace of the simulated kernels")
+    fac.add_argument("--telemetry", action="store_true",
+                     help="collect run telemetry (spans + metrics) and print a summary")
+    fac.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="stream telemetry to a JSONL file (implies --telemetry); "
+                          "convert with 'repro trace'")
 
     plan = sub.add_parser("plan", help="choose CPU/GPU/heterogeneous execution")
     plan.add_argument("dataset", help="registered dataset name")
@@ -74,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     ana = sub.add_parser("analyze", help="structural report of a dataset")
     ana.add_argument("dataset", help="registered dataset name")
     ana.add_argument("--rank", type=int, default=32)
+
+    trc = sub.add_parser("trace", help="convert telemetry JSONL to a Chrome trace")
+    trc.add_argument("jsonl", help="telemetry JSONL file (from --trace-out)")
+    trc.add_argument("--out", default="trace.json", metavar="PATH",
+                     help="output Chrome-trace path (default: trace.json)")
     return parser
 
 
@@ -108,9 +121,15 @@ def _cmd_factorize(args, out) -> int:
         label = f"{dataset.name} (scaled analogue)"
     print(f"factorizing {label}: {tensor}", file=out)
 
+    telemetry = "auto"
+    if args.telemetry or args.trace_out:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(jsonl_path=args.trace_out)
     config = CstfConfig(
         rank=args.rank, max_iters=args.iters, tol=args.tol, update=args.update,
         device=args.device, mttkrp_format=args.mttkrp_format, seed=args.seed,
+        telemetry=telemetry,
     )
     if args.trace:
         # Tracing needs retained records; run the update stack through a
@@ -130,6 +149,13 @@ def _cmd_factorize(args, out) -> int:
     ]
     print(format_table(["phase", "simulated time", "share"], rows,
                        title=f"simulated {result.executor.device.name} breakdown"), file=out)
+    if result.telemetry is not None:
+        rec = result.telemetry
+        print(f"telemetry: {len(rec.spans)} spans, {len(rec.kernels)} kernels, "
+              f"{len(rec.events)} events", file=out)
+        if args.trace_out:
+            print(f"telemetry JSONL written to {args.trace_out} "
+                  f"(convert with: repro trace {args.trace_out})", file=out)
     return 0
 
 
@@ -209,6 +235,21 @@ def _cmd_report(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    from repro.obs import validate_jsonl, write_telemetry_chrome_trace
+
+    errors = validate_jsonl(args.jsonl)
+    if errors:
+        for err in errors[:20]:
+            print(f"invalid telemetry: {err}", file=out)
+        return 1
+    trace = write_telemetry_chrome_trace(args.jsonl, args.out)
+    print(f"chrome trace written to {args.out} "
+          f"({len(trace['traceEvents'])} events) — open in ui.perfetto.dev "
+          f"or chrome://tracing", file=out)
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -224,6 +265,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_report(args, out)
     if args.command == "analyze":
         return _cmd_analyze(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -44,6 +44,14 @@ class CstfConfig:
         ``"repair"``), a :class:`~repro.resilience.ResiliencePolicy`, one of
         ``"raise"``/``"repair"``/``"warn"`` (default policy with that
         sentinel behavior), or ``"off"`` (historical fail-fast behavior).
+    telemetry:
+        Run telemetry (see :mod:`repro.obs`): ``"auto"`` (default — join an
+        ambient :func:`~repro.obs.telemetry_session` if one is active, else
+        fully off with zero overhead), ``"off"`` (force off), ``"on"``
+        (record in memory, surfaced as ``CstfResult.telemetry``), or a
+        :class:`~repro.obs.Telemetry` instance (e.g. with a JSONL sink).
+        Telemetry never touches the numerics; ``"on"``/``"off"`` runs are
+        bit-identical.
     checkpoint_every:
         Write an atomic checkpoint every K outer iterations (0 disables).
         Requires ``checkpoint_path``.
@@ -73,6 +81,7 @@ class CstfConfig:
     initialization. Weights of a KruskalTensor are folded into the factors."""
 
     resilience: object = None
+    telemetry: object = "auto"
     checkpoint_every: int = 0
     checkpoint_path: object = None
     resume_from: object = None
@@ -95,4 +104,10 @@ class CstfConfig:
         require(
             self.normalize in _NORMS,
             f"normalize must be one of {_NORMS}, got {self.normalize!r}",
+        )
+        require(
+            self.telemetry in ("auto", "off", "on", None, True, False)
+            or hasattr(self.telemetry, "span"),
+            f"telemetry must be 'auto', 'off', 'on', or a Telemetry instance, "
+            f"got {self.telemetry!r}",
         )

@@ -37,6 +37,7 @@ from repro.kernels.mttkrp_csf import mttkrp_csf
 from repro.machine.analytic import TensorStats, charge_mttkrp
 from repro.machine.executor import Executor
 from repro.machine.symbolic import SymArray
+from repro.obs import resolve_telemetry
 from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
 from repro.resilience.events import CHECKPOINT_RESUMED, CHECKPOINT_SAVED, ResilienceEvent
 from repro.resilience.guards import ensure_finite
@@ -71,6 +72,11 @@ class CstfResult:
 
     start_iteration: int = 0
     """Outer iteration the run (re)started from; nonzero after a resume."""
+
+    telemetry: object = None
+    """The run's :class:`~repro.obs.RunRecord` when telemetry was enabled
+    (spans, simulated kernel stream, resilience events, metrics summary);
+    ``None`` for untraced runs."""
 
     @property
     def timeline(self):
@@ -200,17 +206,36 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
     elif overrides:
         raise TypeError("pass either a config or keyword overrides, not both")
 
+    # Telemetry is resolved once per run and installed as the ambient
+    # session so deep call sites (MTTKRP kernels, ADMM inner loops) can
+    # self-instrument; the default resolves to a no-op with zero overhead.
+    tel = resolve_telemetry(config.telemetry)
+    with tel.activate(), tel.span("run"):
+        result = _cstf_run(tensor, config, tel)
+    tel.flush()
+    return result
+
+
+def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
     analytic = isinstance(tensor, TensorStats)
     update = get_update(config.update, **config.update_params)
     ex = Executor(config.device)
+    tel.attach_executor(ex)
     rank = config.rank
     shape = tensor.shape
+    tel.set_meta(
+        kind="cstf", device=ex.device.name, rank=rank,
+        update=getattr(update, "name", str(config.update)),
+        mttkrp_format=config.mttkrp_format, analytic=analytic,
+    )
 
     # Resilience plumbing: one policy + event log per run, threaded to the
     # update methods through their state dict. Analytic (symbolic) runs have
     # no numerics to guard.
     policy = ResiliencePolicy.resolve(config.resilience)
     ctx = ResilienceContext(policy) if (policy is not None and not analytic) else None
+    if ctx is not None:
+        tel.attach_events(ctx.events)
     injector = config.fault_injector
     require(
         injector is None or not analytic,
@@ -229,6 +254,12 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
             checkpoint.rank == rank,
             f"checkpoint rank {checkpoint.rank} does not match config rank {rank}",
         )
+        if tel.enabled:
+            # Continue the interrupted run's telemetry: cumulative counters
+            # and histograms resume without a gap (iteration indices follow
+            # from the restored outer-iteration counter).
+            tel.metrics.load_state(checkpoint.telemetry_state)
+            tel.counter("cstf.resumes")
 
     if analytic:
         mttkrp_engine = _SymbolicMttkrp(tensor, config.mttkrp_format)
@@ -275,7 +306,7 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
             )
     else:
         # Initial Gram cache (line 4 of Algorithm 1).
-        with ex.phase(PHASE_GRAM):
+        with ex.phase(PHASE_GRAM), tel.span("gram_init"):
             grams = [ex.gram(f) for f in factors]
 
     fits: list[float] = list(checkpoint.fits) if checkpoint is not None else []
@@ -285,17 +316,19 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
     events = ctx.events if ctx is not None else None
     for _ in range(start_iteration, config.max_iters):
         iterations += 1
+        iter_span = tel.open_span("outer_iter", iteration=iterations)
+        tel.counter("cstf.outer_iterations")
         for mode in range(ndim):
             needs_tensor = getattr(update, "needs_tensor", False)
             if not needs_tensor:
-                with ex.phase(PHASE_GRAM):
+                with ex.phase(PHASE_GRAM), tel.span("gram", mode=mode):
                     s_mat = _gram_chain(ex, grams, mode, rank, analytic)
                 if injector is not None:
                     s_mat = injector.inject(
                         PHASE_GRAM, s_mat, mode=mode, iteration=iterations,
                         events=events,
                     )
-                with ex.phase(PHASE_MTTKRP):
+                with ex.phase(PHASE_MTTKRP), tel.span("mttkrp", mode=mode):
                     m_mat = mttkrp_engine.compute(ex, factors, mode, rank)
                 if injector is not None:
                     m_mat = injector.inject(
@@ -307,7 +340,7 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
                     m_mat, ctx, phase=PHASE_MTTKRP, what="MTTKRP result",
                     mode=mode, iteration=iterations,
                 )
-            with ex.phase(PHASE_UPDATE):
+            with ex.phase(PHASE_UPDATE), tel.span("update", mode=mode):
                 # The update solves for the unnormalized factor H·diag(λ);
                 # reapply the weights to warm-start from the current model.
                 h_start = ex.col_scale(factors[mode], weights, name="col_scale_lambda")
@@ -328,7 +361,7 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
                 h_new, ctx, phase=PHASE_UPDATE, what=f"mode-{mode} factor update",
                 mode=mode, iteration=iterations,
             )
-            with ex.phase(PHASE_NORMALIZE):
+            with ex.phase(PHASE_NORMALIZE), tel.span("normalize", mode=mode):
                 factors[mode], weights = ex.normalize_columns(h_new, kind=config.normalize)
             if injector is not None:
                 factors[mode] = injector.inject(
@@ -344,14 +377,18 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
                 weights, ctx, phase=PHASE_NORMALIZE, what="weight vector λ",
                 mode=mode, iteration=iterations,
             )
-            with ex.phase(PHASE_GRAM):
+            with ex.phase(PHASE_GRAM), tel.span("gram", mode=mode, refresh=True):
                 grams[mode] = ex.gram(factors[mode])
 
         if not analytic and config.compute_fit:
-            with ex.phase(PHASE_FIT):
+            with ex.phase(PHASE_FIT), tel.span("fit"):
                 model = KruskalTensor([f.copy() for f in factors], weights.copy())
                 fits.append(model.fit(tensor))
                 _charge_fit(ex, tensor, rank)
+            tel.observe("cstf.fit", fits[-1])
+            if len(fits) >= 2:
+                tel.observe("cstf.fit_delta", fits[-1] - fits[-2])
+            tel.gauge("cstf.last_fit", fits[-1])
             if (
                 config.tol > 0.0
                 and len(fits) >= 2
@@ -364,8 +401,10 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
             and not analytic
             and iterations % config.checkpoint_every == 0
         ):
-            _write_checkpoint(config, update, shape, rank, iterations,
-                              factors, weights, grams, fits, state, ctx)
+            with tel.span("checkpoint", iteration=iterations):
+                _write_checkpoint(config, update, shape, rank, iterations,
+                                  factors, weights, grams, fits, state, ctx, tel)
+        tel.close_span(iter_span)
         if converged:
             break
 
@@ -378,11 +417,12 @@ def cstf(tensor, config: CstfConfig | None = None, **overrides) -> CstfResult:
         fits=fits,
         events=list(ctx.events) if ctx is not None else [],
         start_iteration=start_iteration,
+        telemetry=tel.record if tel.enabled else None,
     )
 
 
 def _write_checkpoint(config, update, shape, rank, iteration, factors, weights,
-                      grams, fits, state, ctx) -> None:
+                      grams, fits, state, ctx, tel) -> None:
     """Persist the AO-loop state atomically and log the save."""
     injector = config.fault_injector
     state_arrays = {k: v for k, v in state.items() if k != STATE_KEY}
@@ -395,6 +435,7 @@ def _write_checkpoint(config, update, shape, rank, iteration, factors, weights,
         fits=fits,
         state_arrays=state_arrays,
         rng_state=injector.rng_state() if injector is not None else None,
+        telemetry_state=tel.metrics.state_dict() if tel.enabled else None,
         meta={
             "shape": [int(d) for d in shape],
             "rank": int(rank),

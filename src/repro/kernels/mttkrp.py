@@ -7,8 +7,11 @@ but compute its rows on the fly per nonzero (Figure 2).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
+from repro.obs import current_telemetry
 from repro.tensor.alto import AltoTensor
 from repro.tensor.blco import BlcoTensor
 from repro.tensor.coo import SparseTensor
@@ -17,7 +20,30 @@ from repro.tensor.dense import DenseTensor, matricize
 from repro.tensor.hicoo import HicooTensor
 from repro.utils.validation import check_axis, require
 
-__all__ = ["khatri_rao", "mttkrp_dense", "mttkrp", "check_factors"]
+__all__ = ["khatri_rao", "mttkrp_dense", "mttkrp", "check_factors", "traced_mttkrp"]
+
+
+def traced_mttkrp(fmt: str):
+    """Shared telemetry decorator for the per-format MTTKRP kernels.
+
+    Wraps a ``kernel(tensor, factors, mode)`` function in a host span named
+    ``mttkrp_kernel`` carrying the storage format and target mode, and
+    bumps the ``mttkrp.calls.<fmt>`` counter. With no ambient telemetry
+    session the wrapper is two attribute lookups and a no-op context —
+    effectively free next to the kernel body.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(tensor, factors, mode, *args, **kwargs):
+            tel = current_telemetry()
+            with tel.span("mttkrp_kernel", format=fmt, mode=mode):
+                tel.counter(f"mttkrp.calls.{fmt}")
+                return fn(tensor, factors, mode, *args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 def khatri_rao(matrices) -> np.ndarray:
@@ -61,6 +87,7 @@ def check_factors(shape, factors, mode=None) -> int:
     return int(rank)  # type: ignore[arg-type]
 
 
+@traced_mttkrp("dense")
 def mttkrp_dense(tensor, factors, mode: int) -> np.ndarray:
     """Dense oracle: ``matricize(X, mode) @ khatri_rao(other factors)``.
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.mttkrp import check_factors
+from repro.kernels.mttkrp import check_factors, traced_mttkrp
 from repro.kernels.mttkrp_coo import segment_accumulate
 from repro.tensor.alto import AltoTensor
 from repro.utils.validation import check_axis
@@ -19,6 +19,7 @@ from repro.utils.validation import check_axis
 __all__ = ["mttkrp_alto"]
 
 
+@traced_mttkrp("alto")
 def mttkrp_alto(tensor: AltoTensor, factors, mode: int) -> np.ndarray:
     """MTTKRP over an ALTO tensor; returns ``(shape[mode], R)``."""
     mode = check_axis(mode, tensor.ndim)

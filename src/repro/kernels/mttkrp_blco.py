@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.mttkrp import check_factors
+from repro.kernels.mttkrp import check_factors, traced_mttkrp
 from repro.kernels.mttkrp_coo import segment_accumulate
 from repro.tensor.blco import BlcoTensor
 from repro.utils.validation import check_axis
@@ -20,6 +20,7 @@ from repro.utils.validation import check_axis
 __all__ = ["mttkrp_blco"]
 
 
+@traced_mttkrp("blco")
 def mttkrp_blco(tensor: BlcoTensor, factors, mode: int) -> np.ndarray:
     """MTTKRP over a BLCO tensor; returns ``(shape[mode], R)``."""
     mode = check_axis(mode, tensor.ndim)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.mttkrp import check_factors
+from repro.kernels.mttkrp import check_factors, traced_mttkrp
 from repro.tensor.coo import SparseTensor
 from repro.utils.validation import check_axis, require
 
@@ -53,6 +53,7 @@ def segment_accumulate(rows: np.ndarray, targets: np.ndarray, out_rows: int) -> 
     return out
 
 
+@traced_mttkrp("coo")
 def mttkrp_coo(tensor: SparseTensor, factors, mode: int, strategy: str = "segment") -> np.ndarray:
     """MTTKRP over a COO tensor; returns ``(shape[mode], R)``."""
     mode = check_axis(mode, tensor.ndim)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.mttkrp import check_factors
+from repro.kernels.mttkrp import check_factors, traced_mttkrp
 from repro.tensor.csf import CsfTensor
 from repro.utils.validation import check_axis
 
@@ -25,6 +25,7 @@ def _segment_sum(rows: np.ndarray, fptr: np.ndarray) -> np.ndarray:
     return np.add.reduceat(rows, fptr[:-1], axis=0)
 
 
+@traced_mttkrp("csf")
 def mttkrp_csf(tensor: CsfTensor, factors, mode: int) -> np.ndarray:
     """MTTKRP over a CSF tensor; returns ``(shape[mode], R)``.
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.mttkrp import check_factors
+from repro.kernels.mttkrp import check_factors, traced_mttkrp
 from repro.kernels.mttkrp_coo import segment_accumulate
 from repro.tensor.hicoo import HicooTensor
 from repro.utils.validation import check_axis
@@ -18,6 +18,7 @@ from repro.utils.validation import check_axis
 __all__ = ["mttkrp_hicoo"]
 
 
+@traced_mttkrp("hicoo")
 def mttkrp_hicoo(tensor: HicooTensor, factors, mode: int) -> np.ndarray:
     """MTTKRP over a HiCOO tensor; returns ``(shape[mode], R)``."""
     mode = check_axis(mode, tensor.ndim)

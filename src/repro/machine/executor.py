@@ -58,6 +58,11 @@ class Executor:
         self.device: DeviceSpec = get_device(device)
         self.timeline = Timeline(keep_records=keep_records)
         self._phase = "UNPHASED"
+        self.on_kernel = None
+        """Optional ``(KernelRecord, seconds) -> None`` observer invoked for
+        every charged kernel — the bridge an active telemetry session (see
+        :mod:`repro.obs`) uses to mirror the simulated-device stream. None
+        (the default) costs nothing."""
 
     # ------------------------------------------------------------------ #
     # Phase management and raw accounting
@@ -117,6 +122,8 @@ class Executor:
         )
         seconds = kernel_seconds(self.device, rec)
         self.timeline.add(rec, seconds)
+        if self.on_kernel is not None:
+            self.on_kernel(rec, seconds)
         return seconds
 
     def charge_fixed(self, name: str, seconds: float) -> float:
@@ -127,6 +134,8 @@ class Executor:
             bytes_written=0.0, parallel_work=1.0, launches=0,
         )
         self.timeline.add(rec, float(seconds))
+        if self.on_kernel is not None:
+            self.on_kernel(rec, float(seconds))
         return float(seconds)
 
     def _out(self, template, shape):

@@ -1,0 +1,63 @@
+"""Unified run telemetry: spans, metrics, and trace export.
+
+The observability layer the paper's own argument is made with — per-phase
+breakdowns and counters (Figures 1/3/4) — as a first-class subsystem:
+
+- :mod:`repro.obs.spans` — hierarchical host spans, the run-scoped
+  :class:`Telemetry` session, and the ambient-session machinery
+  (:func:`current_telemetry`, :func:`telemetry_session`);
+- :mod:`repro.obs.metrics` — the counters/gauges/histograms registry with
+  ``min/max/mean/pXX`` summaries and checkpointable state;
+- :mod:`repro.obs.record` — the in-memory :class:`RunRecord` sink surfaced
+  as ``CstfResult.telemetry``;
+- :mod:`repro.obs.sinks` — the streaming JSONL sink and reader;
+- :mod:`repro.obs.chrome` — the Chrome-trace/Perfetto exporter that puts
+  host spans, simulated kernels, and resilience events on one timeline;
+- :mod:`repro.obs.schema` — the JSONL line contract (JSON Schema) and its
+  validator.
+
+Enable per run (``cstf(..., telemetry="on")``), per session
+(:func:`telemetry_session`), or not at all — the default is a no-op with
+zero overhead and bit-identical numerics.
+"""
+
+from repro.obs.chrome import (
+    jsonl_to_chrome_trace,
+    telemetry_to_chrome_trace,
+    write_telemetry_chrome_trace,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.record import KernelEvent, ResilienceTraceEvent, RunRecord, Span
+from repro.obs.schema import TELEMETRY_SCHEMA, validate_jsonl, validate_record
+from repro.obs.sinks import JsonlSink, read_jsonl
+from repro.obs.spans import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    resolve_telemetry,
+    telemetry_session,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "current_telemetry",
+    "resolve_telemetry",
+    "telemetry_session",
+    "MetricsRegistry",
+    "Histogram",
+    "RunRecord",
+    "Span",
+    "KernelEvent",
+    "ResilienceTraceEvent",
+    "JsonlSink",
+    "read_jsonl",
+    "telemetry_to_chrome_trace",
+    "jsonl_to_chrome_trace",
+    "write_telemetry_chrome_trace",
+    "TELEMETRY_SCHEMA",
+    "validate_record",
+    "validate_jsonl",
+]

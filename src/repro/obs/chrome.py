@@ -1,0 +1,157 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) exporter.
+
+Renders one unified timeline from a telemetry source — a live
+:class:`~repro.obs.record.RunRecord` or an emitted JSONL file — with three
+process tracks:
+
+- **host** (pid 1): the hierarchical span tree as complete (``X``) events;
+- **device (simulated)** (pid 2): the simulated kernel stream, one thread
+  per cSTF phase, laid out back-to-back in simulated time;
+- **resilience** (pid 3): every resilience-layer action as an instant
+  (``i``) event at the host time it fired.
+
+Host and simulated tracks use their own time bases (host wall time vs.
+simulated device seconds); they share the viewport, not a clock.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "telemetry_to_chrome_trace",
+    "jsonl_to_chrome_trace",
+    "write_telemetry_chrome_trace",
+]
+
+PID_HOST = 1
+PID_DEVICE = 2
+PID_RESILIENCE = 3
+
+
+def _meta_event(pid: int, name: str, tid: int = 0, kind: str = "process_name") -> dict:
+    return {"name": kind, "ph": "M", "pid": pid, "tid": tid, "args": {"name": name}}
+
+
+def telemetry_to_chrome_trace(source) -> dict:
+    """Build the Chrome-trace dict from a RunRecord or parsed JSONL records."""
+    spans, kernels, events, meta = _normalize(source)
+
+    trace_events: list[dict] = [
+        _meta_event(PID_HOST, "host"),
+        _meta_event(PID_DEVICE, "device (simulated)"),
+        _meta_event(PID_RESILIENCE, "resilience"),
+        _meta_event(PID_HOST, "spans", tid=1, kind="thread_name"),
+        _meta_event(PID_RESILIENCE, "events", tid=1, kind="thread_name"),
+    ]
+
+    for s in spans:
+        args = {k: v for k, v in s["attrs"].items()}
+        if s.get("sim"):
+            args["sim_seconds"] = s["sim"]["seconds"]
+            args["sim_flops"] = s["sim"]["flops"]
+            args["sim_bytes"] = s["sim"]["bytes"]
+        trace_events.append(
+            {
+                "name": s["name"],
+                "cat": "host",
+                "ph": "X",
+                "ts": round(s["ts"] * 1e6, 3),
+                "dur": round(s["dur"] * 1e6, 3),
+                "pid": PID_HOST,
+                "tid": 1,
+                "args": args,
+            }
+        )
+
+    phase_tids: dict[str, int] = {}
+    for k in kernels:
+        tid = phase_tids.setdefault(k["phase"], len(phase_tids) + 1)
+        trace_events.append(
+            {
+                "name": k["name"],
+                "cat": k["phase"],
+                "ph": "X",
+                "ts": round(k["ts"] * 1e6, 3),
+                "dur": round(k["dur"] * 1e6, 3),
+                "pid": PID_DEVICE,
+                "tid": tid,
+                "args": {
+                    "flops": k["flops"],
+                    "bytes": k["bytes"],
+                    "launches": k["launches"],
+                },
+            }
+        )
+    for phase, tid in phase_tids.items():
+        trace_events.append(_meta_event(PID_DEVICE, phase, tid=tid, kind="thread_name"))
+
+    for e in events:
+        args = {"detail": e.get("detail", ""), **e.get("data", {})}
+        if e.get("mode") is not None:
+            args["mode"] = e["mode"]
+        if e.get("iteration") is not None:
+            args["iteration"] = e["iteration"]
+        trace_events.append(
+            {
+                "name": e["kind"],
+                "cat": e.get("phase", ""),
+                "ph": "i",
+                "s": "g",
+                "ts": round(e["ts"] * 1e6, 3),
+                "pid": PID_RESILIENCE,
+                "tid": 1,
+                "args": args,
+            }
+        )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "simulated_device_track": True, **meta},
+    }
+
+
+def _normalize(source):
+    """Split any supported source into (spans, kernels, events, meta) dicts."""
+    from repro.obs.record import RunRecord
+
+    if isinstance(source, RunRecord):
+        d = source.to_dict()
+        return d["spans"], d["kernels"], d["events"], _meta_strings(d["meta"])
+    if isinstance(source, (str, Path)):
+        from repro.obs.sinks import read_jsonl
+
+        source = read_jsonl(source)
+    spans, kernels, events, meta = [], [], [], {}
+    for rec in source:
+        kind = rec.get("type")
+        if kind == "span":
+            spans.append(rec)
+        elif kind == "kernel":
+            kernels.append(rec)
+        elif kind == "event":
+            events.append(rec)
+        elif kind == "meta":
+            meta.update(_meta_strings(rec.get("run", {})))
+    return spans, kernels, events, meta
+
+
+def _meta_strings(meta: dict) -> dict:
+    return {str(k): v for k, v in meta.items() if isinstance(v, (str, int, float, bool))}
+
+
+def jsonl_to_chrome_trace(path) -> dict:
+    """Convert an emitted telemetry JSONL file to a Chrome-trace dict."""
+    return telemetry_to_chrome_trace(path)
+
+
+def write_telemetry_chrome_trace(source, target) -> dict:
+    """Export *source* as a Chrome-trace JSON file; returns the trace dict."""
+    trace = telemetry_to_chrome_trace(source)
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(json.dumps(trace), encoding="utf-8")
+    else:
+        json.dump(trace, target)
+    return trace

@@ -1,0 +1,164 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` lives on every telemetry session and records
+the run's convergence telemetry — fit and fit delta per outer iteration,
+ADMM inner-iteration counts, primal/dual residuals, ρ values, Cholesky
+jitter retries — under the stable metric names documented in
+``docs/OBSERVABILITY.md``.
+
+Three instrument kinds:
+
+- **counter** — monotone accumulator (``resilience.cholesky_jitter``);
+- **gauge** — last-value-wins sample (``cstf.fit``);
+- **histogram** — full distribution with ``min/max/mean/pXX`` summaries
+  (``admm.inner_iters``).
+
+The registry is checkpointable: :meth:`MetricsRegistry.state_dict` returns
+a JSON-serializable image that :meth:`MetricsRegistry.load_state` restores,
+so a resumed run continues its cumulative counters and histograms without a
+gap (see :mod:`repro.resilience.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+#: Histogram sample retention cap; past it, count/total/min/max stay exact
+#: while percentiles are computed from the retained prefix.
+MAX_SAMPLES = 65536
+
+#: Percentiles reported by every histogram summary.
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution of one metric.
+
+    Retains raw samples (up to :data:`MAX_SAMPLES`) so percentiles are
+    exact for any realistically sized run; count/total/min/max are always
+    exact regardless of retention.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.values) < MAX_SAMPLES:
+            self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        out = {
+            "count": self.count,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+        for p in PERCENTILES:
+            out[f"p{p}"] = self.percentile(p)
+        return out
+
+    def state_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        h = cls(
+            count=int(state["count"]),
+            total=float(state["total"]),
+            values=[float(v) for v in state.get("values", [])],
+        )
+        if h.count:
+            h.min = float(state["min"])
+            h.max = float(state["max"])
+        return h
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + float(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------ #
+    def histogram(self, name: str) -> Histogram | None:
+        return self.histograms.get(name)
+
+    def summary(self) -> dict:
+        """JSON-serializable snapshot of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.summary() for k, h in sorted(self.histograms.items())},
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint integration
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.state_dict() for k, h in self.histograms.items()},
+        }
+
+    def load_state(self, state: dict | None) -> None:
+        """Replace the registry contents with a checkpointed image."""
+        if not state:
+            return
+        self.counters = {k: float(v) for k, v in state.get("counters", {}).items()}
+        self.gauges = {k: float(v) for k, v in state.get("gauges", {}).items()}
+        self.histograms = {
+            k: Histogram.from_state(v) for k, v in state.get("histograms", {}).items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

@@ -1,0 +1,157 @@
+"""The in-memory telemetry sink: everything one run did, in one object.
+
+A :class:`RunRecord` accumulates the host span tree, the simulated-device
+kernel stream, the resilience events, and per-phase simulated aggregates.
+It is surfaced as ``CstfResult.telemetry`` so callers can answer "what did
+this run do, where did the time go, and what did the resilience layer
+touch" without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "KernelEvent", "ResilienceTraceEvent", "RunRecord"]
+
+
+@dataclass
+class Span:
+    """One hierarchical host-side span (wall time + simulated attribution).
+
+    ``t0``/``dur`` are host seconds relative to the telemetry session's
+    epoch. ``sim`` is present when a simulated-device timeline was active
+    during the span: the device seconds/flops/bytes charged while the span
+    was open (children included — it is an inclusive attribution, matching
+    how wall time nests).
+    """
+
+    id: int
+    name: str
+    parent: int | None
+    t0: float
+    attrs: dict = field(default_factory=dict)
+    dur: float = 0.0
+    sim: dict | None = None
+    open: bool = True
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One simulated-device kernel on the run's device timeline.
+
+    ``ts`` is the simulated-time cursor (seconds) at which the kernel
+    starts — the simulator models a single in-order device queue, so
+    kernels are laid out back-to-back.
+    """
+
+    name: str
+    phase: str
+    ts: float
+    dur: float
+    flops: float
+    bytes: float
+    launches: int
+
+
+@dataclass(frozen=True)
+class ResilienceTraceEvent:
+    """A resilience-layer action stamped with host time for the trace."""
+
+    kind: str
+    phase: str
+    ts: float
+    mode: int | None = None
+    iteration: int | None = None
+    detail: str = ""
+    data: dict = field(default_factory=dict)
+
+
+@dataclass
+class RunRecord:
+    """Everything a telemetry-enabled run recorded."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    kernels: list[KernelEvent] = field(default_factory=list)
+    events: list[ResilienceTraceEvent] = field(default_factory=list)
+
+    sim_phase_seconds: dict[str, float] = field(default_factory=dict)
+    sim_phase_flops: dict[str, float] = field(default_factory=dict)
+    sim_phase_bytes: dict[str, float] = field(default_factory=dict)
+
+    metrics_summary: dict = field(default_factory=dict)
+    """Final :meth:`~repro.obs.metrics.MetricsRegistry.summary` snapshot;
+    refreshed by :meth:`repro.obs.spans.Telemetry.flush`."""
+
+    # ------------------------------------------------------------------ #
+    def add_kernel(self, event: KernelEvent) -> None:
+        self.kernels.append(event)
+        self.sim_phase_seconds[event.phase] = (
+            self.sim_phase_seconds.get(event.phase, 0.0) + event.dur
+        )
+        self.sim_phase_flops[event.phase] = (
+            self.sim_phase_flops.get(event.phase, 0.0) + event.flops
+        )
+        self.sim_phase_bytes[event.phase] = (
+            self.sim_phase_bytes.get(event.phase, 0.0) + event.bytes
+        )
+
+    def phase_seconds(self, phase: str) -> float:
+        """Simulated seconds attributed to *phase* (0.0 if never seen)."""
+        return self.sim_phase_seconds.get(phase, 0.0)
+
+    def sim_total_seconds(self) -> float:
+        return sum(self.sim_phase_seconds.values())
+
+    # ------------------------------------------------------------------ #
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent == span.id]
+
+    def span_tree_lines(self) -> list[str]:
+        """Indented one-line-per-span rendering (debugging/report helper)."""
+        by_parent: dict[int | None, list[Span]] = {}
+        for s in self.spans:
+            by_parent.setdefault(s.parent, []).append(s)
+        lines: list[str] = []
+
+        def walk(parent: int | None, depth: int) -> None:
+            for s in sorted(by_parent.get(parent, []), key=lambda s: s.t0):
+                sim = f" sim={s.sim['seconds']:.3e}s" if s.sim else ""
+                lines.append(f"{'  ' * depth}{s.name} host={s.dur:.3e}s{sim}")
+                walk(s.id, depth + 1)
+
+        walk(None, 0)
+        return lines
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Full JSON-serializable export (the JSONL sink's line set)."""
+        return {
+            "meta": dict(self.meta),
+            "spans": [
+                {
+                    "id": s.id, "parent": s.parent, "name": s.name,
+                    "ts": s.t0, "dur": s.dur, "attrs": dict(s.attrs),
+                    "sim": dict(s.sim) if s.sim else None,
+                }
+                for s in self.spans
+            ],
+            "kernels": [
+                {
+                    "name": k.name, "phase": k.phase, "ts": k.ts, "dur": k.dur,
+                    "flops": k.flops, "bytes": k.bytes, "launches": k.launches,
+                }
+                for k in self.kernels
+            ],
+            "events": [
+                {
+                    "kind": e.kind, "phase": e.phase, "ts": e.ts, "mode": e.mode,
+                    "iteration": e.iteration, "detail": e.detail, "data": dict(e.data),
+                }
+                for e in self.events
+            ],
+            "metrics": dict(self.metrics_summary),
+        }

@@ -1,0 +1,173 @@
+"""The telemetry JSONL line contract, as a JSON Schema plus a validator.
+
+:data:`TELEMETRY_SCHEMA` is a standard JSON-Schema document (draft-07
+subset) describing every line type the JSONL sink emits: ``meta``,
+``span``, ``kernel``, ``metric``, ``event``, and ``summary``. The bundled
+:func:`validate_record` interprets exactly the subset the schema uses
+(``type``, ``enum``, ``required``, ``properties``, ``oneOf``), so
+validation needs no third-party ``jsonschema`` dependency; the document
+itself remains exportable to any external validator.
+
+``scripts/check_trace.py`` drives :func:`validate_jsonl` from the command
+line; the fault suite runs it over an injected-fault run so resilience
+events are schema-checked too.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TELEMETRY_SCHEMA", "validate_record", "validate_jsonl"]
+
+_NUM = {"type": "number"}
+_STR = {"type": "string"}
+_INT = {"type": "integer"}
+
+TELEMETRY_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro telemetry JSONL line",
+    "oneOf": [
+        {
+            "type": "object",
+            "required": ["type", "version", "run"],
+            "properties": {
+                "type": {"enum": ["meta"]},
+                "version": _INT,
+                "run": {"type": "object"},
+            },
+        },
+        {
+            "type": "object",
+            "required": ["type", "id", "parent", "name", "ts", "dur", "attrs", "sim"],
+            "properties": {
+                "type": {"enum": ["span"]},
+                "id": _INT,
+                "parent": {"type": ["integer", "null"]},
+                "name": _STR,
+                "ts": _NUM,
+                "dur": _NUM,
+                "attrs": {"type": "object"},
+                "sim": {
+                    "type": ["object", "null"],
+                    "required": ["seconds", "flops", "bytes"],
+                    "properties": {"seconds": _NUM, "flops": _NUM, "bytes": _NUM},
+                },
+            },
+        },
+        {
+            "type": "object",
+            "required": ["type", "name", "phase", "ts", "dur", "flops", "bytes", "launches"],
+            "properties": {
+                "type": {"enum": ["kernel"]},
+                "name": _STR,
+                "phase": _STR,
+                "ts": _NUM,
+                "dur": _NUM,
+                "flops": _NUM,
+                "bytes": _NUM,
+                "launches": _INT,
+            },
+        },
+        {
+            "type": "object",
+            "required": ["type", "kind", "name", "value", "ts"],
+            "properties": {
+                "type": {"enum": ["metric"]},
+                "kind": {"enum": ["counter", "gauge", "histogram"]},
+                "name": _STR,
+                "value": _NUM,
+                "ts": _NUM,
+                "attrs": {"type": "object"},
+            },
+        },
+        {
+            "type": "object",
+            "required": ["type", "kind", "phase", "ts", "detail", "data"],
+            "properties": {
+                "type": {"enum": ["event"]},
+                "kind": _STR,
+                "phase": _STR,
+                "ts": _NUM,
+                "mode": {"type": ["integer", "null"]},
+                "iteration": {"type": ["integer", "null"]},
+                "detail": _STR,
+                "data": {"type": "object"},
+            },
+        },
+        {
+            "type": "object",
+            "required": ["type", "metrics"],
+            "properties": {
+                "type": {"enum": ["summary"]},
+                "metrics": {"type": "object"},
+            },
+        },
+    ],
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check(value, schema: dict, path: str, errors: list[str]) -> None:
+    """Validate *value* against the JSON-Schema subset used above."""
+    if "oneOf" in schema:
+        candidates = schema["oneOf"]
+        failures = []
+        for sub in candidates:
+            sub_errors: list[str] = []
+            _check(value, sub, path, sub_errors)
+            if not sub_errors:
+                return
+            failures.append(sub_errors)
+        # Report against the branch whose discriminator matched, if any.
+        tag = value.get("type") if isinstance(value, dict) else None
+        for sub, errs in zip(candidates, failures):
+            enum = sub.get("properties", {}).get("type", {}).get("enum", [])
+            if tag in enum:
+                errors.extend(errs)
+                return
+        errors.append(f"{path}: matches no schema branch (type={tag!r})")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(f"{path}: expected {'/'.join(allowed)}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+        return
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                _check(value[key], sub, f"{path}.{key}", errors)
+
+
+def validate_record(obj) -> list[str]:
+    """Validate one parsed JSONL line; returns a list of error strings."""
+    errors: list[str] = []
+    _check(obj, TELEMETRY_SCHEMA, "$", errors)
+    return errors
+
+
+def validate_jsonl(source) -> list[str]:
+    """Validate a whole telemetry JSONL file; returns all line errors."""
+    from repro.obs.sinks import read_jsonl
+
+    errors: list[str] = []
+    records = read_jsonl(source)
+    if not records:
+        return ["file contains no telemetry records"]
+    for i, rec in enumerate(records, start=1):
+        for err in validate_record(rec):
+            errors.append(f"line {i}: {err}")
+    return errors

@@ -1,0 +1,64 @@
+"""Streaming JSONL sink and the matching reader.
+
+One JSON object per line, written as telemetry happens — a run killed
+mid-flight still leaves an audit trail up to its last flushed line. Line
+shapes are the stable contract in :mod:`repro.obs.schema`; the Chrome-trace
+exporter (:mod:`repro.obs.chrome`) and ``scripts/check_trace.py`` both
+consume this format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["JsonlSink", "read_jsonl"]
+
+
+class JsonlSink:
+    """Append telemetry records to a ``.jsonl`` file (or text file object)."""
+
+    def __init__(self, target):
+        if isinstance(target, (str, Path)):
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.lines_written = 0
+
+    def emit(self, obj: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self.lines_written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+        self._fh = None
+
+
+def read_jsonl(source) -> list[dict]:
+    """Parse a telemetry JSONL file into its record dicts (blank-line safe)."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = source.read()
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno} is not valid JSON: {exc}") from exc
+    return records

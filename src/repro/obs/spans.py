@@ -1,0 +1,449 @@
+"""Hierarchical spans and the run-scoped telemetry session.
+
+A :class:`Telemetry` session ties the three previously disconnected
+instrumentation silos together:
+
+- **host spans** — ``with tel.span("mttkrp", mode=n): ...`` captures wall
+  time with structured attributes, nested under the currently open span;
+- **simulated device** — when an :class:`~repro.machine.Executor` is
+  attached, every kernel it charges is bridged into the session (per-phase
+  aggregates, the kernel stream, and per-span device attribution);
+- **resilience** — a subscribed :class:`~repro.resilience.events.EventLog`
+  mirrors each event into the trace as an instant event and bumps
+  ``resilience.<kind>`` counters.
+
+The *ambient* session is carried in a :mod:`contextvars` variable so deep
+call sites (MTTKRP kernels, ADMM inner loops, the scheduler) instrument
+themselves via :func:`current_telemetry` without parameter plumbing. When
+no session is active, :func:`current_telemetry` returns the module's
+:data:`NULL` singleton whose every method is a no-op — the zero-overhead
+``telemetry="off"`` path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.record import KernelEvent, ResilienceTraceEvent, RunRecord, Span
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "current_telemetry",
+    "resolve_telemetry",
+    "telemetry_session",
+]
+
+
+class NullTelemetry:
+    """The do-nothing telemetry: every instrument point is a cheap no-op.
+
+    ``enabled`` is False so call sites that must branch (e.g. checkpoint
+    serialization) can skip work entirely; everything else just calls the
+    no-op methods unconditionally.
+    """
+
+    enabled = False
+    record = None
+    metrics = None
+
+    # -- spans --------------------------------------------------------- #
+    def span(self, name, **attrs):
+        return _NULL_CTX
+
+    def open_span(self, name, **attrs):
+        return None
+
+    def close_span(self, span) -> None:
+        pass
+
+    # -- metrics ------------------------------------------------------- #
+    def counter(self, name, amount=1.0, **attrs) -> None:
+        pass
+
+    def gauge(self, name, value, **attrs) -> None:
+        pass
+
+    def observe(self, name, value, **attrs) -> None:
+        pass
+
+    # -- events / wiring ----------------------------------------------- #
+    def event(self, kind, phase, **kwargs) -> None:
+        pass
+
+    def set_meta(self, **meta) -> None:
+        pass
+
+    def attach_executor(self, executor) -> None:
+        pass
+
+    def attach_events(self, event_log) -> None:
+        pass
+
+    def push(self):
+        return _ACTIVE.set(self)
+
+    def pop(self, token) -> None:
+        _ACTIVE.reset(token)
+
+    @contextmanager
+    def activate(self):
+        token = self.push()
+        try:
+            yield self
+        finally:
+            self.pop(token)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Reusable null context manager yielding a discardable attrs holder."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _NullSpan:
+    __slots__ = ("attrs",)
+
+    def __init__(self):
+        self.attrs: dict = {}
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CTX = _NullSpanContext()
+
+#: Module-level no-op singleton; ``current_telemetry()`` default.
+NULL = NullTelemetry()
+
+_ACTIVE: ContextVar = ContextVar("repro_obs_telemetry", default=NULL)
+
+
+def current_telemetry():
+    """The ambient telemetry session (:data:`NULL` when none is active)."""
+    return _ACTIVE.get()
+
+
+class Telemetry:
+    """One run-scoped telemetry session.
+
+    Parameters
+    ----------
+    jsonl_path:
+        Optional path (or text file object) for the streaming JSONL sink;
+        every span/kernel/metric/event is written as one JSON line as it
+        happens (see :mod:`repro.obs.schema` for the line contract).
+    capture_kernels:
+        Keep the per-kernel event stream (record + JSONL). Per-phase
+        simulated aggregates are always maintained; disabling this bounds
+        trace size for huge sweeps.
+    clock:
+        Monotonic host clock, injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, jsonl_path=None, capture_kernels: bool = True, clock=time.perf_counter):
+        self.metrics = MetricsRegistry()
+        self.record = RunRecord()
+        self.capture_kernels = bool(capture_kernels)
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self._sim_cursor = 0.0
+        self._sink = None
+        if jsonl_path is not None:
+            from repro.obs.sinks import JsonlSink
+
+            self._sink = JsonlSink(jsonl_path)
+            self._sink.emit({"type": "meta", "version": 1, "run": {}})
+
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _emit(self, obj: dict) -> None:
+        if self._sink is not None:
+            self._sink.emit(obj)
+
+    # ------------------------------------------------------------------ #
+    # Spans
+    # ------------------------------------------------------------------ #
+    def open_span(self, name: str, **attrs) -> Span:
+        span = Span(
+            id=self._next_id,
+            name=name,
+            parent=self._stack[-1].id if self._stack else None,
+            t0=self._now(),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        # Simulated attribution baseline: device seconds charged so far.
+        span.sim = {"seconds": self._sim_cursor, "flops": 0.0, "bytes": 0.0}
+        span.attrs.setdefault("_sim_flops0", self._sim_flops_total())
+        span.attrs.setdefault("_sim_bytes0", self._sim_bytes_total())
+        self._stack.append(span)
+        self.record.spans.append(span)
+        return span
+
+    def close_span(self, span: Span | None) -> None:
+        if span is None or not span.open:
+            return
+        if span in self._stack:
+            # First close any children an exception unwound past, so their
+            # durations and simulated attribution stay well-formed.
+            while self._stack[-1] is not span:
+                self.close_span(self._stack[-1])
+            self._stack.pop()
+        span.dur = self._now() - span.t0
+        span.open = False
+        sim0 = span.sim["seconds"] if span.sim else 0.0
+        flops0 = span.attrs.pop("_sim_flops0", 0.0)
+        bytes0 = span.attrs.pop("_sim_bytes0", 0.0)
+        sim_delta = self._sim_cursor - sim0
+        if sim_delta > 0.0:
+            span.sim = {
+                "seconds": sim_delta,
+                "flops": self._sim_flops_total() - flops0,
+                "bytes": self._sim_bytes_total() - bytes0,
+            }
+        else:
+            span.sim = None
+        self._emit(
+            {
+                "type": "span",
+                "id": span.id,
+                "parent": span.parent,
+                "name": span.name,
+                "ts": span.t0,
+                "dur": span.dur,
+                "attrs": dict(span.attrs),
+                "sim": dict(span.sim) if span.sim else None,
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span = self.open_span(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.close_span(span)
+
+    def _sim_flops_total(self) -> float:
+        return sum(self.record.sim_phase_flops.values())
+
+    def _sim_bytes_total(self) -> float:
+        return sum(self.record.sim_phase_bytes.values())
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, amount: float = 1.0, **attrs) -> None:
+        self.metrics.count(name, amount)
+        self._emit(
+            {"type": "metric", "kind": "counter", "name": name,
+             "value": float(amount), "ts": self._now(), "attrs": attrs}
+        )
+
+    def gauge(self, name: str, value: float, **attrs) -> None:
+        self.metrics.gauge(name, value)
+        self._emit(
+            {"type": "metric", "kind": "gauge", "name": name,
+             "value": float(value), "ts": self._now(), "attrs": attrs}
+        )
+
+    def observe(self, name: str, value: float, **attrs) -> None:
+        self.metrics.observe(name, value)
+        self._emit(
+            {"type": "metric", "kind": "histogram", "name": name,
+             "value": float(value), "ts": self._now(), "attrs": attrs}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Instant events (resilience and scheduler decisions)
+    # ------------------------------------------------------------------ #
+    def event(
+        self,
+        kind: str,
+        phase: str,
+        *,
+        mode: int | None = None,
+        iteration: int | None = None,
+        detail: str = "",
+        data: dict | None = None,
+    ) -> None:
+        ev = ResilienceTraceEvent(
+            kind=kind, phase=phase, ts=self._now(), mode=mode,
+            iteration=iteration, detail=detail, data=dict(data or {}),
+        )
+        self.record.events.append(ev)
+        self._emit(
+            {"type": "event", "kind": ev.kind, "phase": ev.phase, "ts": ev.ts,
+             "mode": ev.mode, "iteration": ev.iteration, "detail": ev.detail,
+             "data": _jsonable(ev.data)}
+        )
+
+    def set_meta(self, **meta) -> None:
+        self.record.meta.update(meta)
+        self._emit({"type": "meta", "version": 1, "run": _jsonable(meta)})
+
+    # ------------------------------------------------------------------ #
+    # Bridges: simulated device and resilience layers
+    # ------------------------------------------------------------------ #
+    def attach_executor(self, executor) -> None:
+        """Forward every kernel the executor charges into this session."""
+        executor.on_kernel = self.on_kernel
+
+    def on_kernel(self, rec, seconds: float) -> None:
+        """Executor hook: one simulated kernel was charged."""
+        event = KernelEvent(
+            name=rec.name,
+            phase=rec.phase,
+            ts=self._sim_cursor,
+            dur=float(seconds),
+            flops=rec.flops,
+            bytes=rec.total_bytes,
+            launches=rec.launches,
+        )
+        self._sim_cursor += float(seconds)
+        if self.capture_kernels:
+            self.record.add_kernel(event)
+            self._emit(
+                {"type": "kernel", "name": event.name, "phase": event.phase,
+                 "ts": event.ts, "dur": event.dur, "flops": event.flops,
+                 "bytes": event.bytes, "launches": event.launches}
+            )
+        else:
+            # Aggregates only: skip the per-kernel stream but keep the
+            # phase accounting the acceptance checks rely on.
+            self.record.sim_phase_seconds[event.phase] = (
+                self.record.sim_phase_seconds.get(event.phase, 0.0) + event.dur
+            )
+            self.record.sim_phase_flops[event.phase] = (
+                self.record.sim_phase_flops.get(event.phase, 0.0) + event.flops
+            )
+            self.record.sim_phase_bytes[event.phase] = (
+                self.record.sim_phase_bytes.get(event.phase, 0.0) + event.bytes
+            )
+
+    def attach_events(self, event_log) -> None:
+        """Mirror a resilience :class:`EventLog` into this session."""
+        event_log.subscribe(self.on_resilience_event)
+
+    def on_resilience_event(self, ev) -> None:
+        self.metrics.count(f"resilience.{ev.kind}")
+        self.event(
+            ev.kind, ev.phase, mode=ev.mode, iteration=ev.iteration,
+            detail=ev.detail, data=ev.data,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Session management
+    # ------------------------------------------------------------------ #
+    def push(self):
+        """Make this session the ambient telemetry; returns a reset token."""
+        return _ACTIVE.set(self)
+
+    def pop(self, token) -> None:
+        _ACTIVE.reset(token)
+
+    @contextmanager
+    def activate(self):
+        token = self.push()
+        try:
+            yield self
+        finally:
+            self.pop(token)
+
+    def flush(self) -> None:
+        """Refresh the record's metrics snapshot and flush the JSONL sink."""
+        self.record.metrics_summary = self.metrics.summary()
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Close any still-open spans, write the summary line, release sinks."""
+        while self._stack:
+            self.close_span(self._stack[-1])
+        self.record.metrics_summary = self.metrics.summary()
+        if self._sink is not None:
+            self._sink.emit({"type": "summary", "metrics": self.record.metrics_summary})
+            self._sink.close()
+            self._sink = None
+
+
+def _jsonable(obj):
+    """Best-effort conversion of small payload dicts to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    try:  # NumPy scalars
+        return float(obj)
+    except (TypeError, ValueError):
+        return str(obj)
+
+
+def resolve_telemetry(setting):
+    """Map a ``CstfConfig.telemetry`` value to a session object.
+
+    - ``"auto"`` / ``None`` — join the ambient session if one is active
+      (see :func:`telemetry_session`), otherwise the no-op :data:`NULL`;
+    - ``"off"`` / ``False`` — force :data:`NULL`, even inside an ambient
+      session;
+    - ``"on"`` / ``True`` — a fresh in-memory :class:`Telemetry`;
+    - a :class:`Telemetry` (or compatible) instance — used as-is.
+    """
+    if setting is None or setting == "auto":
+        return current_telemetry()
+    if setting is False or setting == "off":
+        return NULL
+    if setting is True or setting == "on":
+        return Telemetry()
+    if hasattr(setting, "span") and hasattr(setting, "attach_executor"):
+        return setting
+    raise ValueError(
+        f"telemetry must be 'auto', 'off', 'on', or a Telemetry instance; "
+        f"got {setting!r}"
+    )
+
+
+@contextmanager
+def telemetry_session(jsonl_path=None, capture_kernels: bool = True, **meta):
+    """Open an ambient telemetry session for a ``with`` block.
+
+    Every ``cstf``/streaming/scheduler call inside the block that keeps the
+    default ``telemetry="auto"`` joins the session, so scripts can audit a
+    whole experiment sweep with one line::
+
+        with telemetry_session(jsonl_path="run.jsonl") as tel:
+            cstf(tensor, rank=16)
+        print(tel.metrics.summary())
+    """
+    tel = Telemetry(jsonl_path=jsonl_path, capture_kernels=capture_kernels)
+    if meta:
+        tel.set_meta(**meta)
+    token = tel.push()
+    try:
+        yield tel
+    finally:
+        tel.pop(token)
+        tel.close()

@@ -57,6 +57,12 @@ class Checkpoint:
     def rank(self) -> int:
         return int(self.meta.get("rank", self.weights.shape[0]))
 
+    @property
+    def telemetry_state(self) -> dict | None:
+        """Checkpointed :class:`~repro.obs.MetricsRegistry` image (or None
+        for checkpoints written by untraced runs / older versions)."""
+        return self.meta.get("telemetry")
+
 
 def save_checkpoint(
     path,
@@ -68,6 +74,7 @@ def save_checkpoint(
     fits,
     state_arrays: dict | None = None,
     rng_state: dict | None = None,
+    telemetry_state: dict | None = None,
     meta: dict | None = None,
 ) -> Path:
     """Atomically write a checkpoint; returns the final path.
@@ -83,6 +90,11 @@ def save_checkpoint(
     meta["n_modes"] = len(list(factors))
     if rng_state is not None:
         meta["rng_state"] = rng_state
+    if telemetry_state is not None:
+        # The metrics-registry image rides in the JSON metadata: it is
+        # small, structured, and must survive the same atomic-write
+        # guarantees as the numerics it annotates.
+        meta["telemetry"] = telemetry_state
 
     arrays: dict[str, np.ndarray] = {
         "meta_json": np.array(json.dumps(meta, default=_json_default)),

@@ -75,6 +75,13 @@ class EventLog:
 
     def __init__(self):
         self.events: list[ResilienceEvent] = []
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Register a ``(ResilienceEvent) -> None`` observer called on every
+        record — the bridge that mirrors resilience actions into an active
+        telemetry session as instant trace events."""
+        self._listeners.append(listener)
 
     def record(
         self,
@@ -91,6 +98,8 @@ class EventLog:
             detail=detail, data=data,
         )
         self.events.append(ev)
+        for listener in self._listeners:
+            listener(ev)
         return ev
 
     def of_kind(self, kind: str) -> list[ResilienceEvent]:

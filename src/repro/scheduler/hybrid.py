@@ -20,6 +20,7 @@ from repro.core.cstf import CstfResult, cstf
 from repro.core.trace import PHASE_MTTKRP, PHASES
 from repro.machine.analytic import TensorStats
 from repro.machine.spec import get_device
+from repro.obs import current_telemetry
 from repro.scheduler.decision import ExecutionPlan, TransferModel, plan_execution
 from repro.utils.validation import check_rank
 
@@ -63,9 +64,22 @@ def run_planned(
     rank = check_rank(rank)
     transfer = transfer or TransferModel()
     stats = tensor if isinstance(tensor, TensorStats) else TensorStats.from_coo(tensor)
+    tel = current_telemetry()
     if plan is None:
-        plan = plan_execution(stats, rank, gpu=gpu, cpu=cpu, transfer=transfer,
-                              inner_iters=inner_iters)
+        with tel.span("scheduler.plan", rank=rank):
+            plan = plan_execution(stats, rank, gpu=gpu, cpu=cpu, transfer=transfer,
+                                  inner_iters=inner_iters)
+    # Decision telemetry: the chosen strategy plus every alternative's
+    # predicted cost, so prediction error is auditable after the fact.
+    tel.event(
+        "scheduler_decision", "SCHED",
+        detail=f"chose {plan.strategy} "
+               f"({plan.advantage():.2f}x vs best pure strategy)",
+        data={"strategy": plan.strategy,
+              "predicted_seconds": plan.predicted_seconds,
+              **{f"alt.{k}": v for k, v in plan.alternatives.items()}},
+    )
+    tel.gauge("scheduler.predicted_seconds", plan.predicted_seconds)
 
     gpu_spec, cpu_spec = get_device(gpu), get_device(cpu)
 

@@ -33,6 +33,7 @@ from repro.core.kruskal import KruskalTensor
 from repro.core.trace import PHASE_GRAM, PHASE_MTTKRP, PHASE_NORMALIZE, PHASE_UPDATE
 from repro.kernels.mttkrp_coo import partial_khatri_rao_rows, segment_accumulate
 from repro.machine.executor import Executor
+from repro.obs import resolve_telemetry
 from repro.resilience.events import SLICE_SKIPPED, EventLog
 from repro.tensor.coo import SparseTensor
 from repro.updates.base import get_update
@@ -75,6 +76,9 @@ class StreamingCstf:
         γ ∈ (0, 1]: weight decay of history per step (1.0 = never forget).
     refresh_every:
         Refresh spatial factors every k-th step (1 = every step).
+    telemetry:
+        ``"auto"`` (join an ambient :func:`~repro.obs.telemetry_session`,
+        else off), ``"off"``/``"on"``, or a ``Telemetry`` instance.
     """
 
     def __init__(
@@ -87,6 +91,7 @@ class StreamingCstf:
         inner_iters: int = 3,
         refresh_every: int = 1,
         seed=0,
+        telemetry="auto",
     ):
         self.spatial_shape = check_shape(spatial_shape, min_modes=2)
         self.rank = check_rank(rank)
@@ -117,6 +122,9 @@ class StreamingCstf:
         self._step = 0
         self.events = EventLog()
         """Resilience log: one :class:`ResilienceEvent` per skipped slice."""
+        self.telemetry = resolve_telemetry(telemetry)
+        self.telemetry.attach_executor(self.executor)
+        self.telemetry.attach_events(self.events)
 
     # ------------------------------------------------------------------ #
     @property
@@ -137,6 +145,23 @@ class StreamingCstf:
     # ------------------------------------------------------------------ #
     def ingest(self, slice_tensor: SparseTensor) -> StreamStep:
         """Ingest the next time slice and refresh the model."""
+        tel = self.telemetry
+        # Make the stream's own session ambient for the duration of the
+        # step so the update methods' `current_telemetry()` lands here even
+        # when the stream was built with an explicit Telemetry instance.
+        token = tel.push()
+        try:
+            with tel.span("stream_step", step=self._step, nnz=int(slice_tensor.nnz)):
+                out = self._ingest(slice_tensor)
+        finally:
+            tel.pop(token)
+        tel.gauge("stream.slice_fit", out.slice_fit)
+        tel.observe("stream.step_seconds", out.seconds)
+        if out.skipped:
+            tel.counter("stream.slices_skipped")
+        return out
+
+    def _ingest(self, slice_tensor: SparseTensor) -> StreamStep:
         require(
             slice_tensor.shape == self.spatial_shape,
             f"slice shape {slice_tensor.shape} != spatial shape {self.spatial_shape}",

@@ -31,6 +31,7 @@ import numpy as np
 from repro.linalg.proximal import get_proximal
 from repro.machine.executor import Executor
 from repro.machine.symbolic import SymArray, is_symbolic
+from repro.obs import current_telemetry
 from repro.resilience.events import (
     ADMM_DIVERGENCE,
     ADMM_GIVEUP,
@@ -113,6 +114,7 @@ class AdmmUpdate(UpdateMethod):
     def update(self, ex: Executor, mode: int, m_mat, s_mat, h, state: dict[str, Any]):
         symbolic = is_symbolic(m_mat, s_mat, h)
         rank = h.shape[1]
+        tel = current_telemetry()
         u = self._dual(state, mode, h)
         # Resilience context arrives through the driver's state dict; update
         # calls without one (direct use, historical tests) keep fail-fast
@@ -246,6 +248,11 @@ class AdmmUpdate(UpdateMethod):
             it += 1
             if self.record_residuals:
                 residuals.append((r_primal, r_dual))
+            if math.isfinite(r_primal) and math.isfinite(r_dual):
+                # Inner-loop convergence telemetry (NaN residuals of the
+                # symbolic mode are skipped — no numerics ran).
+                tel.observe("admm.r_primal", r_primal, mode=mode)
+                tel.observe("admm.r_dual", r_dual, mode=mode)
             # Every inner iteration ends with the convergence scalars being
             # read back by the host loop — a stream synchronization that no
             # amount of kernel fusion removes. This fixed latency is what
@@ -257,6 +264,10 @@ class AdmmUpdate(UpdateMethod):
             if self.tol > 0.0 and r_primal < self.tol and r_dual < self.tol:
                 break
 
+        tel.observe("admm.inner_iters", it, mode=mode)
+        tel.observe("admm.rho", rho, mode=mode)
+        if failures:
+            tel.counter("admm.failures", failures)
         if not symbolic:
             state["dual"][mode] = u
         if self.record_residuals:

@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.machine.executor import Executor
 from repro.machine.symbolic import SymArray, is_symbolic
+from repro.obs import current_telemetry
 from repro.resilience.events import ADMM_RESTART, ADMM_RHO_RESCALE, CHOLESKY_JITTER
 from repro.resilience.policy import ResilienceContext
 from repro.updates.admm import AdmmUpdate
@@ -63,6 +64,9 @@ class BlockedAdmmUpdate(AdmmUpdate):
         events_before = len(ctx.events) if ctx is not None else 0
         silent = Executor(ex.device)
         out = super().update(silent, mode, m_mat, s_mat, h, state)
+        # The parent call recorded the convergence metrics (residuals, ρ,
+        # inner-iteration counts); only the blocked schedule itself is new.
+        current_telemetry().observe("blocked_admm.blocks", n_blocks, mode=mode)
 
         # Charge the blocked schedule: factorization once, then per block
         # all inner iterations with cache-resident re-accesses. Logical

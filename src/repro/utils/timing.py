@@ -40,12 +40,42 @@ class Stopwatch:
     def grand_total(self) -> float:
         return sum(self.laps.values())
 
+    def mean(self, name: str) -> float:
+        """Mean seconds per lap for *name* (0.0 if never timed)."""
+        n = self.counts.get(name, 0)
+        return self.laps.get(name, 0.0) / n if n else 0.0
+
     def breakdown(self) -> dict[str, float]:
-        """Fraction of total time per lap name (empty dict if nothing timed)."""
+        """Fraction of total time per lap name, ordered by descending time.
+
+        Iteration order is part of the contract: the heaviest lap comes
+        first, ties break by name for stability. Empty laps yield 0.0.
+        """
         total = self.grand_total()
+        ordered = sorted(self.laps.items(), key=lambda kv: (-kv[1], kv[0]))
         if total <= 0.0:
-            return {name: 0.0 for name in self.laps}
-        return {name: t / total for name, t in self.laps.items()}
+            return {name: 0.0 for name, _ in ordered}
+        return {name: t / total for name, t in ordered}
+
+    def report(self) -> str:
+        """Human-readable table: name, calls, total, mean, share — sorted by
+        descending total time (same order as :meth:`breakdown`)."""
+        if not self.laps:
+            return "(no laps recorded)"
+        fractions = self.breakdown()
+        header = f"{'lap':<24} {'calls':>6} {'total s':>12} {'mean s':>12} {'share':>7}"
+        lines = [header, "-" * len(header)]
+        for name in fractions:
+            lines.append(
+                f"{name:<24} {self.counts.get(name, 0):>6} "
+                f"{self.laps[name]:>12.6f} {self.mean(name):>12.6f} "
+                f"{100.0 * fractions[name]:>6.1f}%"
+            )
+        lines.append(
+            f"{'TOTAL':<24} {sum(self.counts.values()):>6} "
+            f"{self.grand_total():>12.6f}"
+        )
+        return "\n".join(lines)
 
 
 class _Lap:

@@ -1,0 +1,126 @@
+"""JSONL sink, the line-contract schema, and the Chrome-trace exporter."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    Telemetry,
+    jsonl_to_chrome_trace,
+    read_jsonl,
+    telemetry_to_chrome_trace,
+    validate_jsonl,
+    validate_record,
+    write_telemetry_chrome_trace,
+)
+from repro.obs.chrome import PID_DEVICE, PID_HOST, PID_RESILIENCE
+from repro.obs.sinks import JsonlSink
+
+pytestmark = pytest.mark.telemetry
+
+
+def _emit_session(path):
+    """A tiny but complete session: meta, spans, metric, event, summary."""
+    tel = Telemetry(jsonl_path=path)
+    tel.set_meta(kind="test", rank=4)
+    with tel.span("run"):
+        with tel.span("phase", mode=1):
+            tel.observe("latency", 0.5)
+        tel.counter("calls")
+        tel.event("checkpoint_saved", "CHECKPOINT", iteration=1, detail="x")
+    tel.close()
+    return tel
+
+
+class TestJsonlSink:
+    def test_roundtrip_and_blank_line_safety(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "meta", "version": 1, "run": {}})
+        sink.close()
+        path.write_text(path.read_text() + "\n\n")
+        assert read_jsonl(path) == [{"type": "meta", "version": 1, "run": {}}]
+
+    def test_file_object_not_closed(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit({"type": "meta", "version": 1, "run": {}})
+        sink.close()
+        assert not buf.closed
+        assert buf.getvalue().count("\n") == 1
+
+    def test_rejects_corrupt_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(path)
+
+
+class TestSchema:
+    def test_session_stream_validates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _emit_session(path)
+        assert validate_jsonl(path) == []
+        types = [r["type"] for r in read_jsonl(path)]
+        assert types[0] == "meta"
+        assert types[-1] == "summary"
+        assert "span" in types and "metric" in types and "event" in types
+
+    def test_rejects_unknown_type(self):
+        assert validate_record({"type": "bogus"})
+        assert validate_record({"no_type": True})
+
+    def test_rejects_missing_required_field(self):
+        errors = validate_record({"type": "metric", "kind": "counter", "name": "x"})
+        assert any("value" in e for e in errors)
+
+    def test_rejects_bad_enum(self):
+        errors = validate_record(
+            {"type": "metric", "kind": "dial", "name": "x", "value": 1.0, "ts": 0.0}
+        )
+        assert errors
+
+    def test_empty_file_is_invalid(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert any("no telemetry records" in e for e in validate_jsonl(path))
+
+
+class TestChromeTrace:
+    def test_three_process_tracks(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tel = _emit_session(path)
+        for source in (tel.record, path):
+            trace = telemetry_to_chrome_trace(source)
+            pids = {e["pid"] for e in trace["traceEvents"]}
+            assert {PID_HOST, PID_DEVICE, PID_RESILIENCE} <= pids
+
+    def test_span_events_are_complete_events_in_us(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _emit_session(path)
+        trace = jsonl_to_chrome_trace(path)
+        spans = [e for e in trace["traceEvents"]
+                 if e.get("cat") == "host" and e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert {"run", "phase"} <= names
+        phase = next(e for e in spans if e["name"] == "phase")
+        assert phase["args"]["mode"] == 1
+
+    def test_resilience_events_are_instants(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _emit_session(path)
+        trace = jsonl_to_chrome_trace(path)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "checkpoint_saved"
+        assert instants[0]["pid"] == PID_RESILIENCE
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        src = tmp_path / "run.jsonl"
+        out = tmp_path / "trace.json"
+        _emit_session(src)
+        write_telemetry_chrome_trace(src, out)
+        loaded = json.loads(out.read_text())
+        assert isinstance(loaded["traceEvents"], list)
+        assert loaded["otherData"]["kind"] == "test"

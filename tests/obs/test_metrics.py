@@ -1,0 +1,104 @@
+"""Metrics registry: counters, gauges, histogram summaries, checkpoint state."""
+
+import pytest
+
+from repro.obs.metrics import MAX_SAMPLES, Histogram, MetricsRegistry
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestHistogram:
+    def test_observe_tracks_exact_aggregates(self):
+        h = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_summary_is_zeroed(self):
+        s = Histogram().summary()
+        assert s == {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                     "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) in (50.0, 51.0)  # nearest-rank, 0-indexed
+        assert h.percentile(90) == 90.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_sample_cap_keeps_aggregates_exact(self):
+        h = Histogram()
+        for v in range(MAX_SAMPLES + 10):
+            h.observe(float(v))
+        assert h.count == MAX_SAMPLES + 10
+        assert len(h.values) == MAX_SAMPLES
+        assert h.max == float(MAX_SAMPLES + 9)
+
+    def test_state_roundtrip(self):
+        h = Histogram()
+        for v in (2.0, 8.0, 4.0):
+            h.observe(v)
+        clone = Histogram.from_state(h.state_dict())
+        assert clone.summary() == h.summary()
+        clone.observe(100.0)
+        assert clone.count == 4
+        assert clone.max == 100.0
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.count("calls")
+        reg.count("calls", 2.0)
+        assert reg.counters["calls"] == 3.0
+
+    def test_gauge_last_value_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("fit", 0.1)
+        reg.gauge("fit", 0.9)
+        assert reg.gauges["fit"] == 0.9
+
+    def test_observe_creates_histogram(self):
+        reg = MetricsRegistry()
+        reg.observe("iters", 10)
+        reg.observe("iters", 20)
+        assert reg.histogram("iters").count == 2
+        assert reg.histogram("missing") is None
+
+    def test_summary_shape(self):
+        reg = MetricsRegistry()
+        reg.count("c")
+        reg.gauge("g", 1.5)
+        reg.observe("h", 2.0)
+        s = reg.summary()
+        assert s["counters"] == {"c": 1.0}
+        assert s["gauges"] == {"g": 1.5}
+        assert s["histograms"]["h"]["count"] == 1
+
+    def test_state_roundtrip_continues_without_gap(self):
+        reg = MetricsRegistry()
+        reg.count("outer", 5)
+        reg.gauge("fit", 0.7)
+        for v in (1.0, 2.0):
+            reg.observe("inner", v)
+
+        resumed = MetricsRegistry()
+        resumed.load_state(reg.state_dict())
+        resumed.count("outer", 1)
+        resumed.observe("inner", 3.0)
+        assert resumed.counters["outer"] == 6.0
+        assert resumed.gauges["fit"] == 0.7
+        assert resumed.histogram("inner").count == 3
+        assert resumed.histogram("inner").total == 6.0
+
+    def test_load_state_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.count("kept")
+        reg.load_state(None)
+        assert reg.counters == {"kept": 1.0}

@@ -1,0 +1,135 @@
+"""Spans, the ambient session, and the null (zero-overhead) path."""
+
+import pytest
+
+from repro.obs import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    resolve_telemetry,
+    telemetry_session,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by `step` seconds."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+class TestSpans:
+    def test_nesting_and_attrs(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("outer", iteration=0):
+            with tel.span("inner", mode=2):
+                pass
+        outer = tel.record.spans_named("outer")[0]
+        inner = tel.record.spans_named("inner")[0]
+        assert inner.parent == outer.id
+        assert outer.parent is None
+        assert outer.attrs == {"iteration": 0}
+        assert inner.attrs == {"mode": 2}
+        assert not outer.open and not inner.open
+        assert outer.dur > 0.0
+
+    def test_close_drains_leaked_children(self):
+        tel = Telemetry(clock=FakeClock())
+        outer = tel.open_span("outer")
+        tel.open_span("leaked")
+        tel.close_span(outer)  # must close the child first
+        leaked = tel.record.spans_named("leaked")[0]
+        assert not leaked.open
+        assert leaked.dur > 0.0
+        assert tel._stack == []
+
+    def test_close_is_idempotent(self):
+        tel = Telemetry(clock=FakeClock())
+        span = tel.open_span("once")
+        tel.close_span(span)
+        dur = span.dur
+        tel.close_span(span)
+        assert span.dur == dur
+
+    def test_session_close_drains_stack(self):
+        tel = Telemetry(clock=FakeClock())
+        tel.open_span("a")
+        tel.open_span("b")
+        tel.close()
+        assert all(not s.open for s in tel.record.spans)
+
+    def test_span_tree_lines_indent(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("run"):
+            with tel.span("phase"):
+                pass
+        lines = tel.record.span_tree_lines()
+        assert lines[0].startswith("run ")
+        assert lines[1].startswith("  phase ")
+
+
+class TestAmbientSession:
+    def test_default_is_null(self):
+        assert current_telemetry() is NULL
+
+    def test_activate_sets_and_resets(self):
+        tel = Telemetry()
+        with tel.activate():
+            assert current_telemetry() is tel
+        assert current_telemetry() is NULL
+
+    def test_telemetry_session_joined_by_auto(self):
+        with telemetry_session(kind="test") as tel:
+            assert resolve_telemetry("auto") is tel
+            assert tel.record.meta["kind"] == "test"
+        assert resolve_telemetry("auto") is NULL
+
+    def test_off_forces_null_even_inside_session(self):
+        with telemetry_session():
+            assert resolve_telemetry("off") is NULL
+            assert resolve_telemetry(False) is NULL
+
+    def test_on_makes_fresh_session(self):
+        with telemetry_session() as ambient:
+            fresh = resolve_telemetry("on")
+            assert fresh is not ambient
+            assert fresh.enabled
+
+    def test_instance_passthrough_and_rejects_garbage(self):
+        tel = Telemetry()
+        assert resolve_telemetry(tel) is tel
+        with pytest.raises(ValueError, match="telemetry"):
+            resolve_telemetry("loud")
+
+
+class TestNullTelemetry:
+    def test_everything_is_noop(self):
+        null = NullTelemetry()
+        assert not null.enabled
+        with null.span("anything", mode=1) as span:
+            span.attrs["x"] = 1  # writable sink, discarded
+        null.counter("c")
+        null.gauge("g", 1.0)
+        null.observe("h", 2.0)
+        null.event("kind", "PHASE")
+        null.set_meta(a=1)
+        null.flush()
+        null.close()
+        assert null.open_span("x") is None
+        null.close_span(None)
+        assert null.record is None and null.metrics is None
+
+    def test_null_attach_leaves_executor_unhooked(self):
+        from repro.machine.executor import Executor
+
+        ex = Executor("cpu")
+        NULL.attach_executor(ex)
+        assert ex.on_kernel is None

@@ -1,0 +1,65 @@
+"""Checkpointed metrics: a resumed run continues telemetry without gaps."""
+
+import pytest
+
+from repro.core.cstf import cstf
+from repro.resilience import load_checkpoint
+from repro.tensor.synthetic import random_sparse
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture
+def tensor():
+    return random_sparse((14, 11, 9), nnz=260, seed=7)
+
+
+def _run(tensor, telemetry, **kw):
+    return cstf(tensor, rank=3, seed=3, tol=0.0, update="admm",
+                device="cpu", mttkrp_format="coo",
+                update_params={"inner_iters": 4}, telemetry=telemetry, **kw)
+
+
+class TestCheckpointedTelemetry:
+    def test_registry_state_rides_in_checkpoint(self, tensor, tmp_path):
+        path = tmp_path / "half.npz"
+        _run(tensor, "on", max_iters=4, checkpoint_every=2, checkpoint_path=path)
+        state = load_checkpoint(path).telemetry_state
+        assert state is not None
+        assert state["counters"]["cstf.outer_iterations"] == 4.0
+        assert state["histograms"]["admm.inner_iters"]["count"] == 4 * 3
+
+    def test_untraced_run_writes_no_telemetry_state(self, tensor, tmp_path):
+        path = tmp_path / "plain.npz"
+        _run(tensor, "off", max_iters=2, checkpoint_every=2, checkpoint_path=path)
+        assert load_checkpoint(path).telemetry_state is None
+
+    def test_resume_continues_metrics_without_gap(self, tensor, tmp_path):
+        """4 + resume + 4 iterations must report the same cumulative metrics
+        as 8 straight iterations — counters keep counting, histograms keep
+        their earlier samples."""
+        straight = _run(tensor, "on", max_iters=8)
+
+        path = tmp_path / "half.npz"
+        _run(tensor, "on", max_iters=4, checkpoint_every=4, checkpoint_path=path)
+        resumed = _run(tensor, "on", max_iters=8, resume_from=path)
+
+        full = straight.telemetry.metrics_summary
+        cont = resumed.telemetry.metrics_summary
+        assert cont["counters"]["cstf.outer_iterations"] == \
+            full["counters"]["cstf.outer_iterations"] == 8.0
+        assert cont["counters"]["cstf.resumes"] == 1.0
+        for name in ("admm.inner_iters", "cstf.fit", "admm.rho"):
+            assert cont["histograms"][name]["count"] == \
+                full["histograms"][name]["count"], name
+        # The fit trajectory is bit-identical across the resume, so the
+        # cumulative fit histogram matches the straight run exactly.
+        assert cont["histograms"]["cstf.fit"]["mean"] == \
+            full["histograms"]["cstf.fit"]["mean"]
+
+    def test_resume_into_untraced_run_ignores_state(self, tensor, tmp_path):
+        path = tmp_path / "half.npz"
+        _run(tensor, "on", max_iters=4, checkpoint_every=4, checkpoint_path=path)
+        res = _run(tensor, "off", max_iters=8, resume_from=path)
+        assert res.telemetry is None
+        assert res.iterations == 8

@@ -45,3 +45,8 @@ class TestExecution:
         out = _run_example("custom_constraint.py")
         assert "custom cap" in out
         assert "nonneg + L1" in out
+
+    def test_telemetry_tour(self):
+        out = _run_example("telemetry_tour.py")
+        assert "schema OK" in out
+        assert "telemetry tour complete" in out
