@@ -9,7 +9,49 @@ tables.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: Stash slot for the BENCH document shared between the fixture and the
+#: session-finish hook, so ``--bench-json`` never recomputes a suite a
+#: bench test already ran.
+_BENCH_DOC_KEY = pytest.StashKey()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="PATH",
+        help="write the Figure 4/5/7 BENCH document (see docs/OBSERVABILITY.md) "
+             "after the benchmark session; gate it with 'repro diff'",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_suite_doc(request):
+    """The Figure 4/5/7 BENCH document, computed once per session."""
+    from repro.obs.analysis.bench import run_bench_suite
+
+    doc = request.config.stash.get(_BENCH_DOC_KEY, None)
+    if doc is None:
+        doc = run_bench_suite()
+        request.config.stash[_BENCH_DOC_KEY] = doc
+    return doc
+
+
+def pytest_sessionfinish(session, exitstatus):
+    target = session.config.getoption("--bench-json")
+    if not target or exitstatus != 0:
+        return
+    doc = session.config.stash.get(_BENCH_DOC_KEY, None)
+    if doc is None:
+        from repro.obs.analysis.bench import run_bench_suite
+
+        doc = run_bench_suite()
+    Path(target).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                            encoding="utf-8")
+    print(f"\nBENCH document written to {target}")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

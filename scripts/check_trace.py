@@ -6,7 +6,10 @@ Checks every line of each file against ``repro.obs.schema.TELEMETRY_SCHEMA``
 confirms the stream converts to a loadable Chrome trace. Exit code 0 iff
 every file passes.
 
-Run:  python scripts/check_trace.py run.jsonl [more.jsonl ...]
+Each file is read exactly once: the parsed records feed both the schema
+check (which counts them) and the Chrome-trace conversion.
+
+Run:  python scripts/check_trace.py [--quiet] run.jsonl [more.jsonl ...]
 """
 
 from __future__ import annotations
@@ -18,26 +21,41 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs import jsonl_to_chrome_trace, validate_jsonl  # noqa: E402
+from repro.obs import telemetry_to_chrome_trace  # noqa: E402
+from repro.obs.schema import validate_record  # noqa: E402
+from repro.obs.sinks import read_jsonl  # noqa: E402
 
 
-def check_file(path: str) -> list[str]:
-    """Return a list of problems with *path* (empty = valid)."""
-    errors = validate_jsonl(path)
+def check_file(path: str) -> tuple[list[str], int]:
+    """Validate *path*; returns ``(problems, record_count)``.
+
+    The file is opened once, with the handle released before validation
+    starts; the count is taken from the records actually validated, so it
+    cannot drift from what the schema check saw.
+    """
+    with open(path, encoding="utf-8") as fh:
+        records = read_jsonl(fh)
+    if not records:
+        return (["file contains no telemetry records"], 0)
+    errors: list[str] = []
+    for i, rec in enumerate(records, start=1):
+        errors.extend(f"line {i}: {e}" for e in validate_record(rec))
     if errors:
-        return errors
+        return errors, len(records)
     try:
-        trace = jsonl_to_chrome_trace(path)
+        trace = telemetry_to_chrome_trace(records)
     except Exception as exc:  # defensive: schema-valid should always convert
-        return [f"chrome-trace conversion failed: {exc}"]
+        return [f"chrome-trace conversion failed: {exc}"], len(records)
     if not isinstance(trace.get("traceEvents"), list) or not trace["traceEvents"]:
-        return ["chrome-trace conversion produced no events"]
-    return []
+        return ["chrome-trace conversion produced no events"], len(records)
+    return [], len(records)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="+", help="telemetry JSONL files to validate")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print failures only (for CI wrappers)")
     args = parser.parse_args(argv)
 
     failed = 0
@@ -46,7 +64,7 @@ def main(argv=None) -> int:
             print(f"[FAIL] {path}: no such file")
             failed += 1
             continue
-        problems = check_file(path)
+        problems, count = check_file(path)
         if problems:
             failed += 1
             print(f"[FAIL] {path}")
@@ -54,9 +72,8 @@ def main(argv=None) -> int:
                 print(f"       {p}")
             if len(problems) > 10:
                 print(f"       ... and {len(problems) - 10} more")
-        else:
-            n = sum(1 for line in open(path, encoding="utf-8") if line.strip())
-            print(f"[PASS] {path} ({n} records)")
+        elif not args.quiet:
+            print(f"[PASS] {path} ({count} records)")
     return 1 if failed else 0
 
 

@@ -65,7 +65,31 @@ def _check_fault_trace(env) -> int:
             print("fault-trace generation failed")
             return code
         return subprocess.call(
-            [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"), str(trace)],
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"),
+             "--quiet", str(trace)],
+            cwd=REPO_ROOT, env=env,
+        )
+
+
+def _check_perf_baselines(env) -> int:
+    """Run the bench suite and gate it against the committed baselines.
+
+    The suite is fully simulated and seeded, so any drift caught by
+    ``repro diff`` is a genuine behavior change, not noise.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = Path(tmp) / "BENCH_ci.json"
+        code = subprocess.call(
+            [sys.executable, str(REPO_ROOT / "scripts" / "run_bench_suite.py"),
+             "--quiet", "--out", str(bench)],
+            cwd=REPO_ROOT, env=env,
+        )
+        if code != 0:
+            print("bench-suite generation failed")
+            return code
+        return subprocess.call(
+            [sys.executable, "-m", "repro", "diff", str(bench),
+             "--baselines", str(REPO_ROOT / "benchmarks" / "baselines")],
             cwd=REPO_ROOT, env=env,
         )
 
@@ -93,7 +117,11 @@ def main(extra_args: list[str]) -> int:
     if code != 0:
         return code
     print("\nvalidating fault-run telemetry against the schema")
-    return _check_fault_trace(env)
+    code = _check_fault_trace(env)
+    if code != 0:
+        return code
+    print("\ngating the bench suite against committed baselines")
+    return _check_perf_baselines(env)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,17 @@ Commands
 ``trace``
     Convert a telemetry JSONL stream (``--trace-out`` of ``factorize`` or
     the scripts) into a Chrome/Perfetto trace JSON.
+``perf``
+    Trace analysis: phase/kernel attribution, hotspots, critical path, and
+    the fusion/pre-inversion traffic accounting, from a telemetry JSONL
+    file or a fresh in-process run.
+``doctor``
+    Diagnose a run: ranked findings (ADMM stalls, ρ thrash, fit
+    oscillation, BLCO imbalance, checkpoint gaps) with evidence span IDs.
+``diff``
+    Compare a BENCH result (``scripts/run_bench_suite.py``) against the
+    committed baselines in ``benchmarks/baselines/``; exits non-zero on
+    regression, making it the CI performance gate.
 """
 
 from __future__ import annotations
@@ -87,6 +98,37 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("jsonl", help="telemetry JSONL file (from --trace-out)")
     trc.add_argument("--out", default="trace.json", metavar="PATH",
                      help="output Chrome-trace path (default: trace.json)")
+
+    def add_run_source(p):
+        p.add_argument("source",
+                       help="telemetry JSONL file (*.jsonl), or a .tns file / "
+                            "dataset name to factorize in-process with telemetry on")
+        p.add_argument("--rank", type=int, default=32)
+        p.add_argument("--update", default="cuadmm")
+        p.add_argument("--device", default="a100")
+        p.add_argument("--format", dest="mttkrp_format", default="blco")
+        p.add_argument("--iters", type=int, default=10)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--nnz", type=int, default=50_000,
+                       help="target nonzeros for dataset analogues")
+
+    perf = sub.add_parser("perf", help="trace analysis: attribution, hotspots, "
+                                       "critical path, traffic claims")
+    add_run_source(perf)
+    perf.add_argument("--top", type=int, default=10,
+                      help="number of kernel hotspots to show (default: 10)")
+
+    doc = sub.add_parser("doctor", help="diagnose a run: ranked findings with "
+                                        "evidence span IDs")
+    add_run_source(doc)
+
+    dif = sub.add_parser("diff", help="compare a BENCH result against committed "
+                                      "baselines; non-zero exit on regression")
+    dif.add_argument("bench", help="BENCH_*.json from scripts/run_bench_suite.py")
+    dif.add_argument("--baselines", default="benchmarks/baselines", metavar="DIR",
+                     help="baseline store directory (default: benchmarks/baselines)")
+    dif.add_argument("--tolerance", type=float, default=None,
+                     help="override the relative tolerance band for every metric")
     return parser
 
 
@@ -151,6 +193,11 @@ def _cmd_factorize(args, out) -> int:
                        title=f"simulated {result.executor.device.name} breakdown"), file=out)
     if result.telemetry is not None:
         rec = result.telemetry
+        if telemetry != "auto":
+            # Close the session so the JSONL stream ends with its summary
+            # line (the metrics snapshot `repro doctor` replays) and the
+            # file handle is released.
+            telemetry.close()
         print(f"telemetry: {len(rec.spans)} spans, {len(rec.kernels)} kernels, "
               f"{len(rec.events)} events", file=out)
         if args.trace_out:
@@ -235,19 +282,205 @@ def _cmd_report(args, out) -> int:
     return 0
 
 
+def _err(msg: str) -> None:
+    print(msg, file=sys.stderr)
+
+
 def _cmd_trace(args, out) -> int:
+    from pathlib import Path
+
     from repro.obs import validate_jsonl, write_telemetry_chrome_trace
 
+    if not Path(args.jsonl).exists():
+        _err(f"repro trace: file not found: {args.jsonl}")
+        return 2
     errors = validate_jsonl(args.jsonl)
     if errors:
         for err in errors[:20]:
-            print(f"invalid telemetry: {err}", file=out)
+            _err(f"invalid telemetry: {err}")
         return 1
     trace = write_telemetry_chrome_trace(args.jsonl, args.out)
     print(f"chrome trace written to {args.out} "
           f"({len(trace['traceEvents'])} events) — open in ui.perfetto.dev "
           f"or chrome://tracing", file=out)
     return 0
+
+
+# --------------------------------------------------------------------- #
+# perf / doctor / diff — the consumer-side analysis verbs
+# --------------------------------------------------------------------- #
+def _load_analysis_record(args, out):
+    """Resolve the shared ``source`` argument of perf/doctor to a RunRecord.
+
+    ``*.jsonl`` sources are loaded and schema-validated; anything else is a
+    ``.tns`` file or registered dataset name, factorized in-process with
+    telemetry forced on (no files involved). Returns None after printing to
+    stderr when the source cannot be resolved.
+    """
+    from pathlib import Path
+
+    from repro.obs.analysis import load_run
+
+    if args.source.endswith(".jsonl"):
+        if not Path(args.source).exists():
+            _err(f"repro: trace file not found: {args.source}")
+            return None
+        try:
+            return load_run(args.source, validate=True)
+        except ValueError as exc:
+            _err(f"repro: invalid telemetry stream: {exc}")
+            return None
+
+    if args.source.endswith(".tns"):
+        if not Path(args.source).exists():
+            _err(f"repro: tensor file not found: {args.source}")
+            return None
+        tensor = read_tns(args.source)
+        label = args.source
+    else:
+        try:
+            dataset = get_dataset(args.source)
+        except (KeyError, ValueError) as exc:
+            _err(f"repro: unknown dataset {args.source!r}: {exc}")
+            return None
+        tensor = dataset.load_scaled(seed=args.seed, target_nnz=args.nnz)
+        label = f"{dataset.name} (scaled analogue)"
+
+    from repro.obs import Telemetry
+
+    config = CstfConfig(
+        rank=args.rank, max_iters=args.iters, update=args.update,
+        device=args.device, mttkrp_format=args.mttkrp_format, seed=args.seed,
+        telemetry=Telemetry(),
+    )
+    print(f"analyzing in-process run of {label}", file=out)
+    return cstf(tensor, config).telemetry
+
+
+def _cmd_perf(args, out) -> int:
+    from repro.obs.analysis import analyze_trace, fusion_report, preinversion_report
+
+    record = _load_analysis_record(args, out)
+    if record is None:
+        return 2
+    ta = analyze_trace(record)
+
+    rows = [
+        [r["phase"], f"{r['seconds'] * 1e3:.3f} ms", f"{100 * r['share']:.1f}%"]
+        for r in ta.phase_table()
+    ]
+    print(format_table(["phase", "simulated time", "share"], rows,
+                       title="phase attribution"), file=out)
+
+    rows = []
+    for stat in ta.kernel_hotspots(args.top):
+        bound = "memory" if ta.memory_bound(stat) else "compute"
+        rows.append(
+            [stat.name, str(stat.calls), f"{stat.seconds * 1e3:.3f} ms",
+             f"{stat.bytes / 1e6:.1f} MB", f"{stat.arithmetic_intensity:.2f}", bound]
+        )
+    print(format_table(
+        ["kernel", "calls", "time", "bytes", "flop/byte", "bound"],
+        rows, title=f"top {len(rows)} kernel hotspots"), file=out)
+
+    path = ta.critical_path()
+    if path:
+        print("critical path (inclusive host time):", file=out)
+        for depth, node in enumerate(path):
+            print(f"  {'  ' * depth}{node.label()}  "
+                  f"{node.inclusive * 1e3:.3f} ms", file=out)
+
+    try:
+        full = fusion_report(record)
+        formation = fusion_report(record, formation_only=True)
+    except ValueError as exc:
+        print(f"fusion accounting: n/a ({exc})", file=out)
+    else:
+        plan = "fused" if full.fused else "unfused"
+        print(f"fusion traffic ({plan} run, modeled counterfactual):", file=out)
+        print(f"  auxiliary formation: fused/unfused bytes = "
+              f"{formation.ratio:.3f} (paper claim ~2/3)", file=out)
+        print(f"  full auxiliary step: fused/unfused bytes = "
+              f"{full.ratio:.3f}", file=out)
+
+    try:
+        pre = preinversion_report(record)
+    except ValueError:
+        pass
+    else:
+        state = "on" if pre.preinverted else "off"
+        print(f"pre-inversion {state}: {pre.triangular_solves} triangular solves, "
+              f"{pre.apply_inverse_gemms} apply-inverse GEMMs "
+              f"({pre.solves_per_update:.1f} solves per update call)", file=out)
+    return 0
+
+
+def _cmd_doctor(args, out) -> int:
+    from repro.obs.analysis import diagnose
+
+    record = _load_analysis_record(args, out)
+    if record is None:
+        return 2
+    findings = diagnose(record)
+    if not findings:
+        print("no findings: run looks healthy", file=out)
+        return 0
+    for f in findings:
+        print(f"[{f.severity}] {f.code}: {f.summary}", file=out)
+        span_ids = f.evidence.get("span_ids")
+        if span_ids:
+            shown = ", ".join(f"#{i}" for i in span_ids[:8])
+            more = f" (+{len(span_ids) - 8} more)" if len(span_ids) > 8 else ""
+            print(f"    evidence spans: {shown}{more}", file=out)
+    errors = sum(1 for f in findings if f.severity == "error")
+    print(f"{len(findings)} finding(s), {errors} error(s)", file=out)
+    return 1 if errors else 0
+
+
+def _cmd_diff(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.analysis import BaselineStore, diff_against_store, validate_bench
+
+    path = Path(args.bench)
+    if not path.exists():
+        _err(f"repro diff: bench file not found: {args.bench}")
+        return 2
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        _err(f"repro diff: {args.bench} is not valid JSON: {exc}")
+        return 2
+    errors = validate_bench(doc)
+    if errors:
+        for err in errors[:10]:
+            _err(f"repro diff: invalid bench document: {err}")
+        return 2
+
+    store = BaselineStore(args.baselines)
+    report = diff_against_store(doc["groups"], store, tolerance=args.tolerance)
+
+    rows = []
+    for d in report.deltas:
+        rows.append([
+            d.status,
+            d.name,
+            "-" if d.baseline is None else f"{d.baseline:.4f}",
+            "-" if d.current is None else f"{d.current:.4f}",
+            "-" if d.ratio is None else f"{d.ratio:.3f}x",
+        ])
+    if rows:
+        print(format_table(["status", "metric", "baseline", "current", "ratio"],
+                           rows, title=f"diff vs {args.baselines}"), file=out)
+    for key in report.new_groups:
+        print(f"new group (no baseline yet): {key}", file=out)
+    counts = report.counts()
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items())) or "no metrics"
+    print(f"result: {summary}", file=out)
+    if report.regressions:
+        _err(f"repro diff: {len(report.regressions)} regression(s) beyond tolerance")
+    return report.exit_code
 
 
 def main(argv=None, out=None) -> int:
@@ -267,6 +500,12 @@ def main(argv=None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "perf":
+        return _cmd_perf(args, out)
+    if args.command == "doctor":
+        return _cmd_doctor(args, out)
+    if args.command == "diff":
+        return _cmd_diff(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

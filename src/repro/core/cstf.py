@@ -381,10 +381,15 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
                 grams[mode] = ex.gram(factors[mode])
 
         if not analytic and config.compute_fit:
-            with ex.phase(PHASE_FIT), tel.span("fit"):
+            with ex.phase(PHASE_FIT), tel.span("fit", iteration=iterations) as fit_span:
                 model = KruskalTensor([f.copy() for f in factors], weights.copy())
                 fits.append(model.fit(tensor))
                 _charge_fit(ex, tensor, rank)
+                if fit_span is not None:
+                    # Stamp the value on the span so trace consumers (the
+                    # run doctor's oscillation detector) can read the fit
+                    # trajectory without the metrics summary.
+                    fit_span.attrs["fit"] = fits[-1]
             tel.observe("cstf.fit", fits[-1])
             if len(fits) >= 2:
                 tel.observe("cstf.fit_delta", fits[-1] - fits[-2])

@@ -14,10 +14,28 @@ import numpy as np
 
 from repro.kernels.mttkrp import check_factors, traced_mttkrp
 from repro.kernels.mttkrp_coo import segment_accumulate
+from repro.obs import current_telemetry
 from repro.tensor.blco import BlcoTensor
 from repro.utils.validation import check_axis
 
 __all__ = ["mttkrp_blco"]
+
+
+def _record_block_balance(tensor: BlcoTensor) -> None:
+    """Gauge the block-count and nnz load imbalance for the run doctor.
+
+    Imbalance is max/mean nonzeros per block — the GPU figure of merit,
+    since the fattest block bounds every launch. Computed only when a
+    telemetry session is live; the kernel stays gauge-free otherwise.
+    """
+    tel = current_telemetry()
+    if not tel.enabled or not tensor.blocks:
+        return
+    sizes = [block.nnz for block in tensor.blocks]
+    mean = sum(sizes) / len(sizes)
+    tel.gauge("mttkrp.blco.blocks", float(len(sizes)))
+    tel.gauge("mttkrp.blco.block_imbalance",
+              max(sizes) / mean if mean > 0 else 1.0)
 
 
 @traced_mttkrp("blco")
@@ -28,6 +46,7 @@ def mttkrp_blco(tensor: BlcoTensor, factors, mode: int) -> np.ndarray:
     out = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
     if tensor.nnz == 0:
         return out
+    _record_block_balance(tensor)
 
     fmats = [np.asarray(f, dtype=np.float64) for f in factors]
     for block in tensor.blocks:

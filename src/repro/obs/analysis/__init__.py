@@ -1,0 +1,81 @@
+"""Consumer-side observability: trace analysis, baselines, doctor, bench.
+
+The producer side (:mod:`repro.obs`) records runs; this package reads them
+back. Four parts, surfaced through the ``repro perf`` / ``repro diff`` /
+``repro doctor`` CLI verbs and ``scripts/run_bench_suite.py``:
+
+- :mod:`~repro.obs.analysis.trace` — time attribution, hotspots, critical
+  path, and modeled-bytes verification of the fusion/pre-inversion claims;
+- :mod:`~repro.obs.analysis.baseline` — committed performance baselines
+  with tolerance-banded regression classification;
+- :mod:`~repro.obs.analysis.doctor` — ranked findings explaining sick runs;
+- :mod:`~repro.obs.analysis.bench` — the Figure 4/5/7 bench suite and its
+  BENCH JSON schema.
+"""
+
+from repro.obs.analysis.baseline import (
+    BASELINE_SCHEMA,
+    DEFAULT_TOLERANCE,
+    BaselineStore,
+    DiffReport,
+    MetricDelta,
+    baseline_key,
+    compare_metrics,
+    diff_against_store,
+    metric_direction,
+    validate_baseline,
+)
+from repro.obs.analysis.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_DATASETS,
+    bench_to_baselines,
+    run_bench_suite,
+    validate_bench,
+)
+from repro.obs.analysis.doctor import Finding, diagnose
+from repro.obs.analysis.ingest import load_run
+from repro.obs.analysis.trace import (
+    FusionReport,
+    KernelStat,
+    PathNode,
+    PreinversionReport,
+    TraceAnalysis,
+    analyze_trace,
+    aux_traffic_ratio,
+    fusion_report,
+    preinversion_report,
+)
+
+__all__ = [
+    "load_run",
+    # trace
+    "TraceAnalysis",
+    "analyze_trace",
+    "KernelStat",
+    "PathNode",
+    "FusionReport",
+    "fusion_report",
+    "aux_traffic_ratio",
+    "PreinversionReport",
+    "preinversion_report",
+    # baseline
+    "BASELINE_SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "BaselineStore",
+    "DiffReport",
+    "MetricDelta",
+    "baseline_key",
+    "compare_metrics",
+    "diff_against_store",
+    "metric_direction",
+    "validate_baseline",
+    # doctor
+    "Finding",
+    "diagnose",
+    # bench
+    "BENCH_SCHEMA",
+    "DEFAULT_DATASETS",
+    "run_bench_suite",
+    "validate_bench",
+    "bench_to_baselines",
+]

@@ -1,0 +1,212 @@
+"""Bench harness: run the Figure 4/5/7 benchmark subset, emit BENCH JSON.
+
+:func:`run_bench_suite` replays the paper's headline evaluations through
+the real figure drivers (:mod:`repro.experiments.figures`) and folds the
+results into one BENCH document — a list of *groups*, each content-keyed
+like a baseline (:func:`~repro.obs.analysis.baseline.baseline_key`) and
+carrying a flat numeric metric dict. Everything measured is simulated and
+deterministic, so the numbers are bit-stable across machines and safe to
+gate CI on (:func:`~repro.obs.analysis.baseline.diff_against_store`).
+
+The on-disk schema (:data:`BENCH_SCHEMA`, documented in
+``docs/OBSERVABILITY.md``) is what ``scripts/run_bench_suite.py`` writes as
+``BENCH_<timestamp>.json`` and what ``repro diff`` reads back.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import geometric_mean
+from repro.obs.analysis.baseline import BASELINE_SCHEMA, baseline_key
+from repro.obs.schema import check_schema
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_DATASETS",
+    "run_bench_suite",
+    "validate_bench",
+    "bench_to_baselines",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Fast, shape-diverse Table 2 subset: one long-mode tensor (flickr), one
+#: short-mode (uber), one small (nips) — enough to exercise both regimes
+#: of the speedup claims while keeping the suite quick.
+DEFAULT_DATASETS = ("nips", "uber", "flickr")
+
+BENCH_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro bench suite result",
+    "type": "object",
+    "required": ["type", "schema_version", "suite", "config", "groups"],
+    "properties": {
+        "type": {"enum": ["bench"]},
+        "schema_version": {"type": "integer"},
+        "suite": {"type": "string"},
+        "config": {"type": "object"},
+        "groups": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["key", "figure", "meta", "metrics"],
+                "properties": {
+                    "key": {"type": "string"},
+                    "figure": {"type": "string"},
+                    "meta": {"type": "object"},
+                    "metrics": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_bench(doc) -> list[str]:
+    """Schema-check one BENCH document; returns error strings."""
+    errors = check_schema(doc, BENCH_SCHEMA)
+    if not errors:
+        for group in doc["groups"]:
+            for name, value in group["metrics"].items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(
+                        f"group {group['key']!r}: metric {name!r} is not numeric"
+                    )
+    return errors
+
+
+# --------------------------------------------------------------------- #
+# Group builders — one per figure
+# --------------------------------------------------------------------- #
+def _fig4_group(device: str, rank: int, names) -> dict:
+    from repro.experiments.figures import fig4_cuadmm_optimizations
+
+    rows = fig4_cuadmm_optimizations(rank=rank, device=device, names=tuple(names))
+    metrics: dict[str, float] = {}
+    per_ds: dict[str, list] = {}
+    for row in rows:
+        per_ds.setdefault(row.dataset, []).append(row)
+    for ds, modes in per_ds.items():
+        metrics[f"{ds}.speedup_of"] = geometric_mean([m.speedup_of for m in modes])
+        metrics[f"{ds}.speedup_pi"] = geometric_mean([m.speedup_pi for m in modes])
+        metrics[f"{ds}.speedup_both"] = geometric_mean([m.speedup_both for m in modes])
+    metrics["geomean.speedup_both"] = geometric_mean(
+        [m.speedup_both for ms in per_ds.values() for m in ms]
+    )
+    return {
+        "key": baseline_key("fig4", device, rank),
+        "figure": "fig4",
+        "meta": {"device": device, "rank": rank, "datasets": sorted(per_ds)},
+        "metrics": metrics,
+    }
+
+
+def _fig5_group(device: str, rank: int, inner_iters: int, datasets) -> dict:
+    from repro.experiments.figures import fig5_6_end_to_end_speedup
+
+    series = fig5_6_end_to_end_speedup(device=device, rank=rank, inner_iters=inner_iters)
+    keep = {label: s for label, s in zip(series.labels, series.speedups)
+            if label in datasets}
+    metrics = {f"{name}.speedup": value for name, value in keep.items()}
+    metrics["geomean.speedup"] = geometric_mean(list(keep.values()))
+    return {
+        "key": baseline_key("fig5", device, rank, "blco"),
+        "figure": "fig5",
+        "meta": {
+            "device": device,
+            "rank": rank,
+            "format": "blco",
+            "inner_iters": inner_iters,
+            "datasets": sorted(keep),
+            "baseline": "splatt",
+        },
+        "metrics": metrics,
+    }
+
+
+def _fig7_group(device: str, rank: int, inner_iters: int, datasets) -> dict:
+    from repro.experiments.figures import fig7_8_kernel_speedups
+
+    rows = [r for r in fig7_8_kernel_speedups(device=device, rank=rank,
+                                              inner_iters=inner_iters)
+            if r.dataset in datasets]
+    metrics: dict[str, float] = {}
+    for row in rows:
+        metrics[f"{row.dataset}.mttkrp_speedup"] = row.mttkrp_speedup
+        metrics[f"{row.dataset}.admm_speedup"] = row.admm_speedup
+    metrics["geomean.mttkrp_speedup"] = geometric_mean(
+        [r.mttkrp_speedup for r in rows]
+    )
+    metrics["geomean.admm_speedup"] = geometric_mean([r.admm_speedup for r in rows])
+    return {
+        "key": baseline_key("fig7", device, rank, "blco"),
+        "figure": "fig7",
+        "meta": {
+            "device": device,
+            "rank": rank,
+            "format": "blco",
+            "inner_iters": inner_iters,
+            "datasets": sorted(r.dataset for r in rows),
+        },
+        "metrics": metrics,
+    }
+
+
+def run_bench_suite(
+    device: str = "a100",
+    rank: int = 32,
+    inner_iters: int = 10,
+    datasets=DEFAULT_DATASETS,
+    fig4_names=("nips", "flickr"),
+    fig4_device: str = "h100",
+) -> dict:
+    """Run the Figure 4/5/7 subset and return the BENCH document.
+
+    All numbers come from the simulated roofline model, so the document is
+    deterministic for a given (device, rank, inner_iters, datasets) tuple —
+    timestamps are the *caller's* concern (``scripts/run_bench_suite.py``
+    stamps the output filename, not the content).
+    """
+    datasets = tuple(datasets)
+    doc = {
+        "type": "bench",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "fig4_fig5_fig7",
+        "config": {
+            "device": device,
+            "rank": rank,
+            "inner_iters": inner_iters,
+            "datasets": list(datasets),
+            "fig4_names": list(fig4_names),
+            "fig4_device": fig4_device,
+        },
+        "groups": [
+            _fig4_group(fig4_device, rank, fig4_names),
+            _fig5_group(device, rank, inner_iters, datasets),
+            _fig7_group(device, rank, inner_iters, datasets),
+        ],
+    }
+    errors = validate_bench(doc)
+    if errors:  # defensive: the builders above must satisfy their own schema
+        raise AssertionError(f"bench suite produced invalid document: {errors[:5]}")
+    return doc
+
+
+def bench_to_baselines(doc, tolerance: float | None = None) -> list[dict]:
+    """Convert a BENCH document's groups into baseline documents
+    (:data:`~repro.obs.analysis.baseline.BASELINE_SCHEMA`) ready for
+    :meth:`~repro.obs.analysis.baseline.BaselineStore.save`."""
+    out = []
+    for group in doc["groups"]:
+        base = {
+            "type": "baseline",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "key": group["key"],
+            "meta": dict(group["meta"], figure=group["figure"]),
+            "metrics": dict(group["metrics"]),
+        }
+        if tolerance is not None:
+            base["tolerance"] = float(tolerance)
+        assert not check_schema(base, BASELINE_SCHEMA)
+        out.append(base)
+    return out

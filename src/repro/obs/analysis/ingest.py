@@ -1,0 +1,110 @@
+"""Normalize any telemetry source into one :class:`RunRecord`.
+
+The consumer-side analysis tools (:mod:`repro.obs.analysis.trace`,
+:mod:`repro.obs.analysis.doctor`) operate on a single in-memory shape — the
+:class:`~repro.obs.record.RunRecord` a telemetry-enabled run already
+surfaces as ``CstfResult.telemetry``. :func:`load_run` accepts that record
+directly (zero-copy, so a just-finished factorize can be analyzed
+in-process with no files), a telemetry JSONL path, or an already-parsed
+record list, and rebuilds the same object from the stream's stable line
+contract (:mod:`repro.obs.schema`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.record import KernelEvent, ResilienceTraceEvent, RunRecord, Span
+from repro.obs.schema import validate_record
+
+__all__ = ["load_run"]
+
+
+def load_run(source, *, validate: bool = False) -> RunRecord:
+    """Return a :class:`RunRecord` for *source*.
+
+    Parameters
+    ----------
+    source:
+        A :class:`RunRecord` (returned as-is), a telemetry JSONL path or
+        text file object, or a list of parsed record dicts.
+    validate:
+        When true, every JSONL line is checked against
+        :data:`~repro.obs.schema.TELEMETRY_SCHEMA` first and a
+        :class:`ValueError` listing the offending lines is raised on any
+        mismatch — the strict mode the CLI verbs use on untrusted files.
+    """
+    if isinstance(source, RunRecord):
+        return source
+    telemetry = getattr(source, "telemetry", None)
+    if isinstance(telemetry, RunRecord):
+        # A CstfResult (or anything else carrying a RunRecord).
+        return telemetry
+    if isinstance(source, (str, Path)) or hasattr(source, "read"):
+        from repro.obs.sinks import read_jsonl
+
+        records = read_jsonl(source)
+    else:
+        records = list(source)
+    if validate:
+        errors = []
+        if not records:
+            errors.append("file contains no telemetry records")
+        for i, rec in enumerate(records, start=1):
+            errors.extend(f"line {i}: {e}" for e in validate_record(rec))
+        if errors:
+            raise ValueError("; ".join(errors[:10]))
+    return _from_records(records)
+
+
+def _from_records(records) -> RunRecord:
+    rec = RunRecord()
+    for obj in records:
+        kind = obj.get("type")
+        if kind == "meta":
+            rec.meta.update(obj.get("run", {}))
+        elif kind == "span":
+            rec.spans.append(
+                Span(
+                    id=int(obj["id"]),
+                    name=str(obj["name"]),
+                    parent=obj["parent"],
+                    t0=float(obj["ts"]),
+                    attrs=dict(obj.get("attrs", {})),
+                    dur=float(obj["dur"]),
+                    sim=dict(obj["sim"]) if obj.get("sim") else None,
+                    open=False,
+                )
+            )
+        elif kind == "kernel":
+            # add_kernel rebuilds the per-phase sim aggregates exactly as
+            # the live session maintained them.
+            rec.add_kernel(
+                KernelEvent(
+                    name=str(obj["name"]),
+                    phase=str(obj["phase"]),
+                    ts=float(obj["ts"]),
+                    dur=float(obj["dur"]),
+                    flops=float(obj["flops"]),
+                    bytes=float(obj["bytes"]),
+                    launches=int(obj["launches"]),
+                )
+            )
+        elif kind == "event":
+            rec.events.append(
+                ResilienceTraceEvent(
+                    kind=str(obj["kind"]),
+                    phase=str(obj["phase"]),
+                    ts=float(obj["ts"]),
+                    mode=obj.get("mode"),
+                    iteration=obj.get("iteration"),
+                    detail=str(obj.get("detail", "")),
+                    data=dict(obj.get("data", {})),
+                )
+            )
+        elif kind == "summary":
+            rec.metrics_summary = dict(obj.get("metrics", {}))
+    # JSONL spans arrive in close order (post-order); restore open order so
+    # tree walks and "first span" heuristics behave like the live record.
+    rec.spans.sort(key=lambda s: s.id)
+    return rec

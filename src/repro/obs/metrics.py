@@ -72,6 +72,9 @@ class Histogram:
         return ordered[rank]
 
     def summary(self) -> dict:
+        """JSON summary; an empty histogram is well-defined, never raising:
+        an explicit ``count: 0`` with every statistic pinned to 0.0 (the
+        ±inf min/max sentinels never leak out)."""
         out = {
             "count": self.count,
             "min": self.min if self.count else 0.0,

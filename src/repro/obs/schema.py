@@ -15,7 +15,7 @@ events are schema-checked too.
 
 from __future__ import annotations
 
-__all__ = ["TELEMETRY_SCHEMA", "validate_record", "validate_jsonl"]
+__all__ = ["TELEMETRY_SCHEMA", "check_schema", "validate_record", "validate_jsonl"]
 
 _NUM = {"type": "number"}
 _STR = {"type": "string"}
@@ -152,11 +152,23 @@ def _check(value, schema: dict, path: str, errors: list[str]) -> None:
                 _check(value[key], sub, f"{path}.{key}", errors)
 
 
+def check_schema(value, schema: dict) -> list[str]:
+    """Validate *value* against a JSON-Schema document (draft-07 subset).
+
+    The interpreter covers exactly the keywords the in-repo schemas use
+    (``type``, ``enum``, ``required``, ``properties``, ``oneOf``), so the
+    telemetry line contract, the BENCH document schema, and the baseline
+    schema (:mod:`repro.obs.analysis`) all share one validator with no
+    third-party dependency.
+    """
+    errors: list[str] = []
+    _check(value, schema, "$", errors)
+    return errors
+
+
 def validate_record(obj) -> list[str]:
     """Validate one parsed JSONL line; returns a list of error strings."""
-    errors: list[str] = []
-    _check(obj, TELEMETRY_SCHEMA, "$", errors)
-    return errors
+    return check_schema(obj, TELEMETRY_SCHEMA)
 
 
 def validate_jsonl(source) -> list[str]:

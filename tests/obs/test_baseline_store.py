@@ -1,0 +1,190 @@
+"""Baseline store + tolerance-banded regression classification."""
+
+import json
+
+import pytest
+
+from repro.obs.analysis.baseline import (
+    DEFAULT_TOLERANCE,
+    BaselineStore,
+    baseline_key,
+    compare_metrics,
+    diff_against_store,
+    metric_direction,
+    validate_baseline,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+def _baseline(key="fig5__a100__r32__blco", metrics=None, **extra):
+    doc = {
+        "type": "baseline",
+        "schema_version": 1,
+        "key": key,
+        "meta": {"device": "a100"},
+        "metrics": metrics or {"nips.speedup": 2.0, "geomean.speedup": 3.0},
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestKeying:
+    def test_key_layout(self):
+        assert baseline_key("fig5", "A100", 32, "blco") == "fig5__a100__r32__blco"
+        assert baseline_key("fig4", "h100", 16) == "fig4__h100__r16"
+
+
+class TestDirections:
+    @pytest.mark.parametrize("name,expected", [
+        ("nips.speedup", "higher"),
+        ("geomean.speedup", "higher"),
+        ("cstf.fit", "higher"),
+        ("update.seconds", "lower"),
+        ("gpu.s_per_iter", "lower"),
+        ("aux.bytes", "lower"),
+        ("mttkrp.calls", "either"),
+    ])
+    def test_direction_inference(self, name, expected):
+        assert metric_direction(name) == expected
+
+
+class TestCompare:
+    def test_flat_within_band(self):
+        deltas = compare_metrics({"x.speedup": 2.04}, {"x.speedup": 2.0})
+        assert [d.status for d in deltas] == ["flat"]
+        assert not deltas[0].failed
+
+    def test_higher_better_drop_regresses(self):
+        (d,) = compare_metrics({"x.speedup": 1.5}, {"x.speedup": 2.0})
+        assert d.status == "regressed" and d.failed
+        assert d.ratio == pytest.approx(0.75)
+
+    def test_higher_better_gain_improves(self):
+        (d,) = compare_metrics({"x.speedup": 2.5}, {"x.speedup": 2.0})
+        assert d.status == "improved" and not d.failed
+
+    def test_lower_better_inverts(self):
+        (d,) = compare_metrics({"t.seconds": 0.5}, {"t.seconds": 1.0})
+        assert d.status == "improved"
+        (d,) = compare_metrics({"t.seconds": 2.0}, {"t.seconds": 1.0})
+        assert d.status == "regressed"
+
+    def test_two_sided_metric_fails_on_any_departure(self):
+        (d,) = compare_metrics({"n.calls": 12.0}, {"n.calls": 9.0})
+        assert d.status == "regressed"
+
+    def test_missing_metric_is_a_failure(self):
+        (d,) = compare_metrics({}, {"x.speedup": 2.0})
+        assert d.status == "missing" and d.failed and d.current is None
+
+    def test_new_metric_is_informational(self):
+        (d,) = compare_metrics({"x.speedup": 2.0}, {})
+        assert d.status == "new" and not d.failed
+
+    def test_per_metric_tolerance_override(self):
+        current, base = {"x.speedup": 1.8}, {"x.speedup": 2.0}
+        (strict,) = compare_metrics(current, base)
+        assert strict.status == "regressed"
+        (loose,) = compare_metrics(current, base, tolerances={"x.speedup": 0.15})
+        assert loose.status == "flat"
+
+    def test_zero_baseline_handled(self):
+        (d,) = compare_metrics({"x.speedup": 0.0}, {"x.speedup": 0.0})
+        assert d.status == "flat"
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        path = store.save(_baseline())
+        assert path.name == "fig5__a100__r32__blco.json"
+        doc = store.load("fig5__a100__r32__blco")
+        assert doc["metrics"]["nips.speedup"] == 2.0
+        assert store.keys() == ["fig5__a100__r32__blco"]
+
+    def test_load_absent_returns_none(self, tmp_path):
+        assert BaselineStore(tmp_path).load("nope") is None
+        assert BaselineStore(tmp_path / "missing-dir").keys() == []
+
+    def test_save_refuses_invalid(self, tmp_path):
+        bad = _baseline()
+        bad["metrics"]["oops"] = "not-a-number"
+        with pytest.raises(ValueError, match="invalid baseline"):
+            BaselineStore(tmp_path).save(bad)
+
+    def test_load_rejects_renamed_file(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.save(_baseline())
+        (tmp_path / "fig5__a100__r32__blco.json").rename(tmp_path / "other.json")
+        with pytest.raises(ValueError, match="keyed"):
+            store.load("other")
+
+    def test_load_rejects_schema_drift(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        (tmp_path / "x.json").parent.mkdir(exist_ok=True, parents=True)
+        (tmp_path / "x.json").write_text(json.dumps({"type": "baseline"}),
+                                         encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid baseline"):
+            store.load("x")
+
+    def test_validate_baseline_schema(self):
+        assert validate_baseline(_baseline()) == []
+        assert validate_baseline({"type": "bench"}) != []
+
+
+class TestDiffAgainstStore:
+    def _store(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.save(_baseline())
+        return store
+
+    def _group(self, metrics=None):
+        return {
+            "key": "fig5__a100__r32__blco",
+            "figure": "fig5",
+            "meta": {},
+            "metrics": metrics or {"nips.speedup": 2.0, "geomean.speedup": 3.0},
+        }
+
+    def test_identical_run_is_ok(self, tmp_path):
+        report = diff_against_store([self._group()], self._store(tmp_path))
+        assert report.ok and report.exit_code == 0
+        assert report.counts() == {"flat": 2}
+
+    def test_regression_sets_exit_code(self, tmp_path):
+        report = diff_against_store(
+            [self._group({"nips.speedup": 1.0, "geomean.speedup": 3.0})],
+            self._store(tmp_path),
+        )
+        assert not report.ok and report.exit_code == 1
+        (reg,) = report.regressions
+        assert reg.name == "fig5__a100__r32__blco.nips.speedup"
+
+    def test_group_without_baseline_is_informational(self, tmp_path):
+        group = dict(self._group(), key="fig9__a100__r32")
+        report = diff_against_store([group], BaselineStore(tmp_path))
+        assert report.new_groups == ["fig9__a100__r32"]
+        assert report.ok
+
+    def test_baseline_without_group_fails(self, tmp_path):
+        report = diff_against_store([], self._store(tmp_path))
+        assert report.missing_groups == ["fig5__a100__r32__blco"]
+        assert report.exit_code == 1
+
+    def test_baseline_tolerance_field_respected(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.save(_baseline(tolerance=0.5))
+        report = diff_against_store(
+            [self._group({"nips.speedup": 1.2, "geomean.speedup": 3.0})], store
+        )
+        assert report.ok  # 40% drop sits inside the 50% band
+
+    def test_cli_tolerance_overrides_baseline(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.save(_baseline(tolerance=0.5))
+        report = diff_against_store(
+            [self._group({"nips.speedup": 1.2, "geomean.speedup": 3.0})],
+            store, tolerance=DEFAULT_TOLERANCE,
+        )
+        assert not report.ok

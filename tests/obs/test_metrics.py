@@ -50,6 +50,37 @@ class TestHistogram:
         assert clone.count == 4
         assert clone.max == 100.0
 
+    def test_percentile_on_empty_histogram_never_raises(self):
+        h = Histogram()
+        for p in (0, 50, 90, 99, 100):
+            assert h.percentile(p) == 0.0
+        # and the sentinel min/max (inf/-inf) never leak into the summary
+        s = h.summary()
+        assert s["count"] == 0
+        assert all(v == 0.0 for k, v in s.items() if k != "count")
+
+    def test_retention_boundary_exact_at_cap(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.metrics.MAX_SAMPLES", 100)
+        h = Histogram()
+        for v in range(100):  # exactly at the cap: everything retained
+            h.observe(float(v))
+        assert len(h.values) == 100
+        assert h.percentile(100) == 99.0
+        h.observe(100.0)  # first sample past the cap: dropped from retention
+        assert len(h.values) == 100
+        assert h.count == 101
+        assert h.max == 100.0  # aggregates stay exact
+
+    def test_percentiles_come_from_retained_prefix_past_cap(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.metrics.MAX_SAMPLES", 100)
+        h = Histogram()
+        for v in range(200):  # second half never enters the sample buffer
+            h.observe(float(v))
+        assert h.percentile(100) == 99.0  # prefix percentile, not global 199
+        s = h.summary()
+        assert s["max"] == 199.0 and s["count"] == 200  # exact aggregates
+        assert s["p99"] <= 99.0  # documented retained-prefix approximation
+
 
 class TestMetricsRegistry:
     def test_counter_accumulates(self):

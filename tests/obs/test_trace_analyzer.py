@@ -1,0 +1,194 @@
+"""Trace analyzer: attribution, critical path, and the traffic claims.
+
+Acceptance (perf-lab issue): the fused auxiliary step must move at most
+0.70x the modeled bytes of the unfused plan, checked both as a measured
+two-run ratio and against the cost-model counterfactual from one trace.
+"""
+
+import io
+
+import pytest
+
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.machine.costmodel import admm_aux_formation_words, admm_aux_step_words
+from repro.obs import Telemetry
+from repro.obs.analysis import (
+    TraceAnalysis,
+    analyze_trace,
+    aux_traffic_ratio,
+    fusion_report,
+    load_run,
+    preinversion_report,
+)
+from repro.tensor.synthetic import planted_sparse_cp
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    t, _ = planted_sparse_cp((14, 12, 10), rank=3, factor_sparsity=0.4, seed=5)
+    return t
+
+
+def _run(tensor, fuse, preinvert, jsonl=None):
+    tel = Telemetry(jsonl_path=jsonl)
+    config = CstfConfig(
+        rank=3, max_iters=3, update="admm", device="a100", mttkrp_format="blco",
+        seed=0, telemetry=tel,
+        update_params={"inner_iters": 4, "fuse_ops": fuse, "preinvert": preinvert},
+    )
+    result = cstf(tensor, config)
+    tel.close()  # end the stream with its summary line
+    return result
+
+
+@pytest.fixture(scope="module")
+def fused(tensor):
+    return _run(tensor, fuse=True, preinvert=True)
+
+
+@pytest.fixture(scope="module")
+def unfused(tensor):
+    return _run(tensor, fuse=False, preinvert=False)
+
+
+class TestAttribution:
+    def test_phase_table_shares_sum_to_one(self, fused):
+        ta = analyze_trace(fused.telemetry)
+        rows = ta.phase_table()
+        assert rows, "run produced no simulated phases"
+        assert abs(sum(r["share"] for r in rows) - 1.0) < 1e-9
+        # rows are sorted by seconds descending
+        secs = [r["seconds"] for r in rows]
+        assert secs == sorted(secs, reverse=True)
+
+    def test_phase_table_matches_timeline(self, fused):
+        ta = analyze_trace(fused.telemetry)
+        by_phase = {r["phase"]: r["seconds"] for r in ta.phase_table()}
+        for phase, seconds in by_phase.items():
+            assert seconds == pytest.approx(fused.timeline.seconds(phase))
+
+    def test_kernel_hotspots_ranked_and_bounded(self, fused):
+        ta = analyze_trace(fused.telemetry)
+        top = ta.kernel_hotspots(5)
+        assert 0 < len(top) <= 5
+        secs = [s.seconds for s in top]
+        assert secs == sorted(secs, reverse=True)
+        everything = ta.kernel_stats()
+        assert sum(s.calls for s in everything.values()) == len(
+            fused.telemetry.kernels
+        )
+
+    def test_memory_bound_uses_machine_balance(self, fused):
+        ta = analyze_trace(fused.telemetry)
+        stats = ta.kernel_stats()
+        # The fused auxiliary kernel is pure streaming traffic: memory-bound
+        # on any modeled GPU.
+        assert ta.memory_bound(stats["fused_auxiliary"]) is True
+
+    def test_critical_path_runs_root_to_leaf(self, fused):
+        ta = analyze_trace(fused.telemetry)
+        path = ta.critical_path()
+        assert path[0].span.name == "run"
+        assert len(path) >= 3
+        # inclusive durations never grow while descending
+        incl = [n.inclusive for n in path]
+        assert all(a >= b for a, b in zip(incl, incl[1:]))
+
+    def test_hotspot_spans_exclusive_time(self, fused):
+        ta = analyze_trace(fused.telemetry)
+        ranked = ta.hotspot_spans(4)
+        assert len(ranked) == 4
+        assert all(t >= 0 for _, t in ranked)
+
+
+class TestFusionClaim:
+    def test_measured_formation_ratio_is_two_thirds(self, fused, unfused):
+        ratio = aux_traffic_ratio(
+            fused.telemetry, unfused.telemetry, formation_only=True
+        )
+        assert ratio == pytest.approx(2.0 / 3.0, rel=1e-9)
+
+    def test_acceptance_fused_step_under_070(self, fused, unfused):
+        """The headline claim: fused auxiliary step moves <= 0.70x the bytes."""
+        assert aux_traffic_ratio(fused.telemetry, unfused.telemetry) <= 0.70
+        assert fusion_report(fused.telemetry).ratio <= 0.70
+        assert fusion_report(fused.telemetry, formation_only=True).ratio <= 0.70
+
+    def test_counterfactual_model_agrees_with_measurement(self, fused, unfused):
+        """One-trace modeled ratio matches the two-run measured ratio: the
+        counterfactual bytes from the cost model stand in for actually
+        running the other plan."""
+        measured = aux_traffic_ratio(fused.telemetry, unfused.telemetry)
+        modeled = fusion_report(fused.telemetry).ratio
+        assert modeled == pytest.approx(measured, rel=0.02)
+
+    def test_report_detects_plan_from_either_side(self, fused, unfused):
+        assert fusion_report(fused.telemetry).fused is True
+        assert fusion_report(unfused.telemetry).fused is False
+        # and both express the same fused-over-unfused ratio
+        assert fusion_report(unfused.telemetry).ratio == pytest.approx(
+            fusion_report(fused.telemetry).ratio, rel=0.05
+        )
+
+    def test_word_model_constants(self):
+        assert admm_aux_formation_words(10, fused=True) == 40.0
+        assert admm_aux_formation_words(10, fused=False) == 60.0
+        assert admm_aux_step_words(1, True) / admm_aux_step_words(1, False) == (
+            pytest.approx(15.0 / 26.0)
+        )
+
+    def test_non_admm_trace_rejected(self, tensor):
+        config = CstfConfig(rank=3, max_iters=1, update="mu", device="a100",
+                            mttkrp_format="blco", telemetry=True)
+        result = cstf(tensor, config)
+        with pytest.raises(ValueError, match="no ADMM auxiliary kernels"):
+            fusion_report(result.telemetry)
+
+
+class TestPreinversionClaim:
+    def test_preinverted_run_empties_the_solve_census(self, fused):
+        rep = preinversion_report(fused.telemetry)
+        assert rep.preinverted is True
+        assert rep.apply_inverse_gemms > 0
+        # Remaining DTRSMs come only from the one-off dpotri per update
+        # call, not from the inner loop.
+        assert rep.solves_per_update == pytest.approx(2.0)
+
+    def test_unfused_run_keeps_serialized_solves(self, unfused):
+        rep = preinversion_report(unfused.telemetry)
+        assert rep.preinverted is False
+        assert rep.apply_inverse_gemms == 0
+        # Two DTRSMs per inner iteration, every inner iteration.
+        assert rep.triangular_solves >= 2 * 4 * 3  # iters * modes(>=3) * 2
+
+
+class TestJsonlRoundTrip:
+    def test_analysis_identical_from_stream(self, tensor, tmp_path):
+        path = tmp_path / "run.jsonl"
+        live = _run(tensor, fuse=True, preinvert=True, jsonl=str(path)).telemetry
+        replayed = load_run(str(path), validate=True)
+        assert len(replayed.spans) == len(live.spans)
+        assert len(replayed.kernels) == len(live.kernels)
+        assert replayed.metrics_summary == live.metrics_summary
+        assert fusion_report(replayed).ratio == pytest.approx(
+            fusion_report(live).ratio
+        )
+        live_rows = TraceAnalysis(live).phase_table()
+        replay_rows = TraceAnalysis(replayed).phase_table()
+        assert [r["phase"] for r in live_rows] == [r["phase"] for r in replay_rows]
+
+    def test_load_run_rejects_invalid_stream(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "id": "not-an-int"}\n', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_run(str(bad), validate=True)
+
+    def test_load_run_accepts_file_objects(self, tensor, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _run(tensor, fuse=True, preinvert=True, jsonl=str(path))
+        with open(path, encoding="utf-8") as fh:
+            rec = load_run(fh)
+        assert rec.spans and rec.kernels

@@ -107,6 +107,110 @@ class TestAnalyze:
         assert "large" in text
 
 
+class TestTraceErrors:
+    """`repro trace` error paths: exit codes and stderr messages."""
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code, text = _run(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert text == ""
+        err = capsys.readouterr().err
+        assert "repro trace: file not found:" in err and "nope.jsonl" in err
+
+    def test_schema_invalid_line_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "id": "not-an-int"}\n', encoding="utf-8")
+        code, _ = _run(["trace", str(bad), "--out", str(tmp_path / "t.json")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "invalid telemetry:" in err and "line 1" in err
+        assert not (tmp_path / "t.json").exists()  # nothing written on failure
+
+    def test_empty_stream_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        code, _ = _run(["trace", str(empty)])
+        assert code == 1
+        assert "no telemetry records" in capsys.readouterr().err
+
+    def test_valid_stream_still_converts(self, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        code, _ = _run(["factorize", "uber", "--rank", "2", "--iters", "2",
+                        "--nnz", "1000", "--trace-out", str(jsonl)])
+        assert code == 0
+        code, text = _run(["trace", str(jsonl), "--out", str(tmp_path / "t.json")])
+        assert code == 0
+        assert "chrome trace written" in text
+
+
+class TestPerfVerb:
+    def test_perf_on_dataset_analogue(self):
+        code, text = _run(["perf", "uber", "--rank", "2", "--iters", "2",
+                           "--nnz", "1000"])
+        assert code == 0
+        assert "phase attribution" in text
+        assert "kernel hotspots" in text
+        assert "critical path" in text
+        assert "paper claim ~2/3" in text
+        assert "pre-inversion on" in text
+
+    def test_perf_missing_jsonl_exits_2(self, tmp_path, capsys):
+        code, _ = _run(["perf", str(tmp_path / "gone.jsonl")])
+        assert code == 2
+        assert "trace file not found" in capsys.readouterr().err
+
+    def test_perf_invalid_jsonl_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "id": "x"}\n', encoding="utf-8")
+        code, _ = _run(["perf", str(bad)])
+        assert code == 2
+        assert "invalid telemetry stream" in capsys.readouterr().err
+
+    def test_perf_from_jsonl_file(self, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        _run(["factorize", "uber", "--rank", "2", "--iters", "2",
+              "--nnz", "1000", "--trace-out", str(jsonl)])
+        code, text = _run(["perf", str(jsonl)])
+        assert code == 0
+        assert "phase attribution" in text
+
+
+class TestDoctorVerb:
+    def test_healthy_run_no_findings(self):
+        code, text = _run(["doctor", "uber", "--rank", "2", "--iters", "2",
+                           "--nnz", "1000"])
+        assert code == 0
+        assert "no findings: run looks healthy" in text
+
+    def test_unknown_dataset_exits_2(self, capsys):
+        code, _ = _run(["doctor", "netflix"])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestDiffVerb:
+    def test_missing_bench_file_exits_2(self, tmp_path, capsys):
+        code, _ = _run(["diff", str(tmp_path / "BENCH_none.json")])
+        assert code == 2
+        assert "bench file not found" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        code, _ = _run(["diff", str(path)])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_schema_invalid_doc_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_wrong.json"
+        path.write_text(json.dumps({"type": "bench"}), encoding="utf-8")
+        code, _ = _run(["diff", str(path)])
+        assert code == 2
+        assert "invalid bench document" in capsys.readouterr().err
+
+
 class TestTrace:
     def test_factorize_with_trace(self, tmp_path):
         import json
