@@ -52,6 +52,54 @@ cstf(X, CstfConfig(
 """
 
 
+# Engine equivalence gate: the PR 4 execution engine must reproduce the
+# seed kernels bit for bit (serial and sharded) and hit its plan cache on
+# every lookup after the first AO iteration.
+_ENGINE_EQUIV_SNIPPET = """
+import numpy as np
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.tensor.coo import SparseTensor
+
+rng = np.random.default_rng(0)
+idx = rng.integers(0, [60, 45, 30], size=(5000, 3))
+vals = rng.random(5000)
+X = SparseTensor(idx, vals, (60, 45, 30))
+
+def run(engine, telemetry="off"):
+    return cstf(X, CstfConfig(
+        rank=8, max_iters=11, update="cuadmm", device="a100",
+        mttkrp_format="coo", compute_fit=False, seed=1,
+        telemetry=telemetry, engine=engine,
+    ))
+
+seed_res = run(None)
+on_res = run("on", telemetry="on")
+sh_res = run({"shards": 3})
+
+for res, label in ((on_res, "engine-serial"), (sh_res, "engine-sharded")):
+    assert np.array_equal(res.kruskal.weights, seed_res.kruskal.weights), (
+        label + " weights differ"
+    )
+    for mode, (fa, fb) in enumerate(zip(res.kruskal.factors, seed_res.kruskal.factors)):
+        assert np.array_equal(fa, fb), label + f" factor {mode} differs"
+
+counters = on_res.telemetry.metrics_summary.get("counters", {})
+hits = counters.get("engine.plan.hits", 0)
+misses = counters.get("engine.plan.misses", 0)
+rate = hits / max(1, hits + misses)
+assert rate >= 0.9, f"plan-cache hit rate {rate:.3f} < 0.9"
+print(f"engine equivalence OK: serial+sharded bitwise, hit rate {rate:.3f}")
+"""
+
+
+def _check_engine_equivalence(env) -> int:
+    """Seed vs engine-serial vs engine-sharded must be bit-identical."""
+    return subprocess.call(
+        [sys.executable, "-c", _ENGINE_EQUIV_SNIPPET], cwd=REPO_ROOT, env=env,
+    )
+
+
 def _check_fault_trace(env) -> int:
     """Run a faulty factorization with telemetry and validate the stream."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -74,9 +122,13 @@ def _check_fault_trace(env) -> int:
 def _check_perf_baselines(env) -> int:
     """Run the bench suite and gate it against the committed baselines.
 
-    The suite is fully simulated and seeded, so any drift caught by
-    ``repro diff`` is a genuine behavior change, not noise.
+    The simulated groups are seeded, so any drift caught by ``repro diff``
+    is a genuine behavior change, not noise; the measured ``fig4wall``
+    group carries its own wide tolerance and is additionally gated here on
+    the PR 4 acceptance floor: engine wall-clock speedup geomean >= 2x.
     """
+    import json
+
     with tempfile.TemporaryDirectory() as tmp:
         bench = Path(tmp) / "BENCH_ci.json"
         code = subprocess.call(
@@ -87,6 +139,16 @@ def _check_perf_baselines(env) -> int:
         if code != 0:
             print("bench-suite generation failed")
             return code
+        doc = json.loads(bench.read_text(encoding="utf-8"))
+        for group in doc["groups"]:
+            if group["figure"] != "fig4wall":
+                continue
+            speedup = group["metrics"]["geomean.engine_speedup"]
+            if speedup < 2.0:
+                print(f"engine wall-clock speedup gate failed: "
+                      f"geomean {speedup:.2f}x < 2.0x")
+                return 1
+            print(f"engine wall-clock speedup: geomean {speedup:.2f}x (gate: >= 2x)")
         return subprocess.call(
             [sys.executable, "-m", "repro", "diff", str(bench),
              "--baselines", str(REPO_ROOT / "benchmarks" / "baselines")],
@@ -118,6 +180,10 @@ def main(extra_args: list[str]) -> int:
         return code
     print("\nvalidating fault-run telemetry against the schema")
     code = _check_fault_trace(env)
+    if code != 0:
+        return code
+    print("\nchecking engine (sharded vs serial vs seed) reproduction")
+    code = _check_engine_equivalence(env)
     if code != 0:
         return code
     print("\ngating the bench suite against committed baselines")

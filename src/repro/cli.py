@@ -80,11 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
     fac.add_argument("--trace-out", default=None, metavar="PATH",
                      help="stream telemetry to a JSONL file (implies --telemetry); "
                           "convert with 'repro trace'")
+    _add_engine_args(fac)
 
     plan = sub.add_parser("plan", help="choose CPU/GPU/heterogeneous execution")
     plan.add_argument("dataset", help="registered dataset name")
     plan.add_argument("--rank", type=int, default=32)
     plan.add_argument("--gpu", default="a100")
+    plan.add_argument("--host-shards", type=int, default=1,
+                      help="engine worker shards assumed for the CPU MTTKRP "
+                           "estimate (default: 1 = serial seed path)")
 
     rep = sub.add_parser("report", help="regenerate the Figure 5/6 speedup table")
     rep.add_argument("--device", default="a100")
@@ -111,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--nnz", type=int, default=50_000,
                        help="target nonzeros for dataset analogues")
+        _add_engine_args(p)
 
     perf = sub.add_parser("perf", help="trace analysis: attribution, hotspots, "
                                        "critical path, traffic claims")
@@ -130,6 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
     dif.add_argument("--tolerance", type=float, default=None,
                      help="override the relative tolerance band for every metric")
     return parser
+
+
+def _add_engine_args(p) -> None:
+    p.add_argument("--engine", default="off", choices=["off", "on", "sharded"],
+                   help="host execution engine: off (seed kernels), on "
+                        "(plan cache + chunked execution), sharded (+ threads)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="engine worker shards (implies --engine)")
+
+
+def _engine_setting(args):
+    """Map ``--engine``/``--shards`` to the ``CstfConfig.engine`` setting."""
+    if getattr(args, "shards", None) is not None:
+        return {"shards": args.shards}
+    engine = getattr(args, "engine", "off")
+    return None if engine == "off" else engine
 
 
 def _cmd_datasets(out) -> int:
@@ -171,7 +192,7 @@ def _cmd_factorize(args, out) -> int:
     config = CstfConfig(
         rank=args.rank, max_iters=args.iters, tol=args.tol, update=args.update,
         device=args.device, mttkrp_format=args.mttkrp_format, seed=args.seed,
-        telemetry=telemetry,
+        telemetry=telemetry, engine=_engine_setting(args),
     )
     if args.trace:
         # Tracing needs retained records; run the update stack through a
@@ -256,10 +277,13 @@ def _cmd_plan(args, out) -> int:
     from repro.scheduler.decision import plan_execution
 
     stats = get_dataset(args.dataset).stats()
-    plan = plan_execution(stats, rank=args.rank, gpu=args.gpu)
+    plan = plan_execution(stats, rank=args.rank, gpu=args.gpu,
+                          host_shards=args.host_shards)
     rows = [[k, f"{v * 1e3:.2f} ms"] for k, v in sorted(plan.alternatives.items())]
-    print(format_table(["strategy", "predicted s/iter"], rows,
-                       title=f"execution plan for {args.dataset} (R={args.rank})"), file=out)
+    title = f"execution plan for {args.dataset} (R={args.rank})"
+    if plan.host_shards > 1:
+        title += f", {plan.host_shards} host shards"
+    print(format_table(["strategy", "predicted s/iter"], rows, title=title), file=out)
     print(f"chosen: {plan.strategy} "
           f"({plan.advantage():.2f}x vs best pure strategy)", file=out)
     for phase, device in plan.placement.items():
@@ -351,7 +375,7 @@ def _load_analysis_record(args, out):
     config = CstfConfig(
         rank=args.rank, max_iters=args.iters, update=args.update,
         device=args.device, mttkrp_format=args.mttkrp_format, seed=args.seed,
-        telemetry=Telemetry(),
+        telemetry=Telemetry(), engine=_engine_setting(args),
     )
     print(f"analyzing in-process run of {label}", file=out)
     return cstf(tensor, config).telemetry
@@ -412,6 +436,25 @@ def _cmd_perf(args, out) -> int:
         print(f"pre-inversion {state}: {pre.triangular_solves} triangular solves, "
               f"{pre.apply_inverse_gemms} apply-inverse GEMMs "
               f"({pre.solves_per_update:.1f} solves per update call)", file=out)
+
+    summary = record.metrics_summary or {}
+    counters = summary.get("counters", {})
+    hits = counters.get("engine.plan.hits", 0)
+    misses = counters.get("engine.plan.misses", 0)
+    if hits or misses:
+        rate = hits / (hits + misses)
+        print(f"engine plan cache: {int(hits)} hits, {int(misses)} misses "
+              f"({100 * rate:.1f}% hit rate)", file=out)
+        rescales = counters.get("engine.gram.rescales", 0)
+        if rescales:
+            print(f"engine gram rescales: {int(rescales)} "
+                  f"(rank-one λ-rescale instead of full Gram GEMMs)", file=out)
+        gauges = summary.get("gauges", {})
+        workers = gauges.get("engine.shard.workers")
+        if workers:
+            imbalance = gauges.get("engine.shard.imbalance", 0.0)
+            print(f"engine sharding: {int(workers)} workers, "
+                  f"{imbalance:.3f} load imbalance (max/mean; 1.0 = balanced)", file=out)
     return 0
 
 

@@ -63,6 +63,15 @@ class CstfConfig:
     fault_injector:
         A :class:`~repro.resilience.FaultInjector` corrupting intermediates
         at chosen phases (testing only).
+    engine:
+        Host execution engine for the concrete hot paths (see
+        :mod:`repro.engine`): ``None``/``"off"`` (default — seed kernels),
+        ``"on"``/``"cached"`` (per-tensor plan cache + chunked execution),
+        ``"sharded"`` (plan cache + threaded shards), a dict of
+        :class:`~repro.engine.EngineConfig` fields, or an ``EngineConfig``.
+        Apart from the opt-in ``gram_rescale`` knob, engine runs are
+        bit-identical to seed runs and charge identical simulated device
+        costs; only host wall-clock changes. Ignored for analytic runs.
     """
 
     rank: int = 32
@@ -86,8 +95,19 @@ class CstfConfig:
     checkpoint_path: object = None
     resume_from: object = None
     fault_injector: object = None
+    engine: object = None
 
     def __post_init__(self):
+        from repro.engine.config import resolve_engine
+
+        self.engine = resolve_engine(self.engine)
+        require(
+            self.engine is None
+            or not self.engine.gram_rescale
+            or self.normalize == "2",
+            'engine.gram_rescale requires normalize="2" (λ² is diag(G) only '
+            "under the Euclidean column-norm convention)",
+        )
         self.rank = check_rank(self.rank)
         self.max_iters = check_positive_int(self.max_iters, "max_iters")
         require(self.tol >= 0.0, "tol must be non-negative")

@@ -270,7 +270,12 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
             raise TypeError(
                 f"tensor must be SparseTensor or TensorStats, got {type(tensor).__name__}"
             )
-        mttkrp_engine = _ConcreteMttkrp(tensor, config.mttkrp_format)
+        if config.engine is not None:
+            from repro.engine.driver import EngineMttkrp
+
+            mttkrp_engine = EngineMttkrp(tensor, config.mttkrp_format, config.engine)
+        else:
+            mttkrp_engine = _ConcreteMttkrp(tensor, config.mttkrp_format)
         if checkpoint is not None:
             factors = [np.array(f, dtype=np.float64) for f in checkpoint.factors]
             weights = np.array(checkpoint.weights, dtype=np.float64)
@@ -293,6 +298,20 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
     if ctx is not None:
         state[STATE_KEY] = ctx
     ndim = len(shape)
+
+    # Gram λ-rescale (engine opt-in): compute the Gram on the *unnormalized*
+    # update result and rescale it by the column norms instead of running a
+    # separate norm pass. λ² is exactly diag(G) under normalize="2", so the
+    # norm computation comes for free; numerically equivalent but not
+    # bit-identical to the seed path, hence opt-in and disabled under fault
+    # injection (an injected factor would desynchronize the cached Gram).
+    gram_rescale = (
+        not analytic
+        and config.engine is not None
+        and config.engine.gram_rescale
+        and config.normalize == "2"
+        and injector is None
+    )
 
     if checkpoint is not None:
         # The Gram cache resumes from the checkpoint verbatim — recomputing
@@ -361,8 +380,24 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
                 h_new, ctx, phase=PHASE_UPDATE, what=f"mode-{mode} factor update",
                 mode=mode, iteration=iterations,
             )
+            g_unnorm = None
+            if gram_rescale:
+                # DSYRK on the unnormalized factor; its diagonal doubles as
+                # the squared column norms the normalize step needs.
+                with ex.phase(PHASE_GRAM), tel.span("gram", mode=mode, refresh=True):
+                    g_unnorm = ex.gram(h_new)
             with ex.phase(PHASE_NORMALIZE), tel.span("normalize", mode=mode):
-                factors[mode], weights = ex.normalize_columns(h_new, kind=config.normalize)
+                if gram_rescale:
+                    lam = np.sqrt(np.diagonal(g_unnorm).copy())
+                    lam = np.where(lam > 0.0, lam, 1.0)
+                    factors[mode] = ex.col_scale(
+                        h_new, 1.0 / lam, name="col_scale_normalize"
+                    )
+                    weights = lam
+                else:
+                    factors[mode], weights = ex.normalize_columns(
+                        h_new, kind=config.normalize
+                    )
             if injector is not None:
                 factors[mode] = injector.inject(
                     PHASE_NORMALIZE, factors[mode], mode=mode,
@@ -377,8 +412,21 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
                 weights, ctx, phase=PHASE_NORMALIZE, what="weight vector λ",
                 mode=mode, iteration=iterations,
             )
-            with ex.phase(PHASE_GRAM), tel.span("gram", mode=mode, refresh=True):
-                grams[mode] = ex.gram(factors[mode])
+            if gram_rescale:
+                with ex.phase(PHASE_GRAM), tel.span("gram_rescale", mode=mode):
+                    inv = 1.0 / weights
+                    grams[mode] = g_unnorm * np.outer(inv, inv)
+                    ex.record(
+                        "gram_rescale",
+                        flops=2.0 * rank * rank,
+                        reads=float(rank * rank),
+                        writes=float(rank * rank),
+                        parallel_work=float(rank * rank),
+                    )
+                tel.counter("engine.gram.rescales")
+            else:
+                with ex.phase(PHASE_GRAM), tel.span("gram", mode=mode, refresh=True):
+                    grams[mode] = ex.gram(factors[mode])
 
         if not analytic and config.compute_fit:
             with ex.phase(PHASE_FIT), tel.span("fit", iteration=iterations) as fit_span:

@@ -1,0 +1,52 @@
+"""Batched all-mode Khatri-Rao rows: gather once, reuse across modes.
+
+When the same factors serve the MTTKRP of *every* mode — the AUNTF/
+streaming pattern (Jacobi-style), as opposed to the batch AO loop's
+Gauss-Seidel updates where each mode sees factors the previous mode just
+changed — the per-nonzero factor-row gathers ``H⁽ᵐ⁾[i_m]`` can be shared.
+The seed path gathers ``ndim`` rows per call and makes ``ndim + 1`` calls
+per streaming step (one full product, one partial per mode): ``ndim²+ndim``
+gathers. This driver gathers each mode exactly once and builds every
+partial product from shared left-associated prefixes, so the bits match
+the seed's ``partial_khatri_rao_rows`` exactly:
+
+- prefix ``P_k = v ⊛ g_0 ⊛ … ⊛ g_{k-1}`` (left-associated) equals the
+  seed's accumulator for mode *k* after its first *k* multiplies;
+- mode *k*'s rows then left-multiply the remaining gathers one by one, in
+  ascending mode order — the seed's exact order.
+
+Factors are cast to float64 once per call (not once per mode per call).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["all_mode_krp_rows"]
+
+
+def all_mode_krp_rows(indices, values, factors, include_full: bool = False):
+    """Per-mode scaled Khatri-Rao rows for every mode, sharing gathers.
+
+    Returns ``(per_mode, full)``: ``per_mode[k]`` is the ``(nnz, R)``
+    matrix ``partial_khatri_rao_rows(indices, values, factors, mode=k)``
+    (bitwise), and ``full`` is the ``mode=None`` all-mode product when
+    *include_full* (else ``None``).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    fmats = [np.asarray(f, dtype=np.float64) for f in factors]
+    ndim = len(fmats)
+    rank = fmats[0].shape[1] if ndim else 0
+    nnz = values.shape[0]
+    gathers = [fmats[m][indices[:, m]] for m in range(ndim)]
+
+    prefix = np.broadcast_to(values[:, None], (nnz, rank)).copy()
+    per_mode: list[np.ndarray] = []
+    for k in range(ndim):
+        acc = prefix.copy()
+        for m in range(k + 1, ndim):
+            acc *= gathers[m]
+        per_mode.append(acc)
+        if k < ndim - 1 or include_full:
+            prefix = prefix * gathers[k]
+    return per_mode, (prefix if include_full else None)

@@ -1,0 +1,113 @@
+"""Configuration of the host execution engine (plan cache + sharding).
+
+The engine accelerates the *concrete* NumPy hot paths of a cSTF run; it
+never changes what the simulated machine model charges, so enabling it
+alters host wall-clock only, not the reported device timelines. Apart from
+the explicitly opt-in ``gram_rescale``, every engine path is bit-identical
+to the seed kernels (same summation order, same multiply order).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int, require
+
+__all__ = ["EngineConfig", "resolve_engine"]
+
+_VALIDATE = ("off", "cheap", "full")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the cached/sharded MTTKRP execution path.
+
+    Attributes
+    ----------
+    chunk:
+        Target nonzeros per execution chunk. Chunks are always aligned to
+        segment (output-row) boundaries, so chunked execution is bitwise
+        identical to one flat pass; small chunks keep the per-nonzero
+        Khatri-Rao accumulator inside the cache hierarchy, which is where
+        the engine's wall-clock win comes from. ``0`` disables chunking
+        (one chunk spanning all nonzeros).
+    shards:
+        Worker shards for the parallel execution path (``1`` = serial).
+        Shards own whole segments (LPT greedy over segment sizes via
+        :func:`repro.kernels.partition.greedy_assign`), accumulate into
+        private outputs, and are tree-reduced — the CPU analogue of the
+        paper's privatized GPU reductions. Because segment row sets are
+        disjoint, sharded results equal serial results bitwise.
+    gram_rescale:
+        Reuse the Gram matrix of the *unnormalized* update result via a
+        rank-one λ-rescale (``G(H/λ) = G(H)/(λλᵀ)``) instead of a separate
+        column-norm pass after normalization. Requires ``normalize="2"``
+        (λ² is exactly ``diag(G)``). Opt-in: the rescaled Gram is
+        numerically equivalent but *not* bit-identical to the seed path,
+        so it is excluded from the engine's rtol=0 guarantee.
+    max_tensors:
+        Plan-cache capacity in tensors (LRU eviction). Each cached tensor
+        pins its plans, cached format conversions, and a strong reference
+        to the tensor itself.
+    validate:
+        Plan staleness detection per lookup: ``"cheap"`` (default; shape,
+        nnz, and a 16-point sampled fingerprint of indices/values),
+        ``"full"`` (content hash of all bytes — O(nnz) per lookup), or
+        ``"off"`` (object identity only). In-place mutations that dodge
+        the cheap probe require an explicit
+        :meth:`~repro.engine.plan.PlanCache.invalidate`.
+    """
+
+    chunk: int = 4096
+    shards: int = 1
+    gram_rescale: bool = False
+    max_tensors: int = 16
+    validate: str = "cheap"
+
+    def __post_init__(self):
+        require(int(self.chunk) >= 0, "chunk must be >= 0")
+        object.__setattr__(self, "chunk", int(self.chunk))
+        object.__setattr__(self, "shards", check_positive_int(self.shards, "shards"))
+        object.__setattr__(
+            self, "max_tensors", check_positive_int(self.max_tensors, "max_tensors")
+        )
+        require(
+            self.validate in _VALIDATE,
+            f"validate must be one of {_VALIDATE}, got {self.validate!r}",
+        )
+
+
+def default_shards() -> int:
+    """Worker count for ``engine="sharded"``: the host's cores, capped."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+def resolve_engine(setting) -> EngineConfig | None:
+    """Normalize a ``CstfConfig.engine`` setting to an EngineConfig or None.
+
+    Accepted: ``None``/``False``/``"off"`` (engine disabled), ``True``/
+    ``"on"``/``"cached"`` (cached serial execution), ``"sharded"`` (cached +
+    sharded across :func:`default_shards` workers), a dict of
+    :class:`EngineConfig` fields, or an :class:`EngineConfig` instance.
+    """
+    if setting is None or setting is False:
+        return None
+    if isinstance(setting, EngineConfig):
+        return setting
+    if isinstance(setting, dict):
+        return EngineConfig(**setting)
+    if setting is True:
+        return EngineConfig()
+    if isinstance(setting, str):
+        low = setting.lower()
+        if low == "off":
+            return None
+        if low in ("on", "cached"):
+            return EngineConfig()
+        if low == "sharded":
+            return EngineConfig(shards=default_shards())
+    raise ValueError(
+        f"engine must be None/'off', 'on'/'cached', 'sharded', a dict of "
+        f"EngineConfig fields, or an EngineConfig, got {setting!r}"
+    )

@@ -1,0 +1,165 @@
+"""Format dispatch for the engine: cached, chunked, optionally sharded MTTKRP.
+
+:func:`engine_mttkrp` is the engine's analogue of the per-format seed
+kernels. Per format:
+
+- ``coo`` — one cached plan per mode over the canonical COO order;
+  bitwise identical to :func:`~repro.kernels.mttkrp_coo.mttkrp_coo`.
+- ``alto`` — the ALTO linearization and its decoded coordinate matrix are
+  cached once per tensor (the seed delinearizes per call); plans are built
+  over the ALTO nonzero order, so the summation order — and the bits —
+  match :func:`~repro.kernels.mttkrp_alto.mttkrp_alto`.
+- ``blco`` — the BLCO conversion and per-block decoded plans are cached;
+  blocks accumulate into the output in block order exactly like
+  :func:`~repro.kernels.mttkrp_blco.mttkrp_blco`. Executed serially (the
+  per-block structure is the paper's own blocking).
+- ``csf`` — per-root mode trees are cached once per tensor and handed to
+  the unchanged :func:`~repro.kernels.mttkrp_csf.mttkrp_csf` tree walk
+  (the seed driver re-roots through COO when the cached tree's root
+  differs; the cache keeps all roots).
+
+Sharding applies to the ``coo`` and ``alto`` plan paths.
+
+:class:`EngineMttkrp` is the drop-in replacement for the cstf driver's
+``_ConcreteMttkrp``: it charges the *identical* simulated device cost
+(:func:`~repro.machine.analytic.charge_mttkrp`), so engine-enabled runs
+report the same device timelines — only the host wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.config import EngineConfig
+from repro.engine.execute import run_plan
+from repro.engine.plan import PlanCache, get_plan_cache
+from repro.kernels.mttkrp import check_factors
+from repro.kernels.mttkrp_csf import mttkrp_csf
+from repro.machine.analytic import TensorStats, charge_mttkrp
+from repro.utils.validation import check_axis
+
+__all__ = ["PreparedFactors", "engine_mttkrp", "EngineMttkrp"]
+
+
+class PreparedFactors:
+    """Cast factors to float64 once per factor object, not once per call.
+
+    The seed kernels run ``np.asarray(f, dtype=np.float64)`` per factor per
+    call; for float64 inputs that is a cheap no-copy, but for anything else
+    it materializes a fresh copy every mode of every iteration. This memo
+    keys on object identity, so a factor array is converted exactly once
+    for as long as the driver sees the same object.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._memo: dict[int, tuple[object, np.ndarray]] = {}
+
+    def __call__(self, factors) -> list[np.ndarray]:
+        return [self._one(f) for f in factors]
+
+    def _one(self, f) -> np.ndarray:
+        key = id(f)
+        hit = self._memo.get(key)
+        if hit is not None and hit[0] is f:
+            return hit[1]
+        arr = np.asarray(f, dtype=np.float64)
+        if len(self._memo) >= self.max_entries:
+            self._memo.clear()
+        self._memo[key] = (f, arr)
+        return arr
+
+
+def _build_alto(tensor):
+    from repro.tensor.alto import AltoTensor
+
+    return AltoTensor.from_coo(tensor)
+
+
+def _build_blco(tensor):
+    from repro.tensor.blco import BlcoTensor
+
+    return BlcoTensor.from_coo(tensor)
+
+
+def _build_csf_forest(tensor):
+    from repro.tensor.csf import CsfTensor
+
+    return [CsfTensor.from_coo(tensor, root_mode=m) for m in range(tensor.ndim)]
+
+
+def engine_mttkrp(
+    tensor,
+    factors,
+    mode: int,
+    fmt: str = "coo",
+    cfg: EngineConfig | None = None,
+    cache: PlanCache | None = None,
+    prepare: PreparedFactors | None = None,
+) -> np.ndarray:
+    """Cached/sharded MTTKRP over a COO tensor, dispatched by format."""
+    cfg = cfg if cfg is not None else EngineConfig()
+    # `is not None`, not truthiness: an empty PlanCache has len() == 0.
+    cache = cache if cache is not None else get_plan_cache()
+    mode = check_axis(mode, tensor.ndim)
+    rank = check_factors(tensor.shape, factors, mode)
+    fmats = prepare(factors) if prepare is not None else [
+        np.asarray(f, dtype=np.float64) for f in factors
+    ]
+
+    if fmt == "coo":
+        plan = cache.plan(tensor, mode, validate=cfg.validate)
+        return run_plan(plan, fmats, mode, tensor.shape[mode], rank, cfg)
+
+    if fmt == "alto":
+        alto = cache.format(tensor, "alto", _build_alto, validate=cfg.validate)
+        decoded = cache.format(
+            tensor, "alto_indices", lambda _t: alto.all_mode_indices(),
+            validate=cfg.validate,
+        )
+        plan = cache.plan(
+            tensor, mode, fmt="alto", indices=decoded, values=alto.values,
+            validate=cfg.validate,
+        )
+        return run_plan(plan, fmats, mode, tensor.shape[mode], rank, cfg)
+
+    if fmt == "blco":
+        blco = cache.format(tensor, "blco", _build_blco, validate=cfg.validate)
+        out = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
+        serial = EngineConfig(chunk=cfg.chunk, shards=1)
+        for plan in cache.block_plans(tensor, blco, mode, validate=cfg.validate):
+            # Per-block accumulation into a private buffer then `out +=`,
+            # matching the seed kernel's block order bit for bit.
+            out += run_plan(plan, fmats, mode, tensor.shape[mode], rank, serial)
+        return out
+
+    if fmt == "csf":
+        forest = cache.format(tensor, "csf", _build_csf_forest, validate=cfg.validate)
+        return mttkrp_csf(forest[mode], factors, mode)
+
+    raise ValueError(f"unknown engine format {fmt!r}")
+
+
+class EngineMttkrp:
+    """Drop-in for the cstf driver's ``_ConcreteMttkrp``, engine-backed.
+
+    Keeps the seed's simulated cost charging (same
+    :func:`~repro.machine.analytic.charge_mttkrp` call, same statistics) so
+    the simulated timelines of engine and seed runs are bit-identical;
+    only the host-side execution differs.
+    """
+
+    def __init__(self, tensor, fmt: str, cfg: EngineConfig, cache: PlanCache | None = None):
+        self.fmt = fmt
+        self.cfg = cfg
+        self.cache = cache if cache is not None else get_plan_cache()
+        self.stats = TensorStats.from_coo(tensor)
+        self.ndim = tensor.ndim
+        self.tensor = tensor
+        self.prepare = PreparedFactors()
+
+    def compute(self, ex, factors, mode: int, rank: int):
+        charge_mttkrp(ex, self.stats, rank, mode, self.fmt)
+        return engine_mttkrp(
+            self.tensor, factors, mode, self.fmt, self.cfg, self.cache, self.prepare
+        )

@@ -1,0 +1,112 @@
+"""Plan execution: chunked segment reduction, serial or sharded.
+
+The hot loop is the same fused gather→multiply→reduceat the seed kernels
+perform, restructured around a cached :class:`~repro.engine.plan.MttkrpPlan`
+in two ways:
+
+- **No per-call sort or gather.** The plan's stream is already presorted
+  by target row, so the per-call ``argsort`` and the full ``rows[order]``
+  materialized gather of ``segment_accumulate`` disappear.
+- **Cache blocking.** The per-nonzero Khatri-Rao accumulator is built and
+  reduced chunk by chunk (``EngineConfig.chunk`` nonzeros, aligned to
+  segment starts), so the working set stays inside the cache hierarchy
+  instead of streaming an ``(nnz, R)`` matrix through memory three times.
+
+Because chunk and shard boundaries never split a segment, and the factor
+multiplies happen in the seed's ascending-mode order, every path here is
+bitwise identical to the uncached kernels (IEEE multiplication and
+``np.add.reduceat`` see the same operands in the same order; sharded
+private accumulators cover disjoint rows, so the tree reduce adds exact
+zeros).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+
+import numpy as np
+
+from repro.kernels.partition import imbalance
+from repro.obs import current_telemetry
+
+__all__ = ["run_stream", "run_plan"]
+
+_POOLS: dict[int, concurrent.futures.ThreadPoolExecutor] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _pool(workers: int) -> concurrent.futures.ThreadPoolExecutor:
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def run_stream(stream, fmats, mode: int, out: np.ndarray, chunk: int) -> np.ndarray:
+    """Accumulate one presorted segment stream into *out*, chunk by chunk."""
+    if stream.nnz == 0:
+        return out
+    others = [m for m in range(len(stream.cols)) if m != mode]
+    cols, values = stream.cols, stream.values
+    starts, bounds, out_index = stream.starts, stream.bounds, stream.out_index
+    edges = stream.chunk_edges(chunk)
+    for i in range(edges.shape[0] - 1):
+        a, b = int(edges[i]), int(edges[i + 1])
+        lo, hi = int(bounds[a]), int(bounds[b])
+        if others:
+            m0 = others[0]
+            acc = values[lo:hi, None] * fmats[m0][cols[m0][lo:hi]]
+            for m in others[1:]:
+                acc *= fmats[m][cols[m][lo:hi]]
+        else:  # single-mode tensor: the Khatri-Rao product is empty
+            acc = np.broadcast_to(
+                values[lo:hi, None], (hi - lo, out.shape[1])
+            ).copy()
+        sums = np.add.reduceat(acc, starts[a:b] - lo, axis=0)
+        out[out_index[a:b]] = sums
+    return out
+
+
+def _tree_reduce(partials: list[np.ndarray]) -> np.ndarray:
+    """Pairwise in-place reduction of the shard accumulators."""
+    while len(partials) > 1:
+        nxt = []
+        for i in range(0, len(partials) - 1, 2):
+            np.add(partials[i], partials[i + 1], out=partials[i])
+            nxt.append(partials[i])
+        if len(partials) % 2:
+            nxt.append(partials[-1])
+        partials = nxt
+    return partials[0]
+
+
+def run_plan(plan, fmats, mode: int, out_rows: int, rank: int, cfg) -> np.ndarray:
+    """Execute a cached plan: serial chunked, or sharded with a tree reduce."""
+    out = np.zeros((out_rows, rank), dtype=np.float64)
+    if cfg.shards <= 1 or plan.stream.n_segments <= 1:
+        return run_stream(plan.stream, fmats, mode, out, cfg.chunk)
+
+    streams = plan.shard_streams(cfg.shards)
+    if len(streams) == 1:
+        return run_stream(streams[0], fmats, mode, out, cfg.chunk)
+
+    tel = current_telemetry()
+    if tel.enabled:
+        tel.gauge("engine.shard.workers", float(len(streams)))
+        tel.gauge(
+            "engine.shard.imbalance", imbalance([s.nnz for s in streams])
+        )
+    partials = [out] + [np.zeros_like(out) for _ in streams[1:]]
+    pool = _pool(len(streams))
+    futures = [
+        pool.submit(run_stream, stream, fmats, mode, partial, cfg.chunk)
+        for stream, partial in zip(streams, partials)
+    ]
+    for future in futures:
+        future.result()  # re-raises worker exceptions
+    return _tree_reduce(partials)

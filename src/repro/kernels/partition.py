@@ -32,6 +32,7 @@ __all__ = [
     "partition_equal_nnz",
     "partition_by_output_row",
     "partition_greedy_fibers",
+    "greedy_assign",
     "imbalance",
 ]
 
@@ -93,21 +94,40 @@ def partition_by_output_row(tensor: SparseTensor, mode: int, n_workers: int) -> 
     return Partition("by_output_row", n_workers, counts, owner.astype(np.int64))
 
 
+def greedy_assign(sizes, n_workers: int) -> tuple[np.ndarray, np.ndarray]:
+    """LPT greedy assignment of weighted items to workers.
+
+    Items are visited heaviest-first with a *stable* tie-break on the item
+    index — ``np.argsort(-sizes, kind="stable")`` orders equal weights by
+    position, so the assignment is identical across calls, platforms, and
+    NumPy versions (a reversed non-stable sort is not). Each item goes to
+    the currently least-loaded worker (``argmin`` returns the first minimum,
+    which is deterministic too). Zero-size items stay on worker 0 without
+    affecting any load.
+
+    Returns ``(owner, loads)``: the per-item worker id and the per-worker
+    total weight.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    n_workers = check_positive_int(n_workers, "n_workers")
+    owner = np.zeros(sizes.size, dtype=np.int64)
+    loads = np.zeros(n_workers, dtype=np.int64)
+    for item in np.argsort(-sizes, kind="stable"):
+        c = sizes[item]
+        if c == 0:
+            continue
+        w = int(np.argmin(loads))
+        owner[item] = w
+        loads[w] += c
+    return owner, loads
+
+
 def partition_greedy_fibers(tensor: SparseTensor, mode: int, n_workers: int) -> Partition:
     """LPT greedy: assign output rows (with all their nonzeros) to the
     currently least-loaded worker, heaviest rows first."""
     n_workers = check_positive_int(n_workers, "n_workers")
     mode = check_axis(mode, tensor.ndim)
     fiber_counts = tensor.mode_fiber_counts(mode)
-    order = np.argsort(fiber_counts)[::-1]
-    loads = np.zeros(n_workers, dtype=np.int64)
-    row_owner = np.zeros(tensor.shape[mode], dtype=np.int64)
-    for row in order:
-        c = fiber_counts[row]
-        if c == 0:
-            continue
-        w = int(np.argmin(loads))
-        row_owner[row] = w
-        loads[w] += c
+    row_owner, loads = greedy_assign(fiber_counts, n_workers)
     owner = row_owner[tensor.mode_indices(mode)]
     return Partition("greedy_fibers", n_workers, loads, owner)

@@ -130,6 +130,10 @@ class ExecutionPlan:
     alternatives: dict[str, float] = field(default_factory=dict)
     """Strategy → predicted seconds for everything considered."""
 
+    host_shards: int = 1
+    """Engine worker shards assumed for the CPU MTTKRP estimates (see
+    :mod:`repro.engine`); 1 = the serial seed path."""
+
     @property
     def is_heterogeneous(self) -> bool:
         return self.strategy.startswith("het:")
@@ -153,24 +157,39 @@ def plan_execution(
     cpu="cpu",
     transfer: TransferModel | None = None,
     inner_iters: int = 10,
+    host_shards: int = 1,
+    shard_efficiency: float = 0.85,
 ) -> ExecutionPlan:
-    """Pick the fastest of CPU-only, GPU-only, and the two per-phase splits."""
+    """Pick the fastest of CPU-only, GPU-only, and the two per-phase splits.
+
+    ``host_shards`` exposes the engine's sharded CPU MTTKRP path (see
+    :mod:`repro.engine`) to the decision: the CPU MTTKRP estimate is
+    divided by ``1 + (host_shards - 1) · shard_efficiency`` — linear
+    scaling discounted for reduction and imbalance overheads — which can
+    flip a ``gpu`` decision to ``het:mttkrp=cpu`` on contention-poisoned
+    modes. The default (1 shard) reproduces the serial decision exactly.
+    """
+    require(host_shards >= 1, "host_shards must be >= 1")
+    require(0.0 < shard_efficiency <= 1.0, "shard_efficiency must be in (0, 1]")
     transfer = transfer or TransferModel()
     gpu_est = estimate_phases(stats, rank, gpu, inner_iters=inner_iters)
     cpu_est = estimate_phases(stats, rank, cpu, inner_iters=inner_iters)
 
+    shard_speedup = 1.0 + (host_shards - 1) * shard_efficiency
+    cpu_mttkrp = cpu_est.seconds[PHASE_MTTKRP] / shard_speedup
     dense_phases = (PHASE_GRAM, PHASE_UPDATE, PHASE_NORMALIZE)
     gpu_dense = sum(gpu_est.seconds[p] for p in dense_phases)
     cpu_dense = sum(cpu_est.seconds[p] for p in dense_phases)
+    cpu_total = cpu_est.total - cpu_est.seconds[PHASE_MTTKRP] + cpu_mttkrp
     xfer = (2 * stats.ndim) * transfer.latency + transfer.seconds(
         _per_iteration_transfer_words(stats, rank)
     )
 
     candidates: dict[str, tuple[float, float, dict[str, str]]] = {
-        "cpu": (cpu_est.total, 0.0, {p: cpu_est.device for p in PHASES}),
+        "cpu": (cpu_total, 0.0, {p: cpu_est.device for p in PHASES}),
         "gpu": (gpu_est.total, 0.0, {p: gpu_est.device for p in PHASES}),
         "het:mttkrp=cpu": (
-            cpu_est.seconds[PHASE_MTTKRP] + gpu_dense + xfer,
+            cpu_mttkrp + gpu_dense + xfer,
             xfer,
             {
                 PHASE_MTTKRP: cpu_est.device,
@@ -195,4 +214,5 @@ def plan_execution(
         predicted_seconds=seconds,
         transfer_seconds=xfer_s,
         alternatives={k: v[0] for k, v in candidates.items()},
+        host_shards=host_shards,
     )

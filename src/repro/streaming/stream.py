@@ -31,7 +31,8 @@ import numpy as np
 
 from repro.core.kruskal import KruskalTensor
 from repro.core.trace import PHASE_GRAM, PHASE_MTTKRP, PHASE_NORMALIZE, PHASE_UPDATE
-from repro.kernels.mttkrp_coo import partial_khatri_rao_rows, segment_accumulate
+from repro.engine.batched import all_mode_krp_rows
+from repro.kernels.mttkrp_coo import segment_accumulate
 from repro.machine.executor import Executor
 from repro.obs import resolve_telemetry
 from repro.resilience.events import SLICE_SKIPPED, EventLog
@@ -99,6 +100,15 @@ class StreamingCstf:
         require(refresh_every >= 1, "refresh_every must be >= 1")
         self.forgetting = float(forgetting)
         self.refresh_every = int(refresh_every)
+        # Remember how the stream was configured so save()/load() can
+        # round-trip it; non-string update/device objects can't be named in
+        # a checkpoint, so they persist as None (load falls back to its
+        # explicit arguments or the historical defaults).
+        self._ctor_meta = {
+            "update": update if isinstance(update, str) else None,
+            "device": device if isinstance(device, str) else None,
+            "inner_iters": int(inner_iters),
+        }
         self.executor = Executor(device)
         self.update = get_update(
             update,
@@ -191,9 +201,14 @@ class StreamingCstf:
         start = ex.timeline.total_seconds()
 
         # 1. Temporal row: solve min_{s>=0} ||X_t - sum_r s_r (⊗ factors)||.
+        # The batched driver shares one set of factor-row gathers between
+        # this full product and the per-mode partials of step 2 (the
+        # factors are fixed across all of them — the Jacobi-style pattern),
+        # bit-identical to per-mode partial_khatri_rao_rows calls.
         with ex.phase(PHASE_MTTKRP):
-            rows = partial_khatri_rao_rows(
-                slice_tensor.indices, slice_tensor.values, self.factors, mode=None
+            per_mode_rows, rows = all_mode_krp_rows(
+                slice_tensor.indices, slice_tensor.values, self.factors,
+                include_full=True,
             )
             m_t = rows.sum(axis=0)
             ex.record(
@@ -228,10 +243,7 @@ class StreamingCstf:
         gamma = self.forgetting
         with ex.phase(PHASE_MTTKRP):
             for mode, dim in enumerate(self.spatial_shape):
-                contrib = partial_khatri_rao_rows(
-                    slice_tensor.indices, slice_tensor.values, self.factors, mode
-                )
-                contrib = contrib * temporal_row[None, :]
+                contrib = per_mode_rows[mode] * temporal_row[None, :]
                 acc = segment_accumulate(contrib, slice_tensor.indices[:, mode], dim)
                 self._hist_mttkrp[mode] = gamma * self._hist_mttkrp[mode] + acc
                 ex.record(
@@ -313,6 +325,12 @@ class StreamingCstf:
                         "forgetting": self.forgetting,
                         "refresh_every": self.refresh_every,
                         "step": self._step,
+                        # Run configuration, so load() resumes with the
+                        # same update rule / device / inner iterations
+                        # instead of silently reverting to defaults.
+                        "update": self._ctor_meta["update"],
+                        "device": self._ctor_meta["device"],
+                        "inner_iters": self._ctor_meta["inner_iters"],
                     }
                 )
             ),
@@ -331,14 +349,28 @@ class StreamingCstf:
             np.savez_compressed(target, **arrays)
 
     @classmethod
-    def load(cls, source, update="cuadmm", device="a100", inner_iters: int = 3) -> "StreamingCstf":
-        """Restore a checkpointed stream (fresh executor and update state)."""
+    def load(cls, source, update=None, device=None, inner_iters: int | None = None) -> "StreamingCstf":
+        """Restore a checkpointed stream (fresh executor and update state).
+
+        The saved run's configuration — update rule, device, and inner
+        iterations — is restored from the checkpoint; pass an explicit
+        argument only to deliberately override it. Checkpoints written
+        before these fields existed (or saved from streams configured with
+        non-string update/device objects) fall back to the historical
+        defaults (``"cuadmm"``, ``"a100"``, 3).
+        """
         import json
 
         with np.load(source, allow_pickle=False) as data:
             require("meta_json" in data, "not a StreamingCstf checkpoint")
             meta = json.loads(str(data["meta_json"]))
             require(meta.get("format_version") == 1, "unsupported checkpoint version")
+            if update is None:
+                update = meta.get("update") or "cuadmm"
+            if device is None:
+                device = meta.get("device") or "a100"
+            if inner_iters is None:
+                inner_iters = int(meta.get("inner_iters") or 3)
             stream = cls(
                 tuple(meta["spatial_shape"]),
                 rank=int(meta["rank"]),

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kernels.partition import (
+    greedy_assign,
     imbalance,
     partition_by_output_row,
     partition_equal_nnz,
@@ -91,3 +92,50 @@ class TestGreedyFibers:
         mean = t.nnz / workers
         heaviest = float(t.mode_fiber_counts(0).max())
         assert p.counts.max() <= (4.0 / 3.0) * mean + heaviest + 1e-9
+
+
+class TestGreedyAssignDeterminism:
+    """Regression: the LPT sort used a non-stable ``argsort``, so equal
+    fiber weights could be visited in a platform-dependent order and the
+    same tensor could shard differently across runs. ``greedy_assign``
+    pins a stable sort with an index tie-break."""
+
+    def test_matches_stable_reference(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(0, 6, size=200)  # heavy ties, some zeros
+        owner, loads = greedy_assign(sizes, 5)
+        ref_owner = np.zeros(sizes.size, dtype=np.int64)
+        ref_loads = np.zeros(5, dtype=np.int64)
+        for i in sorted(range(sizes.size), key=lambda j: (-sizes[j], j)):
+            if sizes[i] == 0:
+                continue
+            w = int(np.argmin(ref_loads))
+            ref_owner[i] = w
+            ref_loads[w] += sizes[i]
+        assert np.array_equal(owner, ref_owner)
+        assert np.array_equal(loads, ref_loads)
+
+    def test_equal_weights_assign_in_index_order(self):
+        """All-equal weights must land round-robin — the visible symptom of
+        the old bug was any other permutation."""
+        owner, loads = greedy_assign(np.full(12, 7), 4)
+        assert np.array_equal(owner, np.arange(12) % 4)
+        assert np.array_equal(loads, np.full(4, 21))
+
+    def test_zero_size_items_stay_on_worker_zero(self):
+        owner, loads = greedy_assign([0, 4, 0, 4], 2)
+        assert owner[0] == 0 and owner[2] == 0
+        assert int(loads.sum()) == 8
+
+    def test_repeat_calls_identical(self):
+        sizes = np.tile([9, 9, 9, 1], 50)
+        a = greedy_assign(sizes, 7)
+        b = greedy_assign(sizes, 7)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_partition_repeat_calls_identical(self, skewed):
+        p1 = partition_greedy_fibers(skewed, 0, 6)
+        p2 = partition_greedy_fibers(skewed, 0, 6)
+        assert np.array_equal(p1.owner_of_nnz, p2.owner_of_nnz)
+        assert np.array_equal(p1.counts, p2.counts)

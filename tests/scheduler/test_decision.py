@@ -101,3 +101,49 @@ class TestPlanExecution:
         plan = plan_execution(TensorStats.from_dims((100, 80, 60), 5000), rank=8)
         assert isinstance(plan, ExecutionPlan)
         assert plan.predicted_seconds > 0
+
+
+class TestHostShards:
+    """The engine's sharded CPU MTTKRP path as seen by the planner."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return get_dataset("uber").stats()
+
+    def test_default_reproduces_serial_decision(self, stats):
+        assert plan_execution(stats, rank=32, host_shards=1) == plan_execution(
+            stats, rank=32
+        )
+
+    def test_shards_speed_up_only_cpu_mttkrp_candidates(self, stats):
+        serial = plan_execution(stats, rank=32)
+        sharded = plan_execution(stats, rank=32, host_shards=4)
+        assert sharded.host_shards == 4
+        assert sharded.alternatives["gpu"] == serial.alternatives["gpu"]
+        assert (
+            sharded.alternatives["het:update=cpu"]
+            == serial.alternatives["het:update=cpu"]
+        )
+        assert sharded.alternatives["cpu"] < serial.alternatives["cpu"]
+        assert (
+            sharded.alternatives["het:mttkrp=cpu"]
+            < serial.alternatives["het:mttkrp=cpu"]
+        )
+
+    def test_discounted_linear_scaling(self, stats):
+        cpu_mttkrp = estimate_phases(stats, 32, "cpu").seconds[PHASE_MTTKRP]
+        serial = plan_execution(stats, rank=32)
+        sharded = plan_execution(stats, rank=32, host_shards=4, shard_efficiency=1.0)
+        saved = (
+            serial.alternatives["het:mttkrp=cpu"]
+            - sharded.alternatives["het:mttkrp=cpu"]
+        )
+        assert saved == pytest.approx(cpu_mttkrp * (1 - 1 / 4))
+
+    def test_invalid_arguments_rejected(self, stats):
+        with pytest.raises(ValueError):
+            plan_execution(stats, rank=8, host_shards=0)
+        with pytest.raises(ValueError):
+            plan_execution(stats, rank=8, shard_efficiency=0.0)
+        with pytest.raises(ValueError):
+            plan_execution(stats, rank=8, shard_efficiency=1.5)

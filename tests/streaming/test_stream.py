@@ -161,6 +161,38 @@ class TestCheckpoint:
         with pytest.raises(ValueError, match="checkpoint"):
             StreamingCstf.load(path)
 
+    def test_load_restores_configuration(self, tmp_path):
+        """Regression: load() used to rebuild the stream with the default
+        update/device/inner_iters, so a HALS-on-CPU stream silently resumed
+        as cuADMM-on-A100 and tracked differently from the original."""
+        stream = StreamingCstf((12, 9), rank=2, seed=2, update="hals", device="cpu")
+        slabs = list(_make_stream((12, 9), 2, steps=6, seed=9))
+        for slab, _ in slabs[:3]:
+            stream.ingest(slab)
+        path = tmp_path / "ckpt.npz"
+        stream.save(path)
+
+        resumed = StreamingCstf.load(path)
+        assert resumed.update.name == "hals"
+        assert resumed.executor.device.name == stream.executor.device.name
+        for slab, _ in slabs[3:]:
+            s_orig = stream.ingest(slab)
+            s_res = resumed.ingest(slab)
+            assert s_res.slice_fit == pytest.approx(s_orig.slice_fit, rel=1e-12)
+
+    def test_load_restores_inner_iters_and_honors_overrides(self, tmp_path):
+        stream = StreamingCstf((10, 8), rank=2, seed=1, inner_iters=7)
+        for slab, _ in _make_stream((10, 8), 2, steps=2, seed=10):
+            stream.ingest(slab)
+        path = tmp_path / "ckpt.npz"
+        stream.save(path)
+
+        assert StreamingCstf.load(path).update.inner_iters == 7
+        # Explicit arguments still beat the persisted configuration.
+        overridden = StreamingCstf.load(path, update="mu", device="cpu")
+        assert overridden.update.name == "mu"
+        assert overridden.executor.device.name != stream.executor.device.name
+
 
 class TestDegenerateSlices:
     def test_all_zero_slice_skipped_and_logged(self):
