@@ -2,7 +2,10 @@
 """Run the fault-injection test suite under pinned, deterministic seeds.
 
 The ``faults``-marked tests corrupt intermediates at every cSTF phase and
-assert that each recovery path in :mod:`repro.resilience` actually fires.
+assert that each recovery path in :mod:`repro.resilience` actually fires;
+the ``chaos``-marked tests inject *execution* faults (worker crashes,
+stragglers, corrupted cached plans) and assert the engine and supervisor
+recover bit-identically.
 All randomness is seeded, so the suite is bitwise repeatable; this runner
 pins the remaining environmental sources (hash seed, test order) so a CI
 failure reproduces locally from the same command:
@@ -93,6 +96,78 @@ print(f"engine equivalence OK: serial+sharded bitwise, hit rate {rate:.3f}")
 """
 
 
+# Chaos gate: a *supervised* run with execution faults injected (worker
+# crashes, stragglers, plan corruption) must complete bit-identical to a
+# fault-free run, and its telemetry stream must stay schema-valid; a
+# supervised run with no faults must add zero retries/degradations.
+_CHAOS_SNIPPET = """
+import numpy as np
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.obs import Telemetry
+from repro.resilience import FaultInjector, FaultSpec, supervised_cstf
+
+from repro.tensor.coo import SparseTensor
+
+rng = np.random.default_rng(0)
+idx = rng.integers(0, [40, 30, 20], size=(2500, 3))
+vals = rng.random(2500)
+X = SparseTensor(idx, vals, (40, 30, 20))
+base = dict(rank=5, max_iters=4, update="admm", device="cpu",
+            mttkrp_format="coo", seed=11)
+
+plain = cstf(X, CstfConfig(**base))
+
+# 1. Supervised, no faults: pure pass-through.
+sup = supervised_cstf(X, CstfConfig(**base))
+for a, b in zip(plain.kruskal.factors, sup.kruskal.factors):
+    assert np.array_equal(a, b), "supervised no-fault run is not bit-identical"
+assert not [e for e in sup.events if e.phase == "SUPERVISE"], (
+    "no-fault supervised run produced supervisor events"
+)
+
+# 2. Supervised chaos: every execution fault kind, sharded engine, traced.
+injector = FaultInjector(
+    [FaultSpec(phase="EXECUTE", kind="worker_crash", probability=0.5),
+     FaultSpec(phase="EXECUTE", kind="slow_shard", probability=0.5, magnitude=0.2),
+     FaultSpec(phase="EXECUTE", kind="corrupt_plan", probability=0.3)],
+    seed=23,
+)
+chaos = supervised_cstf(X, CstfConfig(
+    **base, engine={"shards": 3, "shard_timeout": 0.05},
+    fault_injector=injector,
+    telemetry=Telemetry(jsonl_path=SYS_ARGV_PATH),
+))
+assert injector.injected > 0, "chaos run injected no execution faults"
+for a, b in zip(plain.kruskal.factors, chaos.kruskal.factors):
+    assert np.array_equal(a, b), "chaos run is not bit-identical to fault-free"
+kinds = {e.kind for e in chaos.events}
+recoveries = kinds & {"shard_retry", "shard_timeout", "plan_repaired"}
+assert recoveries, f"no recovery events on the chaos run (saw {sorted(kinds)})"
+print("chaos OK: faults=%d, recoveries=%s" % (
+    injector.injected, ",".join(sorted(recoveries))))
+"""
+
+
+def _check_chaos(env) -> int:
+    """Supervised chaos run: bit-identical recovery + schema-valid trace."""
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "chaos_run.jsonl"
+        code = subprocess.call(
+            [sys.executable, "-c",
+             _CHAOS_SNIPPET.replace("SYS_ARGV_PATH", repr(str(trace)))],
+            cwd=REPO_ROOT, env=env,
+        )
+        if code != 0:
+            print("chaos run failed")
+            return code
+        return subprocess.call(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"),
+             "--quiet", str(trace)],
+            cwd=REPO_ROOT, env=env,
+        )
+
+
 def _check_engine_equivalence(env) -> int:
     """Seed vs engine-serial vs engine-sharded must be bit-identical."""
     return subprocess.call(
@@ -166,16 +241,21 @@ def main(extra_args: list[str]) -> int:
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    cmd = [
-        sys.executable, "-m", "pytest",
-        "-m", "faults",
-        "-p", "no:randomly",  # fixed collection order even if the plugin exists
-        "-p", "no:cacheprovider",
-        "-q",
-        *extra_args,
-    ]
-    print("$", " ".join(cmd))
-    code = subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+    for marker in ("faults", "chaos"):
+        cmd = [
+            sys.executable, "-m", "pytest",
+            "-m", marker,
+            "-p", "no:randomly",  # fixed collection order even if the plugin exists
+            "-p", "no:cacheprovider",
+            "-q",
+            *extra_args,
+        ]
+        print("$", " ".join(cmd))
+        code = subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+        if code != 0:
+            return code
+    print("\nrunning the supervised chaos gate (execution faults, traced)")
+    code = _check_chaos(env)
     if code != 0:
         return code
     print("\nvalidating fault-run telemetry against the schema")

@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Chrome trace of the simulated kernels")
     fac.add_argument("--telemetry", action="store_true",
                      help="collect run telemetry (spans + metrics) and print a summary")
+    fac.add_argument("--max-retries", type=int, default=None, metavar="N",
+                     help="supervise the run: retry up to N times per "
+                          "degradation tier on a crash (enables the "
+                          "sharded->chunked->serial->seed ladder)")
+    fac.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="supervised wall-clock budget across all attempts "
+                          "(0 or unset = no deadline; implies supervision)")
     fac.add_argument("--trace-out", default=None, metavar="PATH",
                      help="stream telemetry to a JSONL file (implies --telemetry); "
                           "convert with 'repro trace'")
@@ -194,6 +201,7 @@ def _cmd_factorize(args, out) -> int:
         device=args.device, mttkrp_format=args.mttkrp_format, seed=args.seed,
         telemetry=telemetry, engine=_engine_setting(args),
     )
+    supervised = args.max_retries is not None or args.deadline is not None
     if args.trace:
         # Tracing needs retained records; run the update stack through a
         # recording executor by monkey-free reconstruction: rerun via cstf
@@ -201,6 +209,21 @@ def _cmd_factorize(args, out) -> int:
         # trace the whole run by enabling record retention on the driver's
         # executor via the traced wrapper below.
         result = _factorize_traced(tensor, config, args.trace, out)
+    elif supervised:
+        from repro.resilience.supervisor import RunSupervisor, SupervisorConfig
+
+        sup = RunSupervisor(
+            config,
+            SupervisorConfig(
+                max_retries=args.max_retries if args.max_retries is not None else 3,
+                deadline=args.deadline if args.deadline is not None else 0.0,
+            ),
+        )
+        result = sup.run(tensor)
+        if sup.retries or sup.degradations:
+            print(f"supervisor: {sup.retries} retries, "
+                  f"{sup.degradations} degradations "
+                  f"({'; '.join(e.kind for e in sup.events)})", file=out)
     else:
         result = cstf(tensor, config)
     print(f"fit: {result.fit:.4f} after {result.iterations} iterations "

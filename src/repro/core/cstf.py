@@ -273,7 +273,11 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
         if config.engine is not None:
             from repro.engine.driver import EngineMttkrp
 
-            mttkrp_engine = EngineMttkrp(tensor, config.mttkrp_format, config.engine)
+            mttkrp_engine = EngineMttkrp(
+                tensor, config.mttkrp_format, config.engine,
+                events=ctx.events if ctx is not None else None,
+                injector=injector,
+            )
         else:
             mttkrp_engine = _ConcreteMttkrp(tensor, config.mttkrp_format)
         if checkpoint is not None:

@@ -13,8 +13,18 @@ or on the CLI with ``repro factorize --engine on``.
 
 from repro.engine.batched import all_mode_krp_rows
 from repro.engine.config import EngineConfig, resolve_engine
-from repro.engine.driver import EngineMttkrp, PreparedFactors, engine_mttkrp
-from repro.engine.execute import run_plan, run_stream
+from repro.engine.driver import (
+    EngineMttkrp,
+    PlanBuildError,
+    PreparedFactors,
+    engine_mttkrp,
+)
+from repro.engine.execute import (
+    run_plan,
+    run_shards,
+    run_stream,
+    sharded_segment_accumulate,
+)
 from repro.engine.plan import MttkrpPlan, PlanCache, SegmentStream, get_plan_cache
 
 __all__ = [
@@ -26,8 +36,11 @@ __all__ = [
     "get_plan_cache",
     "engine_mttkrp",
     "EngineMttkrp",
+    "PlanBuildError",
     "PreparedFactors",
     "all_mode_krp_rows",
     "run_plan",
+    "run_shards",
     "run_stream",
+    "sharded_segment_accumulate",
 ]

@@ -39,6 +39,15 @@ class EngineConfig:
         private outputs, and are tree-reduced — the CPU analogue of the
         paper's privatized GPU reductions. Because segment row sets are
         disjoint, sharded results equal serial results bitwise.
+    shard_timeout:
+        Per-shard wall-clock budget in seconds for the sharded path
+        (``0.0`` disables timeout detection). A shard that has not
+        finished this long after the launch of its batch is declared a
+        straggler: its in-flight result is abandoned and the shard is
+        re-executed serially on the dispatching thread — bit-identical,
+        since each shard's summation order is private. Timeouts are
+        counted (``engine.shard.timeouts``) and logged as
+        ``shard_timeout`` events.
     gram_rescale:
         Reuse the Gram matrix of the *unnormalized* update result via a
         rank-one λ-rescale (``G(H/λ) = G(H)/(λλᵀ)``) instead of a separate
@@ -61,6 +70,7 @@ class EngineConfig:
 
     chunk: int = 4096
     shards: int = 1
+    shard_timeout: float = 0.0
     gram_rescale: bool = False
     max_tensors: int = 16
     validate: str = "cheap"
@@ -69,6 +79,8 @@ class EngineConfig:
         require(int(self.chunk) >= 0, "chunk must be >= 0")
         object.__setattr__(self, "chunk", int(self.chunk))
         object.__setattr__(self, "shards", check_positive_int(self.shards, "shards"))
+        require(float(self.shard_timeout) >= 0.0, "shard_timeout must be >= 0")
+        object.__setattr__(self, "shard_timeout", float(self.shard_timeout))
         object.__setattr__(
             self, "max_tensors", check_positive_int(self.max_tensors, "max_tensors")
         )

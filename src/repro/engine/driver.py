@@ -13,12 +13,27 @@ kernels. Per format:
   blocks accumulate into the output in block order exactly like
   :func:`~repro.kernels.mttkrp_blco.mttkrp_blco`. Executed serially (the
   per-block structure is the paper's own blocking).
+- ``hicoo`` — the HiCOO blocking and per-block plans are cached; blocks
+  accumulate serially in block order, value-first then ascending-mode
+  multiplies, so the bits match
+  :func:`~repro.kernels.mttkrp_hicoo.mttkrp_hicoo`.
 - ``csf`` — per-root mode trees are cached once per tensor and handed to
   the unchanged :func:`~repro.kernels.mttkrp_csf.mttkrp_csf` tree walk
   (the seed driver re-roots through COO when the cached tree's root
   differs; the cache keeps all roots).
 
 Sharding applies to the ``coo`` and ``alto`` plan paths.
+
+Robustness: a format conversion or plan build that fails raises
+:class:`PlanBuildError`, which the run supervisor treats as a trigger for
+the COO format fallback. A failure *during execution* of cached state
+(e.g. a corrupted plan that dodged the integrity probe) triggers a
+replan-once recovery: the tensor's cache entry is invalidated, the repair
+is counted (``engine.plan.repairs``) and logged (``plan_repaired``), and
+the call re-dispatches from fresh plans; only a second failure propagates.
+The ``corrupt_plan`` chaos fault (:class:`~repro.resilience.faults
+.FaultInjector`) deliberately corrupts the cached plans before lookup to
+prove this self-heal fires.
 
 :class:`EngineMttkrp` is the drop-in replacement for the cstf driver's
 ``_ConcreteMttkrp``: it charges the *identical* simulated device cost
@@ -36,9 +51,19 @@ from repro.engine.plan import PlanCache, get_plan_cache
 from repro.kernels.mttkrp import check_factors
 from repro.kernels.mttkrp_csf import mttkrp_csf
 from repro.machine.analytic import TensorStats, charge_mttkrp
+from repro.resilience.events import PLAN_REPAIRED
 from repro.utils.validation import check_axis
 
-__all__ = ["PreparedFactors", "engine_mttkrp", "EngineMttkrp"]
+__all__ = ["PreparedFactors", "PlanBuildError", "engine_mttkrp", "EngineMttkrp"]
+
+
+class PlanBuildError(RuntimeError):
+    """A format conversion or plan build failed before execution started.
+
+    Distinct from execution failures on purpose: no partial work has been
+    done, so the caller (typically :class:`~repro.resilience.supervisor
+    .RunSupervisor`) can safely fall back to the plain COO format.
+    """
 
 
 class PreparedFactors:
@@ -82,10 +107,72 @@ def _build_blco(tensor):
     return BlcoTensor.from_coo(tensor)
 
 
+def _build_hicoo(tensor):
+    from repro.tensor.hicoo import HicooTensor
+
+    return HicooTensor.from_coo(tensor)
+
+
 def _build_csf_forest(tensor):
     from repro.tensor.csf import CsfTensor
 
     return [CsfTensor.from_coo(tensor, root_mode=m) for m in range(tensor.ndim)]
+
+
+def _convert(cache, tensor, name, build, validate):
+    """Cached format conversion, wrapping build failures in PlanBuildError."""
+    try:
+        return cache.format(tensor, name, build, validate=validate)
+    except Exception as exc:
+        raise PlanBuildError(
+            f"{name} conversion failed: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+_ENGINE_FORMATS = ("coo", "alto", "blco", "hicoo", "csf")
+
+
+def _dispatch(tensor, factors, fmats, mode, fmt, cfg, cache, rank, faults, events):
+    if fmt == "coo":
+        plan = cache.plan(tensor, mode, validate=cfg.validate)
+        return run_plan(
+            plan, fmats, mode, tensor.shape[mode], rank, cfg,
+            faults=faults, events=events,
+        )
+
+    if fmt == "alto":
+        alto = _convert(cache, tensor, "alto", _build_alto, cfg.validate)
+        decoded = _convert(
+            cache, tensor, "alto_indices", lambda _t: alto.all_mode_indices(),
+            cfg.validate,
+        )
+        plan = cache.plan(
+            tensor, mode, fmt="alto", indices=decoded, values=alto.values,
+            validate=cfg.validate,
+        )
+        return run_plan(
+            plan, fmats, mode, tensor.shape[mode], rank, cfg,
+            faults=faults, events=events,
+        )
+
+    if fmt in ("blco", "hicoo"):
+        build = _build_blco if fmt == "blco" else _build_hicoo
+        blocked = _convert(cache, tensor, fmt, build, cfg.validate)
+        out = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
+        serial = EngineConfig(chunk=cfg.chunk, shards=1)
+        for plan in cache.block_plans(
+            tensor, blocked, mode, validate=cfg.validate, fmt=fmt
+        ):
+            # Per-block accumulation into a private buffer then `out +=`,
+            # matching the seed kernel's block order bit for bit.
+            out += run_plan(plan, fmats, mode, tensor.shape[mode], rank, serial)
+        return out
+
+    if fmt == "csf":
+        forest = _convert(cache, tensor, "csf", _build_csf_forest, cfg.validate)
+        return mttkrp_csf(forest[mode], factors, mode)
+
+    raise ValueError(f"unknown engine format {fmt!r}")
 
 
 def engine_mttkrp(
@@ -96,48 +183,58 @@ def engine_mttkrp(
     cfg: EngineConfig | None = None,
     cache: PlanCache | None = None,
     prepare: PreparedFactors | None = None,
+    *,
+    faults=None,
+    events=None,
 ) -> np.ndarray:
-    """Cached/sharded MTTKRP over a COO tensor, dispatched by format."""
+    """Cached/sharded MTTKRP over a COO tensor, dispatched by format.
+
+    ``faults`` (a :class:`~repro.resilience.faults.FaultInjector`) enables
+    the chaos paths: ``corrupt_plan`` draws corrupt the cached plans before
+    lookup, and shard-level faults ride into the sharded executor. Every
+    recovery is logged to ``events`` when given.
+    """
     cfg = cfg if cfg is not None else EngineConfig()
     # `is not None`, not truthiness: an empty PlanCache has len() == 0.
     cache = cache if cache is not None else get_plan_cache()
     mode = check_axis(mode, tensor.ndim)
+    if fmt not in _ENGINE_FORMATS:
+        raise ValueError(f"unknown engine format {fmt!r}")
     rank = check_factors(tensor.shape, factors, mode)
     fmats = prepare(factors) if prepare is not None else [
         np.asarray(f, dtype=np.float64) for f in factors
     ]
 
-    if fmt == "coo":
-        plan = cache.plan(tensor, mode, validate=cfg.validate)
-        return run_plan(plan, fmats, mode, tensor.shape[mode], rank, cfg)
+    if faults is not None and faults.draw_plan_fault(mode=mode, events=events):
+        cache.corrupt(tensor)
 
-    if fmt == "alto":
-        alto = cache.format(tensor, "alto", _build_alto, validate=cfg.validate)
-        decoded = cache.format(
-            tensor, "alto_indices", lambda _t: alto.all_mode_indices(),
-            validate=cfg.validate,
+    try:
+        return _dispatch(
+            tensor, factors, fmats, mode, fmt, cfg, cache, rank, faults, events
         )
-        plan = cache.plan(
-            tensor, mode, fmt="alto", indices=decoded, values=alto.values,
-            validate=cfg.validate,
+    except PlanBuildError:
+        raise
+    except Exception as exc:
+        # Replan-once self-heal: cached state that passed (or dodged) the
+        # integrity probe still blew up in execution — e.g. an out-of-range
+        # coordinate from a corrupted plan. Evict everything cached for
+        # this tensor and re-dispatch from fresh plans; a second failure is
+        # a genuine bug and propagates.
+        cache.invalidate(tensor)
+        cache.record_repair(
+            f"execution over cached {fmt} plans failed "
+            f"({type(exc).__name__}); entry evicted and replanned"
         )
-        return run_plan(plan, fmats, mode, tensor.shape[mode], rank, cfg)
-
-    if fmt == "blco":
-        blco = cache.format(tensor, "blco", _build_blco, validate=cfg.validate)
-        out = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
-        serial = EngineConfig(chunk=cfg.chunk, shards=1)
-        for plan in cache.block_plans(tensor, blco, mode, validate=cfg.validate):
-            # Per-block accumulation into a private buffer then `out +=`,
-            # matching the seed kernel's block order bit for bit.
-            out += run_plan(plan, fmats, mode, tensor.shape[mode], rank, serial)
-        return out
-
-    if fmt == "csf":
-        forest = cache.format(tensor, "csf", _build_csf_forest, validate=cfg.validate)
-        return mttkrp_csf(forest[mode], factors, mode)
-
-    raise ValueError(f"unknown engine format {fmt!r}")
+        if events is not None:
+            events.record(
+                PLAN_REPAIRED, "MTTKRP", mode=mode,
+                detail=f"{fmt} execution failed ({type(exc).__name__}: {exc}); "
+                       f"cache entry evicted, replanned, and re-executed",
+                fmt=fmt,
+            )
+        return _dispatch(
+            tensor, factors, fmats, mode, fmt, cfg, cache, rank, faults, events
+        )
 
 
 class EngineMttkrp:
@@ -146,10 +243,21 @@ class EngineMttkrp:
     Keeps the seed's simulated cost charging (same
     :func:`~repro.machine.analytic.charge_mttkrp` call, same statistics) so
     the simulated timelines of engine and seed runs are bit-identical;
-    only the host-side execution differs.
+    only the host-side execution differs. ``events``/``injector`` thread
+    the run's resilience context into the execution layer so shard
+    recoveries and plan repairs land on ``CstfResult.events``.
     """
 
-    def __init__(self, tensor, fmt: str, cfg: EngineConfig, cache: PlanCache | None = None):
+    def __init__(
+        self,
+        tensor,
+        fmt: str,
+        cfg: EngineConfig,
+        cache: PlanCache | None = None,
+        *,
+        events=None,
+        injector=None,
+    ):
         self.fmt = fmt
         self.cfg = cfg
         self.cache = cache if cache is not None else get_plan_cache()
@@ -157,9 +265,12 @@ class EngineMttkrp:
         self.ndim = tensor.ndim
         self.tensor = tensor
         self.prepare = PreparedFactors()
+        self.events = events
+        self.injector = injector
 
     def compute(self, ex, factors, mode: int, rank: int):
         charge_mttkrp(ex, self.stats, rank, mode, self.fmt)
         return engine_mttkrp(
-            self.tensor, factors, mode, self.fmt, self.cfg, self.cache, self.prepare
+            self.tensor, factors, mode, self.fmt, self.cfg, self.cache,
+            self.prepare, faults=self.injector, events=self.events,
         )

@@ -18,19 +18,33 @@ bitwise identical to the uncached kernels (IEEE multiplication and
 ``np.add.reduceat`` see the same operands in the same order; sharded
 private accumulators cover disjoint rows, so the tree reduce adds exact
 zeros).
+
+Shard fault tolerance: a worker that raises mid-shard, or one that blows
+its per-shard timeout (``EngineConfig.shard_timeout``), is re-executed
+*serially* on the dispatching thread into a fresh private accumulator —
+deterministically bit-identical, since each shard's summation order is
+private and its output rows are disjoint. Retries and timeouts are
+counted (``engine.shard.retries`` / ``engine.shard.timeouts``) and logged
+as ``shard_retry`` / ``shard_timeout`` resilience events. The chaos
+harness drives the same paths on purpose through
+:class:`~repro.resilience.faults.FaultInjector`'s ``EXECUTE`` fault kinds
+(``worker_crash`` / ``slow_shard``), drawn from its seeded RNG in the
+dispatching thread so campaigns replay exactly.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import threading
+import time
 
 import numpy as np
 
 from repro.kernels.partition import imbalance
 from repro.obs import current_telemetry
+from repro.resilience.events import SHARD_RETRY, SHARD_TIMEOUT
 
-__all__ = ["run_stream", "run_plan"]
+__all__ = ["run_stream", "run_plan", "run_shards", "sharded_segment_accumulate"]
 
 _POOLS: dict[int, concurrent.futures.ThreadPoolExecutor] = {}
 _POOL_LOCK = threading.Lock()
@@ -85,28 +99,170 @@ def _tree_reduce(partials: list[np.ndarray]) -> np.ndarray:
     return partials[0]
 
 
-def run_plan(plan, fmats, mode: int, out_rows: int, rank: int, cfg) -> np.ndarray:
-    """Execute a cached plan: serial chunked, or sharded with a tree reduce."""
-    out = np.zeros((out_rows, rank), dtype=np.float64)
-    if cfg.shards <= 1 or plan.stream.n_segments <= 1:
-        return run_stream(plan.stream, fmats, mode, out, cfg.chunk)
+def _chaos_worker(stream, fmats, mode, partial, chunk, *, crash=False, delay=0.0):
+    """Shard worker wrapper carrying the injected execution faults."""
+    if delay > 0.0:
+        time.sleep(delay)
+    if crash:
+        from repro.resilience.faults import InjectedWorkerCrash
 
-    streams = plan.shard_streams(cfg.shards)
-    if len(streams) == 1:
-        return run_stream(streams[0], fmats, mode, out, cfg.chunk)
+        raise InjectedWorkerCrash(f"injected worker crash on mode-{mode} shard")
+    return run_stream(stream, fmats, mode, partial, chunk)
 
+
+def run_shards(
+    streams,
+    fmats,
+    mode: int,
+    out_rows: int,
+    rank: int,
+    cfg,
+    *,
+    faults=None,
+    events=None,
+) -> np.ndarray:
+    """Execute per-worker shard streams with crash/straggler recovery.
+
+    Every shard accumulates into a private ``(out_rows, rank)`` buffer and
+    the buffers are tree-reduced. A shard whose worker raises, or whose
+    worker misses the per-shard deadline (``cfg.shard_timeout``), is
+    re-executed serially into a *fresh* buffer on this thread — the
+    abandoned worker keeps writing into its orphaned private buffer, which
+    never enters the reduction, so recovery is bit-identical to a clean
+    run.
+    """
     tel = current_telemetry()
     if tel.enabled:
         tel.gauge("engine.shard.workers", float(len(streams)))
         tel.gauge(
             "engine.shard.imbalance", imbalance([s.nnz for s in streams])
         )
-    partials = [out] + [np.zeros_like(out) for _ in streams[1:]]
-    pool = _pool(len(streams))
-    futures = [
-        pool.submit(run_stream, stream, fmats, mode, partial, cfg.chunk)
-        for stream, partial in zip(streams, partials)
+
+    injected: dict[str, int] = {}
+    delay = 0.0
+    if faults is not None:
+        injected = faults.draw_shard_faults(len(streams), mode=mode, events=events)
+        if "slow_shard" in injected:
+            delay = faults.slow_shard_delay()
+
+    partials = [
+        np.zeros((out_rows, rank), dtype=np.float64) for _ in streams
     ]
-    for future in futures:
-        future.result()  # re-raises worker exceptions
+    pool = _pool(len(streams))
+    launched = time.monotonic()
+    futures = [
+        pool.submit(
+            _chaos_worker, stream, fmats, mode, partial, cfg.chunk,
+            crash=injected.get("worker_crash") == i,
+            delay=delay if injected.get("slow_shard") == i else 0.0,
+        )
+        for i, (stream, partial) in enumerate(zip(streams, partials))
+    ]
+    for i, future in enumerate(futures):
+        budget = None
+        if cfg.shard_timeout > 0.0:
+            budget = max(0.0, cfg.shard_timeout - (time.monotonic() - launched))
+        try:
+            future.result(timeout=budget)
+        except concurrent.futures.TimeoutError:
+            # Straggler: abandon the in-flight worker (it finishes into its
+            # orphaned buffer) and redo the shard serially, bit-identically.
+            tel.counter("engine.shard.timeouts")
+            if events is not None:
+                events.record(
+                    SHARD_TIMEOUT, "MTTKRP", mode=mode,
+                    detail=f"shard {i}/{len(streams)} missed its "
+                           f"{cfg.shard_timeout:g}s deadline; re-executed serially",
+                    shard=i, nnz=streams[i].nnz,
+                )
+            partials[i] = run_stream(
+                streams[i], fmats, mode,
+                np.zeros((out_rows, rank), dtype=np.float64), cfg.chunk,
+            )
+        except Exception as exc:
+            # Worker died mid-shard: deterministic serial re-execution. If
+            # the shard is genuinely poisoned (e.g. a corrupted plan), the
+            # serial pass raises too and the caller's plan-repair fires.
+            tel.counter("engine.shard.retries")
+            if events is not None:
+                events.record(
+                    SHARD_RETRY, "MTTKRP", mode=mode,
+                    detail=f"shard {i}/{len(streams)} worker died "
+                           f"({type(exc).__name__}: {exc}); re-executed serially",
+                    shard=i, nnz=streams[i].nnz,
+                )
+            partials[i] = run_stream(
+                streams[i], fmats, mode,
+                np.zeros((out_rows, rank), dtype=np.float64), cfg.chunk,
+            )
     return _tree_reduce(partials)
+
+
+def run_plan(
+    plan, fmats, mode: int, out_rows: int, rank: int, cfg, *,
+    faults=None, events=None,
+) -> np.ndarray:
+    """Execute a cached plan: serial chunked, or sharded with a tree reduce."""
+    if cfg.shards > 1 and plan.stream.n_segments > 1:
+        streams = plan.shard_streams(cfg.shards)
+        if len(streams) > 1:
+            return run_shards(
+                streams, fmats, mode, out_rows, rank, cfg,
+                faults=faults, events=events,
+            )
+    out = np.zeros((out_rows, rank), dtype=np.float64)
+    return run_stream(plan.stream, fmats, mode, out, cfg.chunk)
+
+
+def sharded_segment_accumulate(
+    rows: np.ndarray,
+    targets: np.ndarray,
+    out_rows: int,
+    cfg,
+    *,
+    faults=None,
+    events=None,
+) -> np.ndarray:
+    """Sharded drop-in for :func:`repro.kernels.mttkrp_coo.segment_accumulate`.
+
+    Sorts *rows* by target (stable, like the seed), splits whole segments
+    across ``cfg.shards`` workers, and reduces with the fault-tolerant
+    shard path — bitwise identical to the serial seed accumulate, because
+    no segment is ever split and intra-segment order is preserved. Used by
+    the streaming driver's history accumulation.
+    """
+    from repro.engine.plan import MttkrpPlan, SegmentStream
+
+    rank = int(rows.shape[1])
+    if rows.shape[0] == 0 or cfg.shards <= 1:
+        from repro.kernels.mttkrp_coo import segment_accumulate
+
+        return segment_accumulate(rows, targets, out_rows)
+
+    order = np.argsort(targets, kind="stable")
+    sorted_targets = targets[order]
+    sorted_rows = np.ascontiguousarray(rows[order])
+    n = sorted_rows.shape[0]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_targets[1:] != sorted_targets[:-1]))
+    )
+    # A pre-scaled stream: values of one and a single positional "factor"
+    # holding the already-formed Khatri-Rao rows, so run_stream reduces
+    # exactly the rows the seed accumulate would (1.0 * rows == rows,
+    # bitwise). The coordinate column carries global positions, which stay
+    # valid inside per-shard gathered sub-streams.
+    stream = SegmentStream(
+        (np.arange(n, dtype=np.int64),),
+        np.ones(n, dtype=np.float64),
+        starts, sorted_targets[starts],
+    )
+    plan = MttkrpPlan(0, out_rows, stream)
+    streams = plan.shard_streams(cfg.shards)
+    if len(streams) <= 1:
+        out = np.zeros((out_rows, rank), dtype=np.float64)
+        return run_stream(stream, [sorted_rows], None, out, cfg.chunk)
+    # mode=None: the single positional column counts as an "other" mode.
+    return run_shards(
+        streams, [sorted_rows], None, out_rows, rank, cfg,
+        faults=faults, events=events,
+    )

@@ -80,6 +80,31 @@ class SegmentStream:
             self._edges[chunk] = edges
         return edges
 
+    def integrity_ok(self) -> bool:
+        """Cheap structural self-check of the cached stream.
+
+        Verifies the invariants execution relies on: one coordinate entry
+        per nonzero, segment bounds that start at 0, end at ``nnz``, and
+        never decrease, and one output row per segment. A cached stream
+        that fails this probe is corrupt (bit flip, buggy in-place
+        mutation, injected ``corrupt_plan`` fault) and must be replanned,
+        not executed.
+        """
+        nnz = self.values.shape[0]
+        if any(c.shape[0] != nnz for c in self.cols):
+            return False
+        if self.bounds.shape[0] != self.starts.shape[0] + 1:
+            return False
+        if self.out_index.shape[0] != self.starts.shape[0]:
+            return False
+        if nnz == 0:
+            return True
+        return bool(
+            self.bounds[0] == 0
+            and self.bounds[-1] == nnz
+            and np.all(np.diff(self.bounds) > 0)
+        )
+
     @property
     def nbytes(self) -> int:
         return int(
@@ -145,6 +170,10 @@ class MttkrpPlan:
             starts = np.zeros(0, dtype=np.int64)
         stream = SegmentStream(cols, values_sorted, starts, st[starts])
         return cls(mode, int(shape[mode]), stream)
+
+    def integrity_ok(self) -> bool:
+        """Whether the cached stream still satisfies its invariants."""
+        return self.stream.integrity_ok()
 
     def shard_streams(self, n_shards: int) -> list[SegmentStream]:
         """Split the stream into *n_shards* per-worker streams.
@@ -245,6 +274,14 @@ class PlanCache:
         self.misses = 0
         self.format_hits = 0
         self.format_misses = 0
+        self.repairs = 0
+        """Self-heal count: corrupted or stale cached state that was
+        evicted and replanned instead of raising (mirrored to the
+        ``engine.plan.repairs`` telemetry counter)."""
+
+    def record_repair(self, detail: str) -> None:
+        self.repairs += 1
+        current_telemetry().counter("engine.plan.repairs", detail=detail)
 
     # ------------------------------------------------------------------ #
     def plan(
@@ -267,6 +304,12 @@ class PlanCache:
         key = (fmt, int(mode))
         plan = entry.plans.get(key)
         tel = current_telemetry()
+        if plan is not None and validate != "off" and not plan.integrity_ok():
+            # Self-heal: a corrupted cached plan is evicted and replanned
+            # instead of feeding garbage offsets into the execution layer.
+            entry.plans.pop(key, None)
+            plan = None
+            self.record_repair(f"plan {fmt}/mode{mode} failed its integrity probe")
         if plan is None:
             self.misses += 1
             tel.counter("engine.plan.misses")
@@ -282,28 +325,60 @@ class PlanCache:
             tel.counter("engine.plan.hits")
         return plan
 
-    def block_plans(self, tensor, blco, mode: int, validate: str = "cheap") -> list:
-        """Per-block segment streams for the BLCO path, cached per mode."""
+    def block_plans(
+        self, tensor, blocked, mode: int, validate: str = "cheap", *,
+        fmt: str = "blco",
+    ) -> list:
+        """Per-block segment streams for a blocked format, cached per mode.
+
+        ``blocked`` is the cached BLCO or HiCOO conversion; plans are keyed
+        ``(f"{fmt}_blocks", mode)`` and built in the format's block order,
+        which the serial per-block execution preserves bit for bit.
+        """
         entry = self._entry(tensor, validate)
-        key = ("blco_blocks", int(mode))
+        key = (f"{fmt}_blocks", int(mode))
         plans = entry.plans.get(key)
         tel = current_telemetry()
+        if plans is not None and validate != "off" and not all(
+            p.integrity_ok() for p in plans
+        ):
+            entry.plans.pop(key, None)
+            plans = None
+            self.record_repair(f"block plans {fmt}/mode{mode} failed the integrity probe")
         if plans is None:
             self.misses += 1
             tel.counter("engine.plan.misses")
-            plans = []
-            for block in blco.blocks:
-                idx = np.stack(
-                    [blco.block_mode_indices(block, m) for m in range(blco.ndim)],
-                    axis=1,
-                )
-                plans.append(
-                    MttkrpPlan.from_arrays(idx, block.values, blco.shape, mode)
-                )
+            plans = self._build_block_plans(blocked, mode, fmt)
             entry.plans[key] = plans
         else:
             self.hits += 1
             tel.counter("engine.plan.hits")
+        return plans
+
+    @staticmethod
+    def _build_block_plans(blocked, mode: int, fmt: str) -> list:
+        plans = []
+        if fmt == "blco":
+            for block in blocked.blocks:
+                idx = np.stack(
+                    [blocked.block_mode_indices(block, m) for m in range(blocked.ndim)],
+                    axis=1,
+                )
+                plans.append(
+                    MttkrpPlan.from_arrays(idx, block.values, blocked.shape, mode)
+                )
+        elif fmt == "hicoo":
+            for b in range(blocked.num_blocks):
+                _, _, values = blocked.block_slice(b)
+                idx = np.stack(
+                    [blocked.mode_indices_of_block(b, m) for m in range(blocked.ndim)],
+                    axis=1,
+                )
+                plans.append(
+                    MttkrpPlan.from_arrays(idx, values, blocked.shape, mode)
+                )
+        else:  # pragma: no cover - callers pass known formats
+            raise ValueError(f"unknown blocked format {fmt!r}")
         return plans
 
     def format(self, tensor, fmt: str, build, validate: str = "cheap"):
@@ -338,7 +413,10 @@ class PlanCache:
             ):
                 self._entries.move_to_end(key)
                 return entry
-            self._evict(key)  # stale: the tensor mutated under the cache
+            # Stale: the tensor mutated under the cache. Evict-and-replan
+            # (counted as a repair) rather than serving poisoned plans.
+            self._evict(key)
+            self.record_repair("tensor fingerprint mismatch; entry evicted")
         elif entry is not None:
             self._evict(key)  # id reuse by a different object
 
@@ -371,6 +449,32 @@ class PlanCache:
     def invalidate(self, tensor) -> None:
         """Drop every cached plan/format of *tensor* (after mutating it)."""
         self._evict(id(tensor))
+
+    def corrupt(self, tensor, how: str = "bounds") -> int:
+        """Deliberately corrupt *tensor*'s cached plans (chaos testing).
+
+        ``how="bounds"`` breaks each stream's segment-bound invariant —
+        detectable by the integrity probe, so the next lookup self-heals.
+        ``how="cols"`` poisons a coordinate with an out-of-range index —
+        *not* probe-detectable; execution raises and the driver's
+        replan-once recovery fires instead. Returns the number of plans
+        corrupted (0 when the tensor has no cached entry).
+        """
+        entry = self._entries.get(id(tensor))
+        if entry is None or entry.tensor is not tensor:
+            return 0
+        corrupted = 0
+        for plan in entry.plans.values():
+            for p in plan if isinstance(plan, list) else [plan]:
+                stream = p.stream
+                if stream.nnz == 0:
+                    continue
+                if how == "bounds":
+                    stream.bounds[-1] = stream.nnz + 7
+                else:
+                    stream.cols[0][stream.nnz // 2] = 2**31
+                corrupted += 1
+        return corrupted
 
     def clear(self) -> None:
         self._entries.clear()

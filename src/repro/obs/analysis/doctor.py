@@ -16,7 +16,10 @@ watch:
 - **BLCO load imbalance** — the ``mttkrp.blco.block_imbalance`` gauge the
   BLCO kernel records (max/mean nonzeros per block);
 - **checkpoint-resume gaps** — a resumed run that never re-armed
-  checkpointing, leaving its post-resume progress unprotected.
+  checkpointing, leaving its post-resume progress unprotected;
+- **degraded execution** — the run only finished because the execution
+  layer healed itself: shard retries/timeouts, plan-cache repairs,
+  supervisor retries, ladder degradations, or format fallbacks.
 """
 
 from __future__ import annotations
@@ -298,12 +301,58 @@ def _detect_checkpoint_gaps(record: RunRecord) -> list[Finding]:
     return findings
 
 
+def _detect_degraded_execution(record: RunRecord) -> list[Finding]:
+    degraded = [e for e in record.events if e.kind == "execution_degraded"]
+    fallbacks = [e for e in record.events if e.kind == "format_fallback"]
+    shard_events = [e for e in record.events
+                    if e.kind in ("shard_retry", "shard_timeout")]
+    counts = {
+        "supervisor retries": _counter(record, "resilience.retries"),
+        "degradations": _counter(record, "resilience.degradations"),
+        "shard retries": _counter(record, "engine.shard.retries"),
+        "shard timeouts": _counter(record, "engine.shard.timeouts"),
+        "plan repairs": _counter(record, "engine.plan.repairs"),
+    }
+    total = sum(counts.values()) + len(degraded) + len(fallbacks) + len(shard_events)
+    if total == 0:
+        return []
+    bits = [f"{int(v)} {k}" for k, v in counts.items() if v > 0]
+    for label, evs in (("tier degradations", degraded),
+                       ("format fallbacks", fallbacks)):
+        if evs and not any(label.split()[-1] in b for b in bits):
+            bits.append(f"{len(evs)} {label}")
+    tiers = [e.data.get("to_tier") for e in degraded if e.data.get("to_tier")]
+    where = f" (landed on '{tiers[-1]}')" if tiers else ""
+    severity = "warn" if (degraded or fallbacks
+                          or counts["supervisor retries"] > 0) else "info"
+    return [
+        Finding(
+            code="degraded_execution",
+            severity=severity,
+            summary=(
+                "run completed through execution-layer recovery: "
+                + ", ".join(bits) + where
+                + " — results are bit-identical, but wall-clock and "
+                  "robustness margins suffered; investigate the trigger"
+            ),
+            evidence={
+                "counters": {k: v for k, v in counts.items() if v > 0},
+                "degraded_to": tiers,
+                "format_fallbacks": len(fallbacks),
+                "shard_events": len(shard_events),
+            },
+            score=float(total),
+        )
+    ]
+
+
 _DETECTORS = (
     _detect_admm_stall,
     _detect_rho_thrash,
     _detect_fit_oscillation,
     _detect_blco_imbalance,
     _detect_checkpoint_gaps,
+    _detect_degraded_execution,
 )
 
 

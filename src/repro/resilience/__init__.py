@@ -16,12 +16,28 @@ loses hours of work. This package makes the stack survive those events:
 - :mod:`~repro.resilience.checkpoint` — atomic checkpoint/resume of the AO
   loop (bit-identical continuation).
 - :mod:`~repro.resilience.faults` — the seeded fault-injection harness the
-  ``faults`` test suite uses to prove every recovery path fires.
+  ``faults``/``chaos`` test suites use to prove every recovery path fires
+  (numeric corruption plus the ``EXECUTE`` faults targeting the host
+  engine: worker crashes, stragglers, corrupted plans).
+- :mod:`~repro.resilience.supervisor` — unattended-run supervision:
+  seeded-backoff retries, wall-clock deadlines, checkpoint auto-resume,
+  and the graceful-degradation ladder
+  (sharded → chunked → serial engine → seed kernels).
 """
 
-from repro.resilience.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointCorrupt,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.resilience.events import EventLog, ResilienceError, ResilienceEvent
-from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.resilience.faults import FaultInjector, FaultSpec, InjectedWorkerCrash
+from repro.resilience.supervisor import (
+    RunSupervisor,
+    SupervisorConfig,
+    supervised_cstf,
+)
 from repro.resilience.guards import (
     ensure_finite,
     guarded_cholesky,
@@ -32,13 +48,18 @@ from repro.resilience.policy import ResilienceContext, ResiliencePolicy
 
 __all__ = [
     "Checkpoint",
+    "CheckpointCorrupt",
     "EventLog",
     "FaultInjector",
     "FaultSpec",
+    "InjectedWorkerCrash",
     "ResilienceContext",
     "ResilienceError",
     "ResilienceEvent",
     "ResiliencePolicy",
+    "RunSupervisor",
+    "SupervisorConfig",
+    "supervised_cstf",
     "ensure_finite",
     "guarded_cholesky",
     "guarded_spd_inverse",

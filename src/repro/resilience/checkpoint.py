@@ -9,6 +9,18 @@ then :func:`os.replace`), so a run killed mid-write never leaves a torn
 checkpoint behind; a resumed run continues exactly where the last completed
 write left off.
 
+Torn-write protection goes two layers deeper than atomic rename:
+
+- every save first *rotates* the previous checkpoint to ``<name>.prev``,
+  so one generation of known-good state always survives the new write;
+- the payload carries a SHA-1 checksum in its metadata, and
+  :func:`load_checkpoint` verifies it (plus the structural invariants) —
+  a checkpoint that fails validation triggers a
+  :class:`CheckpointCorrupt` warning and a transparent fallback to the
+  rotated ``.prev`` generation. Only when *both* generations are
+  unreadable does the load raise
+  :class:`~repro.resilience.events.ResilienceError`.
+
 All arrays round-trip through ``.npz`` in binary, so
 ``cstf(..., max_iters=10)`` and ``cstf(..., max_iters=5)`` →
 ``cstf(..., resume_from=ck, max_iters=10)`` produce *identical* floats.
@@ -16,16 +28,23 @@ All arrays round-trip through ``.npz`` in binary, so
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.events import ResilienceError
 from repro.utils.validation import require
 
-__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint"]
+__all__ = ["Checkpoint", "CheckpointCorrupt", "save_checkpoint", "load_checkpoint"]
+
+
+class CheckpointCorrupt(RuntimeWarning):
+    """A checkpoint failed validation and a fallback generation was used."""
 
 CHECKPOINT_VERSION = 1
 _STATE_PREFIX = "state__"
@@ -119,6 +138,7 @@ def save_checkpoint(
         # Non-array state (scalars, residual traces) is reconstructible or
         # diagnostic-only and is intentionally not persisted.
     meta["state_keys"] = state_keys
+    meta["checksum"] = _payload_digest(arrays)
     arrays["meta_json"] = np.array(json.dumps(meta, default=_json_default))
 
     tmp = path.with_name(path.name + ".tmp")
@@ -126,14 +146,79 @@ def save_checkpoint(
         np.savez_compressed(fh, **arrays)
         fh.flush()
         os.fsync(fh.fileno())
+    if path.exists():
+        # Keep one known-good generation: the checkpoint being replaced
+        # becomes <name>.prev, the load-time fallback for torn writes.
+        os.replace(path, _prev_path(path))
     os.replace(tmp, path)
     return path
 
 
+def _prev_path(path: Path) -> Path:
+    return path.with_name(path.name + ".prev")
+
+
+def _payload_digest(arrays: dict) -> str:
+    """SHA-1 over every payload array (name, dtype, shape, bytes)."""
+    h = hashlib.sha1()
+    for name in sorted(arrays):
+        if name == "meta_json":
+            continue
+        arr = np.asarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(repr(tuple(arr.shape)).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
 def load_checkpoint(path) -> Checkpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`."""
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Falls back to the rotated ``<name>.prev`` generation — with a
+    :class:`CheckpointCorrupt` warning naming what failed — when the
+    primary file is missing, torn, or fails checksum/structure
+    validation. Raises :class:`~repro.resilience.events.ResilienceError`
+    when no generation is loadable.
+    """
     path = Path(path)
-    require(path.exists(), f"checkpoint {path} does not exist")
+    prev = _prev_path(path)
+    if not path.exists():
+        if prev.exists():
+            warnings.warn(
+                f"checkpoint {path} is missing; falling back to the rotated "
+                f"previous generation {prev}",
+                CheckpointCorrupt,
+                stacklevel=2,
+            )
+            return _read_checkpoint(prev)
+        require(path.exists(), f"checkpoint {path} does not exist")
+    try:
+        return _read_checkpoint(path)
+    except Exception as exc:
+        if prev.exists():
+            warnings.warn(
+                f"checkpoint {path} is corrupt ({type(exc).__name__}: {exc}); "
+                f"falling back to the rotated previous generation {prev}",
+                CheckpointCorrupt,
+                stacklevel=2,
+            )
+            try:
+                return _read_checkpoint(prev)
+            except Exception as prev_exc:
+                raise ResilienceError(
+                    f"checkpoint {path} is corrupt "
+                    f"({type(exc).__name__}: {exc}) and so is its previous "
+                    f"generation {prev} "
+                    f"({type(prev_exc).__name__}: {prev_exc})"
+                ) from prev_exc
+        raise ResilienceError(
+            f"checkpoint {path} is corrupt and no previous generation "
+            f"exists: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _read_checkpoint(path: Path) -> Checkpoint:
     with np.load(path, allow_pickle=False) as data:
         require("meta_json" in data, f"{path} is not a cSTF checkpoint")
         meta = json.loads(str(data["meta_json"]))
@@ -141,6 +226,15 @@ def load_checkpoint(path) -> Checkpoint:
             meta.get("format_version") == CHECKPOINT_VERSION,
             f"unsupported checkpoint version {meta.get('format_version')!r}",
         )
+        stored = meta.get("checksum")
+        if stored is not None:
+            payload = {name: data[name] for name in data.files}
+            digest = _payload_digest(payload)
+            require(
+                digest == stored,
+                f"{path} payload checksum mismatch "
+                f"(stored {stored[:12]}…, computed {digest[:12]}…)",
+            )
         n_modes = int(meta["n_modes"])
         factors = [np.array(data[f"factor_{n}"]) for n in range(n_modes)]
         grams = [np.array(data[f"gram_{n}"]) for n in range(n_modes)]

@@ -29,7 +29,17 @@ ADMM_GIVEUP = "admm_giveup"
 FAULT_INJECTED = "fault_injected"
 CHECKPOINT_SAVED = "checkpoint_saved"
 CHECKPOINT_RESUMED = "checkpoint_resumed"
+CHECKPOINT_CORRUPT = "checkpoint_corrupt"
 SLICE_SKIPPED = "slice_skipped"
+
+# Execution-resilience kinds (shard fault tolerance + run supervision).
+SHARD_RETRY = "shard_retry"
+SHARD_TIMEOUT = "shard_timeout"
+PLAN_REPAIRED = "plan_repaired"
+RUN_RETRY = "run_retry"
+EXECUTION_DEGRADED = "execution_degraded"
+FORMAT_FALLBACK = "format_fallback"
+DEADLINE_EXCEEDED = "deadline_exceeded"
 
 
 @dataclass(frozen=True)

@@ -17,8 +17,23 @@ Fault kinds:
   matrix, destroying positive definiteness (exercises the guarded
   Cholesky); falls back to ``"perturb"`` on non-square targets.
 
-Used by the ``faults``-marked test suite to prove every recovery path in
-:mod:`repro.resilience` actually fires; see ``scripts/run_fault_suite.py``.
+Beyond the numeric kinds, the ``"EXECUTE"`` phase targets the *execution
+layer* itself (the PR 4 host engine) rather than any array:
+
+- ``"worker_crash"`` — one shard worker raises mid-shard; the engine must
+  re-execute that shard serially, bit-identically.
+- ``"slow_shard"`` — one shard worker sleeps ``magnitude`` seconds (capped
+  at 1s), turning it into a straggler that trips the per-shard timeout.
+- ``"corrupt_plan"`` — a cached plan-cache entry is deliberately corrupted
+  before lookup; the cache must detect, evict, and replan.
+
+Execution faults are drawn from the same seeded generator as the numeric
+kinds, so a chaos campaign (``scripts/run_fault_suite.py``'s chaos stage)
+is exactly reproducible from its seed.
+
+Used by the ``faults``/``chaos``-marked test suites to prove every
+recovery path in :mod:`repro.resilience` and :mod:`repro.engine` actually
+fires; see ``scripts/run_fault_suite.py``.
 """
 
 from __future__ import annotations
@@ -31,12 +46,28 @@ from repro.resilience.events import FAULT_INJECTED, EventLog
 from repro.utils.rng import as_generator
 from repro.utils.validation import require
 
-__all__ = ["FaultSpec", "FaultInjector", "INJECTABLE_PHASES"]
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedWorkerCrash",
+    "INJECTABLE_PHASES",
+    "NUMERIC_PHASES",
+]
 
-#: Driver phases at which the injector can corrupt an intermediate.
-INJECTABLE_PHASES = ("GRAM", "MTTKRP", "UPDATE", "NORMALIZE")
+
+class InjectedWorkerCrash(RuntimeError):
+    """The exception an injected ``worker_crash`` fault raises mid-shard."""
+
+#: Driver phases at which the injector can corrupt an intermediate array.
+NUMERIC_PHASES = ("GRAM", "MTTKRP", "UPDATE", "NORMALIZE")
+
+#: All injectable phases; the EXECUTE pseudo-phase targets the host
+#: execution layer (worker crashes, stragglers, plan corruption) instead
+#: of arrays.
+INJECTABLE_PHASES = NUMERIC_PHASES + ("EXECUTE",)
 
 _KINDS = ("nan", "inf", "perturb", "indefinite")
+_EXEC_KINDS = ("worker_crash", "slow_shard", "corrupt_plan")
 
 
 @dataclass(frozen=True)
@@ -55,7 +86,16 @@ class FaultSpec:
             self.phase in INJECTABLE_PHASES,
             f"fault phase must be one of {INJECTABLE_PHASES}, got {self.phase!r}",
         )
-        require(self.kind in _KINDS, f"fault kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.phase == "EXECUTE":
+            require(
+                self.kind in _EXEC_KINDS,
+                f"EXECUTE fault kind must be one of {_EXEC_KINDS}, got {self.kind!r}",
+            )
+        else:
+            require(
+                self.kind in _KINDS,
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}",
+            )
         require(0.0 <= self.probability <= 1.0, "probability must be in [0, 1]")
         require(self.count >= 1, "count must be >= 1")
 
@@ -111,7 +151,7 @@ class FaultInjector:
         phase = str(phase).upper()
         out = array
         for spec in self.specs:
-            if spec.phase != phase:
+            if spec.phase != phase or spec.phase == "EXECUTE":
                 continue
             fire = bool(self.rng.random() < spec.probability)
             if not fire or not isinstance(out, np.ndarray):
@@ -148,6 +188,70 @@ class FaultInjector:
         else:  # "perturb", and "indefinite" on non-square arrays
             flat[flat_positions] = flat[flat_positions] * spec.magnitude + spec.magnitude
         return out
+
+    # ------------------------------------------------------------------ #
+    # Execution-layer faults (the chaos harness for the host engine)
+    # ------------------------------------------------------------------ #
+    def draw_shard_faults(
+        self,
+        n_shards: int,
+        *,
+        mode: int | None = None,
+        events: EventLog | None = None,
+    ) -> dict[str, int]:
+        """Which execution faults fire for an upcoming *n_shards* launch.
+
+        Returns ``{kind: shard_index}`` for every firing ``worker_crash`` /
+        ``slow_shard`` spec. Must be called from the dispatching (main)
+        thread *before* workers launch, so the RNG stream order — and with
+        it the whole chaos campaign — stays deterministic.
+        """
+        fired: dict[str, int] = {}
+        for spec in self.specs:
+            if spec.phase != "EXECUTE" or spec.kind not in ("worker_crash", "slow_shard"):
+                continue
+            if not (self.rng.random() < spec.probability):
+                continue
+            shard = int(self.rng.integers(0, 2**31)) % max(int(n_shards), 1)
+            fired[spec.kind] = shard
+            self.injected += 1
+            if events is not None:
+                events.record(
+                    FAULT_INJECTED, "EXECUTE", mode=mode,
+                    detail=f"injected {spec.kind} on shard {shard} of {n_shards}",
+                    fault_kind=spec.kind, shard=shard,
+                )
+        return fired
+
+    def slow_shard_delay(self) -> float:
+        """Straggler sleep for an injected ``slow_shard``, in seconds.
+
+        Interprets the spec's ``magnitude`` as the delay, capped at one
+        second so a default-magnitude spec cannot hang a run.
+        """
+        for spec in self.specs:
+            if spec.phase == "EXECUTE" and spec.kind == "slow_shard":
+                return min(float(spec.magnitude), 1.0)
+        return 0.05
+
+    def draw_plan_fault(
+        self, *, mode: int | None = None, events: EventLog | None = None
+    ) -> bool:
+        """Whether a ``corrupt_plan`` fault fires for the next plan lookup."""
+        fired = False
+        for spec in self.specs:
+            if spec.phase != "EXECUTE" or spec.kind != "corrupt_plan":
+                continue
+            if self.rng.random() < spec.probability:
+                fired = True
+                self.injected += 1
+                if events is not None:
+                    events.record(
+                        FAULT_INJECTED, "EXECUTE", mode=mode,
+                        detail="corrupted a cached plan before lookup",
+                        fault_kind=spec.kind,
+                    )
+        return fired
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FaultInjector(specs={len(self.specs)}, injected={self.injected})"

@@ -32,6 +32,8 @@ import numpy as np
 from repro.core.kruskal import KruskalTensor
 from repro.core.trace import PHASE_GRAM, PHASE_MTTKRP, PHASE_NORMALIZE, PHASE_UPDATE
 from repro.engine.batched import all_mode_krp_rows
+from repro.engine.config import resolve_engine
+from repro.engine.execute import sharded_segment_accumulate
 from repro.kernels.mttkrp_coo import segment_accumulate
 from repro.machine.executor import Executor
 from repro.obs import resolve_telemetry
@@ -80,6 +82,14 @@ class StreamingCstf:
     telemetry:
         ``"auto"`` (join an ambient :func:`~repro.obs.telemetry_session`,
         else off), ``"off"``/``"on"``, or a ``Telemetry`` instance.
+    engine:
+        Host execution engine setting (same values as
+        ``CstfConfig.engine``). With ``shards > 1`` the per-slice history
+        accumulation runs through the engine's fault-tolerant sharded
+        segment reduction (:func:`~repro.engine.execute
+        .sharded_segment_accumulate`) — bit-identical to the serial seed
+        accumulate, with shard crash/straggler recovery logged on
+        ``self.events``.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class StreamingCstf:
         refresh_every: int = 1,
         seed=0,
         telemetry="auto",
+        engine=None,
     ):
         self.spatial_shape = check_shape(spatial_shape, min_modes=2)
         self.rank = check_rank(rank)
@@ -108,7 +119,9 @@ class StreamingCstf:
             "update": update if isinstance(update, str) else None,
             "device": device if isinstance(device, str) else None,
             "inner_iters": int(inner_iters),
+            "engine": engine if isinstance(engine, str) else None,
         }
+        self.engine = resolve_engine(engine)
         self.executor = Executor(device)
         self.update = get_update(
             update,
@@ -244,7 +257,15 @@ class StreamingCstf:
         with ex.phase(PHASE_MTTKRP):
             for mode, dim in enumerate(self.spatial_shape):
                 contrib = per_mode_rows[mode] * temporal_row[None, :]
-                acc = segment_accumulate(contrib, slice_tensor.indices[:, mode], dim)
+                if self.engine is not None and self.engine.shards > 1:
+                    acc = sharded_segment_accumulate(
+                        contrib, slice_tensor.indices[:, mode], dim,
+                        self.engine, events=self.events,
+                    )
+                else:
+                    acc = segment_accumulate(
+                        contrib, slice_tensor.indices[:, mode], dim
+                    )
                 self._hist_mttkrp[mode] = gamma * self._hist_mttkrp[mode] + acc
                 ex.record(
                     "stream_slice_mttkrp",
@@ -331,6 +352,7 @@ class StreamingCstf:
                         "update": self._ctor_meta["update"],
                         "device": self._ctor_meta["device"],
                         "inner_iters": self._ctor_meta["inner_iters"],
+                        "engine": self._ctor_meta["engine"],
                     }
                 )
             ),
@@ -349,7 +371,8 @@ class StreamingCstf:
             np.savez_compressed(target, **arrays)
 
     @classmethod
-    def load(cls, source, update=None, device=None, inner_iters: int | None = None) -> "StreamingCstf":
+    def load(cls, source, update=None, device=None, inner_iters: int | None = None,
+             engine=None) -> "StreamingCstf":
         """Restore a checkpointed stream (fresh executor and update state).
 
         The saved run's configuration — update rule, device, and inner
@@ -371,6 +394,8 @@ class StreamingCstf:
                 device = meta.get("device") or "a100"
             if inner_iters is None:
                 inner_iters = int(meta.get("inner_iters") or 3)
+            if engine is None:
+                engine = meta.get("engine")
             stream = cls(
                 tuple(meta["spatial_shape"]),
                 rank=int(meta["rank"]),
@@ -379,6 +404,7 @@ class StreamingCstf:
                 forgetting=float(meta["forgetting"]),
                 inner_iters=inner_iters,
                 refresh_every=int(meta["refresh_every"]),
+                engine=engine,
             )
             stream.factors = [
                 np.array(data[f"factor_{n}"]) for n in range(len(meta["spatial_shape"]))

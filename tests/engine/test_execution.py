@@ -134,7 +134,7 @@ class TestDriverDispatch:
 
     def test_unknown_format_rejected(self, small3, factors3):
         with pytest.raises(ValueError, match="unknown engine format"):
-            engine_mttkrp(small3, factors3, 0, "hicoo", EngineConfig(), PlanCache())
+            engine_mttkrp(small3, factors3, 0, "sptensor", EngineConfig(), PlanCache())
 
 
 class TestBatchedKrp:

@@ -1,0 +1,261 @@
+"""Chaos suite for the execution layer: every injected execution fault must
+recover, and recovery must be bitwise identical to a fault-free run.
+
+Covers the tentpole guarantees: worker crashes re-execute their shard
+serially into a fresh accumulator, stragglers trip the per-shard timeout
+and take the same path, corrupted cached plans are detected (by the
+integrity probe, or by the replan-once execution catch) and replanned —
+all counted through telemetry and logged as resilience events.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    PlanCache,
+    engine_mttkrp,
+    run_shards,
+    sharded_segment_accumulate,
+)
+from repro.kernels.mttkrp_coo import mttkrp_coo, segment_accumulate
+from repro.kernels.mttkrp_hicoo import mttkrp_hicoo
+from repro.obs import telemetry_session
+from repro.resilience import EventLog, FaultInjector, FaultSpec, InjectedWorkerCrash
+from repro.tensor.hicoo import HicooTensor
+from repro.tensor.synthetic import random_sparse
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_sparse((40, 30, 20), nnz=2500, seed=3)
+
+
+@pytest.fixture(scope="module")
+def factors(tensor):
+    rng = np.random.default_rng(1)
+    return [rng.random((d, 6)) for d in tensor.shape]
+
+
+def _seed(tensor, factors):
+    return [mttkrp_coo(tensor, factors, m) for m in range(tensor.ndim)]
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_recovers_bit_identically(self, tensor, factors):
+        ref = _seed(tensor, factors)
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "worker_crash", probability=1.0), seed=5
+        )
+        cfg = EngineConfig(shards=4, chunk=256)
+        cache = PlanCache()
+        events = EventLog()
+        for mode in range(tensor.ndim):
+            got = engine_mttkrp(
+                tensor, factors, mode, "coo", cfg, cache,
+                faults=inj, events=events,
+            )
+            assert np.array_equal(ref[mode], got)
+        assert inj.injected == tensor.ndim  # one crash per launch
+        retries = events.of_kind("shard_retry")
+        assert len(retries) == tensor.ndim
+        for ev in retries:
+            assert "InjectedWorkerCrash" in ev.detail
+            assert "re-executed serially" in ev.detail
+
+    def test_retry_counter_increments(self, tensor, factors):
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "worker_crash", probability=1.0), seed=5
+        )
+        with telemetry_session() as tel:
+            engine_mttkrp(
+                tensor, factors, 0, "coo",
+                EngineConfig(shards=4), PlanCache(), faults=inj,
+            )
+        assert tel.metrics.summary()["counters"]["engine.shard.retries"] >= 1
+
+    def test_crash_on_genuinely_broken_shard_propagates(self, tensor, factors):
+        """A shard whose *serial* re-execution also fails is not swallowed
+        at the shard level — the exception reaches the caller (where the
+        driver's replan-once recovery takes over)."""
+        cache = PlanCache()
+        cfg = EngineConfig(shards=4)
+        plan = cache.plan(tensor, 0)
+        streams = plan.shard_streams(cfg.shards)
+        streams[0].cols[1][0] = 2**31  # out-of-range gather in shard 0
+        with pytest.raises(IndexError):
+            run_shards(
+                streams, [np.asarray(f) for f in factors], 0,
+                tensor.shape[0], 6, cfg,
+            )
+
+
+class TestSlowShardTimeout:
+    def test_straggler_times_out_and_recovers(self, tensor, factors):
+        ref = mttkrp_coo(tensor, factors, 0)
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "slow_shard", probability=1.0, magnitude=0.5),
+            seed=2,
+        )
+        cfg = EngineConfig(shards=4, shard_timeout=0.05)
+        events = EventLog()
+        with telemetry_session() as tel:
+            got = engine_mttkrp(
+                tensor, factors, 0, "coo", cfg, PlanCache(),
+                faults=inj, events=events,
+            )
+        assert np.array_equal(ref, got)
+        assert len(events.of_kind("shard_timeout")) == 1
+        assert tel.metrics.summary()["counters"]["engine.shard.timeouts"] == 1
+
+    def test_no_timeout_when_disabled(self, tensor, factors):
+        """shard_timeout=0 disables straggler detection: the slow worker is
+        simply awaited and the result is still exact."""
+        ref = mttkrp_coo(tensor, factors, 0)
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "slow_shard", probability=1.0, magnitude=0.05),
+            seed=2,
+        )
+        events = EventLog()
+        got = engine_mttkrp(
+            tensor, factors, 0, "coo", EngineConfig(shards=4), PlanCache(),
+            faults=inj, events=events,
+        )
+        assert np.array_equal(ref, got)
+        assert events.of_kind("shard_timeout") == []
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError, match="shard_timeout"):
+            EngineConfig(shard_timeout=-1.0)
+
+
+class TestCorruptPlanSelfHeal:
+    def test_injected_corruption_heals_via_probe(self, tensor, factors):
+        ref = mttkrp_coo(tensor, factors, 0)
+        cache = PlanCache()
+        cfg = EngineConfig()
+        # Warm the cache, then let the injector corrupt it before lookup.
+        assert np.array_equal(ref, engine_mttkrp(tensor, factors, 0, "coo", cfg, cache))
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "corrupt_plan", probability=1.0), seed=0
+        )
+        events = EventLog()
+        got = engine_mttkrp(
+            tensor, factors, 0, "coo", cfg, cache, faults=inj, events=events,
+        )
+        assert np.array_equal(ref, got)
+        assert cache.repairs == 1
+        assert len(events.of_kind("fault_injected")) == 1
+
+    def test_probe_invisible_corruption_heals_via_replan_once(self, tensor, factors):
+        """An out-of-range coordinate passes the structural probe but blows
+        up in execution; the driver must evict, replan, and re-execute."""
+        ref = mttkrp_coo(tensor, factors, 1)
+        cache = PlanCache()
+        cfg = EngineConfig()
+        engine_mttkrp(tensor, factors, 1, "coo", cfg, cache)
+        assert cache.corrupt(tensor, how="cols") > 0
+        events = EventLog()
+        got = engine_mttkrp(tensor, factors, 1, "coo", cfg, cache, events=events)
+        assert np.array_equal(ref, got)
+        assert cache.repairs == 1
+        assert len(events.of_kind("plan_repaired")) == 1
+
+    def test_repairs_counted_in_telemetry(self, tensor, factors):
+        cache = PlanCache()
+        cfg = EngineConfig()
+        engine_mttkrp(tensor, factors, 0, "coo", cfg, cache)
+        cache.corrupt(tensor, how="bounds")
+        with telemetry_session() as tel:
+            engine_mttkrp(tensor, factors, 0, "coo", cfg, cache)
+        assert tel.metrics.summary()["counters"]["engine.plan.repairs"] == 1
+
+    def test_corrupt_without_cached_entry_is_noop(self, tensor):
+        assert PlanCache().corrupt(tensor) == 0
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_campaign(self, tensor, factors):
+        """The whole chaos campaign — which faults fire, on which shards —
+        replays exactly from the injector seed."""
+        def campaign():
+            inj = FaultInjector(
+                [
+                    FaultSpec("EXECUTE", "worker_crash", probability=0.5),
+                    FaultSpec("EXECUTE", "corrupt_plan", probability=0.3),
+                ],
+                seed=13,
+            )
+            events = EventLog()
+            cache = PlanCache()
+            cfg = EngineConfig(shards=3)
+            for _ in range(3):
+                for mode in range(tensor.ndim):
+                    engine_mttkrp(
+                        tensor, factors, mode, "coo", cfg, cache,
+                        faults=inj, events=events,
+                    )
+            return [(e.kind, e.data.get("fault_kind"), e.data.get("shard"))
+                    for e in events]
+
+        assert campaign() == campaign()
+
+    def test_injected_crash_exception_type(self):
+        with pytest.raises(InjectedWorkerCrash):
+            raise InjectedWorkerCrash("boom")
+
+
+class TestHicooEnginePath:
+    def test_bit_identical_to_seed_kernel(self, tensor, factors):
+        """Satellite: hicoo routes through the cached serial per-block plan
+        path and must reproduce mttkrp_hicoo bit for bit."""
+        hicoo = HicooTensor.from_coo(tensor)
+        cache = PlanCache()
+        for mode in range(tensor.ndim):
+            ref = mttkrp_hicoo(hicoo, factors, mode)
+            got = engine_mttkrp(tensor, factors, mode, "hicoo", EngineConfig(), cache)
+            assert np.array_equal(ref, got)
+            # Second call hits the cached block plans, still exact.
+            assert np.array_equal(ref, engine_mttkrp(
+                tensor, factors, mode, "hicoo", EngineConfig(), cache
+            ))
+        assert cache.hits >= tensor.ndim
+
+
+class TestShardedSegmentAccumulate:
+    def test_bit_identical_to_seed(self):
+        rng = np.random.default_rng(7)
+        rows = rng.random((800, 5))
+        targets = rng.integers(0, 61, 800)
+        ref = segment_accumulate(rows, targets, 61)
+        for shards in (1, 2, 3, 8):
+            got = sharded_segment_accumulate(
+                rows, targets, 61, EngineConfig(shards=shards, chunk=128)
+            )
+            assert np.array_equal(ref, got)
+
+    def test_recovers_from_injected_crash(self):
+        rng = np.random.default_rng(8)
+        rows = rng.random((600, 4))
+        targets = rng.integers(0, 37, 600)
+        ref = segment_accumulate(rows, targets, 37)
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "worker_crash", probability=1.0), seed=4
+        )
+        events = EventLog()
+        got = sharded_segment_accumulate(
+            rows, targets, 37, EngineConfig(shards=4),
+            faults=inj, events=events,
+        )
+        assert np.array_equal(ref, got)
+        assert len(events.of_kind("shard_retry")) == 1
+
+    def test_empty_input(self):
+        out = sharded_segment_accumulate(
+            np.zeros((0, 3)), np.zeros(0, dtype=np.int64), 5,
+            EngineConfig(shards=4),
+        )
+        assert out.shape == (5, 3)
+        assert not out.any()

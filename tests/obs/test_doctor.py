@@ -162,6 +162,40 @@ class TestSyntheticDetectors:
         assert finding.code == "rho_thrash"
         assert finding.evidence["rescales"] == 3
 
+    def test_degraded_execution_from_events(self):
+        rec = self._record()
+        rec.events.append(ResilienceTraceEvent(
+            kind="run_retry", phase="SUPERVISE", ts=0.0,
+            data={"tier": "sharded engine", "attempt": 1}))
+        rec.events.append(ResilienceTraceEvent(
+            kind="execution_degraded", phase="SUPERVISE", ts=1.0,
+            data={"from_tier": "sharded engine", "to_tier": "chunked engine"}))
+        rec.metrics_summary["counters"]["resilience.retries"] = 1
+        rec.metrics_summary["counters"]["resilience.degradations"] = 1
+        (finding,) = diagnose(rec)
+        assert finding.code == "degraded_execution"
+        assert finding.severity == "warn"
+        assert finding.evidence["degraded_to"] == ["chunked engine"]
+        assert finding.evidence["counters"]["degradations"] == 1
+        assert "chunked engine" in finding.summary
+
+    def test_shard_recoveries_alone_are_info(self):
+        rec = self._record()
+        rec.events.append(ResilienceTraceEvent(
+            kind="shard_retry", phase="MTTKRP", ts=0.0, mode=1))
+        rec.metrics_summary["counters"]["engine.shard.retries"] = 1
+        rec.metrics_summary["counters"]["engine.plan.repairs"] = 2
+        (finding,) = diagnose(rec)
+        assert finding.code == "degraded_execution"
+        assert finding.severity == "info"
+        assert finding.evidence["shard_events"] == 1
+        assert "2 plan repairs" in finding.summary
+
+    def test_clean_run_has_no_degradation_finding(self):
+        rec = self._record()
+        rec.metrics_summary["counters"]["mttkrp.calls"] = 12.0
+        assert all(f.code != "degraded_execution" for f in diagnose(rec))
+
 
 class TestRanking:
     def test_severity_then_score(self):

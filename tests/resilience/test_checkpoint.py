@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core.cstf import cstf
-from repro.resilience import load_checkpoint, save_checkpoint
+from repro.resilience import (
+    CheckpointCorrupt,
+    ResilienceError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.tensor.synthetic import random_sparse
 
 
@@ -127,3 +132,116 @@ class TestDriverCheckpointing:
         assert second.iterations >= first.iterations
         for b in second.kruskal.factors:
             assert np.isfinite(b).all()
+
+
+def _save(path, iteration=1, value=1.0):
+    save_checkpoint(
+        path, iteration=iteration, factors=[np.full((3, 2), value)],
+        weights=np.ones(2), grams=[np.eye(2)], fits=[0.5],
+        state_arrays={}, rng_state=None, meta={"shape": [3], "rank": 2},
+    )
+
+
+class TestTornWriteProtection:
+    """The two extra layers beyond atomic rename: generation rotation and
+    payload checksums, with transparent ``.prev`` fallback."""
+
+    def test_save_rotates_previous_generation(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        _save(path, iteration=1)
+        assert not (tmp_path / "cp.npz.prev").exists()
+        _save(path, iteration=2)
+        prev = tmp_path / "cp.npz.prev"
+        assert prev.exists()
+        assert load_checkpoint(path).iteration == 2
+        assert load_checkpoint(prev).iteration == 1
+
+    def test_torn_primary_falls_back_to_prev(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        _save(path, iteration=1)
+        _save(path, iteration=2)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.warns(CheckpointCorrupt, match="previous generation"):
+            ckpt = load_checkpoint(path)
+        assert ckpt.iteration == 1
+
+    def test_garbage_primary_falls_back_to_prev(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        _save(path, iteration=1)
+        _save(path, iteration=2)
+        path.write_bytes(b"not an npz archive at all")
+        with pytest.warns(CheckpointCorrupt):
+            assert load_checkpoint(path).iteration == 1
+
+    def test_missing_primary_with_prev_warns_and_loads(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        _save(path, iteration=1)
+        _save(path, iteration=2)
+        path.unlink()
+        with pytest.warns(CheckpointCorrupt, match="missing"):
+            assert load_checkpoint(path).iteration == 1
+
+    def test_both_generations_corrupt_raises(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        _save(path, iteration=1)
+        _save(path, iteration=2)
+        path.write_bytes(b"garbage")
+        (tmp_path / "cp.npz.prev").write_bytes(b"also garbage")
+        with pytest.warns(CheckpointCorrupt):
+            with pytest.raises(ResilienceError, match="previous generation"):
+                load_checkpoint(path)
+
+    def test_corrupt_without_prev_raises(self, tmp_path):
+        path = tmp_path / "cp.npz"
+        _save(path)
+        path.write_bytes(b"garbage")
+        with pytest.raises(ResilienceError, match="no previous generation"):
+            load_checkpoint(path)
+
+    def test_missing_both_is_plain_error(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_checkpoint(tmp_path / "never.npz")
+
+    def test_checksum_detects_flipped_payload_bytes(self, tmp_path):
+        """A rewritten payload array with plausible structure still fails
+        the checksum — bit rot is caught, not just truncation."""
+        path = tmp_path / "cp.npz"
+        _save(path, iteration=3, value=1.0)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        arrays["factor_0"] = arrays["factor_0"] + 1.0
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        with pytest.raises(ResilienceError, match="checksum mismatch"):
+            load_checkpoint(path)
+
+    def test_legacy_checkpoint_without_checksum_loads(self, tmp_path):
+        """Checkpoints from before checksums existed stay readable."""
+        path = tmp_path / "cp.npz"
+        _save(path, iteration=5)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        import json as _json
+        meta = _json.loads(str(arrays["meta_json"]))
+        del meta["checksum"]
+        arrays["meta_json"] = np.array(_json.dumps(meta))
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        assert load_checkpoint(path).iteration == 5
+
+    def test_driver_run_survives_torn_checkpoint(self, tensor, tmp_path):
+        """End to end: a resume pointed at a torn file transparently uses
+        the rotated generation and stays bit-identical from there."""
+        straight = cstf(tensor, rank=3, max_iters=6, seed=3, tol=0.0)
+        path = tmp_path / "cp.npz"
+        cstf(tensor, rank=3, max_iters=4, seed=3, tol=0.0,
+             checkpoint_every=2, checkpoint_path=path)
+        # The primary holds iteration 4, the rotation iteration 2. Tear
+        # the primary: the resume must fall back to iteration 2.
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.warns(CheckpointCorrupt):
+            resumed = cstf(tensor, rank=3, max_iters=6, seed=3, tol=0.0,
+                           resume_from=path)
+        assert resumed.start_iteration == 2
+        for a, b in zip(straight.kruskal.factors, resumed.kruskal.factors):
+            assert np.array_equal(a, b)

@@ -17,7 +17,7 @@ from repro.resilience import (
     ResilienceError,
     ResiliencePolicy,
 )
-from repro.resilience.faults import INJECTABLE_PHASES
+from repro.resilience.faults import NUMERIC_PHASES
 from repro.tensor.synthetic import random_sparse
 
 pytestmark = pytest.mark.faults
@@ -70,7 +70,7 @@ class TestInjectorDeterminism:
 
 class TestEveryPhaseEveryKind:
     @pytest.mark.filterwarnings("ignore::RuntimeWarning")
-    @pytest.mark.parametrize("phase", INJECTABLE_PHASES)
+    @pytest.mark.parametrize("phase", NUMERIC_PHASES)
     @pytest.mark.parametrize("kind", KINDS)
     def test_completes_with_finite_factors(self, tensor, phase, kind):
         """The blanket guarantee: corruption anywhere, of any kind, and the
@@ -89,7 +89,7 @@ class TestEveryPhaseEveryKind:
         assert result.recoveries > 0
 
     @pytest.mark.filterwarnings("ignore::RuntimeWarning")
-    @pytest.mark.parametrize("phase", INJECTABLE_PHASES)
+    @pytest.mark.parametrize("phase", NUMERIC_PHASES)
     def test_raise_policy_raises_structured_error(self, tensor, phase):
         """With sentinel='raise', NaN corruption surfaces as ResilienceError
         carrying the event log — not LinAlgError, not silent NaNs."""
@@ -108,7 +108,7 @@ class TestEveryPhaseEveryKind:
 
     @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_all_phases_at_once(self, tensor):
-        specs = [FaultSpec(p, kind="nan", probability=0.3) for p in INJECTABLE_PHASES]
+        specs = [FaultSpec(p, kind="nan", probability=0.3) for p in NUMERIC_PHASES]
         inj = FaultInjector(specs, seed=9)
         result = _run(tensor, inj)
         assert inj.injected > 0
@@ -120,7 +120,7 @@ class TestEveryPhaseEveryKind:
         """Even a 100 %-probability campaign terminates (no retry loops run
         away) and yields finite output under the repair policy."""
         inj = FaultInjector(
-            [FaultSpec(p, kind="inf", probability=1.0) for p in INJECTABLE_PHASES],
+            [FaultSpec(p, kind="inf", probability=1.0) for p in NUMERIC_PHASES],
             seed=2,
         )
         result = _run(

@@ -240,3 +240,44 @@ class TestDegenerateSlices:
         stream = StreamingCstf((10, 8), rank=2, seed=0)
         stream.ingest(SparseTensor.from_dense(np.zeros((10, 8))))
         assert stream.executor.timeline.total_seconds() == 0.0
+
+
+class TestShardedIngest:
+    """Satellite: EngineConfig.shards routes history accumulation through
+    the sharded engine path, bit-identical to the serial seed path."""
+
+    def _run(self, engine):
+        stream = StreamingCstf((15, 11), rank=3, seed=4, engine=engine)
+        for slab, _ in _make_stream((15, 11), 3, steps=6, seed=4):
+            stream.ingest(slab)
+        model = stream.model()
+        return model.factors, model.weights
+
+    def test_sharded_matches_serial_bitwise(self):
+        base_f, base_w = self._run(engine=None)
+        for shards in (2, 3):
+            f, w = self._run(engine={"shards": shards})
+            assert np.array_equal(base_w, w)
+            for a, b in zip(base_f, f):
+                assert np.array_equal(a, b), shards
+
+    def test_engine_string_setting_resolves(self):
+        base_f, base_w = self._run(engine=None)
+        f, w = self._run(engine="sharded")
+        assert np.array_equal(base_w, w)
+        for a, b in zip(base_f, f):
+            assert np.array_equal(a, b)
+
+    def test_engine_survives_save_load(self, tmp_path):
+        stream = StreamingCstf((12, 9), rank=2, seed=2, engine="sharded")
+        for slab, _ in _make_stream((12, 9), 2, steps=3, seed=2):
+            stream.ingest(slab)
+        path = tmp_path / "stream.npz"
+        stream.save(path)
+        loaded = StreamingCstf.load(path)
+        assert loaded.engine is not None
+        assert loaded.engine.shards == stream.engine.shards
+        for a, b in zip(loaded.factors, stream.factors):
+            assert np.array_equal(a, b)
+        # Explicit argument beats the persisted setting.
+        assert StreamingCstf.load(path, engine="off").engine is None
