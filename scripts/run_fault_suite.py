@@ -12,6 +12,13 @@ failure reproduces locally from the same command:
 
     python scripts/run_fault_suite.py            (exit code 0 iff all pass)
 
+``--backend processes`` adds the process-isolation stage: the
+``procfaults``-marked tests (real worker SIGKILLs; excluded from tier-1)
+plus a supervised chaos run on the ``processes`` execution backend that
+SIGKILLs a worker mid-MTTKRP *and* corrupts an on-disk plan-store entry,
+asserting bit-identical convergence with ``worker_lost`` and
+``plan_repaired`` events and a schema-valid trace.
+
 Extra arguments are forwarded to pytest, e.g.::
 
     python scripts/run_fault_suite.py -k checkpoint -x
@@ -149,6 +156,84 @@ print("chaos OK: faults=%d, recoveries=%s" % (
 """
 
 
+# Process-backend chaos gate: a supervised run on isolated worker
+# processes, with a real SIGKILL landing mid-MTTKRP and the on-disk
+# plan-store entry corrupted under the run. The watchdog must detect the
+# dead worker (worker_lost), the store must quarantine the damaged entry
+# (plan_repaired), and the factors must still match the serial-backend run
+# bit for bit. Trace stays schema-valid (checked by the caller).
+_PROCESS_CHAOS_SNIPPET = """
+import numpy as np
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.engine import shutdown_pools
+from repro.obs import Telemetry
+from repro.resilience import FaultInjector, FaultSpec, supervised_cstf
+from repro.tensor.coo import SparseTensor
+
+rng = np.random.default_rng(0)
+idx = rng.integers(0, [40, 30, 20], size=(2500, 3))
+vals = rng.random(2500)
+X = SparseTensor(idx, vals, (40, 30, 20))
+base = dict(rank=5, max_iters=3, update="admm", device="cpu",
+            mttkrp_format="coo", seed=11)
+
+serial = cstf(X, CstfConfig(
+    **base, engine={"shards": 3, "backend": "serial"},
+))
+
+injector = FaultInjector(
+    [FaultSpec(phase="EXECUTE", kind="kill_worker", probability=0.4),
+     FaultSpec(phase="EXECUTE", kind="corrupt_store", probability=0.2)],
+    seed=29,
+)
+chaos = supervised_cstf(X, CstfConfig(
+    **base,
+    engine={"shards": 3, "backend": "processes", "plan_store": STORE_DIR},
+    fault_injector=injector,
+    telemetry=Telemetry(jsonl_path=TRACE_PATH),
+))
+assert injector.injected > 0, "process chaos run injected no faults"
+for mode, (a, b) in enumerate(zip(serial.kruskal.factors, chaos.kruskal.factors)):
+    assert np.array_equal(a, b), (
+        f"processes backend factor {mode} differs from serial under chaos"
+    )
+kinds = {e.kind for e in chaos.events}
+assert "worker_lost" in kinds, (
+    f"no worker_lost event despite kill_worker faults (saw {sorted(kinds)})"
+)
+assert "plan_repaired" in kinds, (
+    f"no plan_repaired event despite corrupt_store faults (saw {sorted(kinds)})"
+)
+shutdown_pools()
+print("process chaos OK: faults=%d, kinds=%s" % (
+    injector.injected, ",".join(sorted(kinds & {"worker_lost", "plan_repaired"}))))
+"""
+
+
+def _check_process_chaos(env) -> int:
+    """Process-backend chaos: SIGKILL + store corruption, bit-identical."""
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "process_chaos.jsonl"
+        store = Path(tmp) / "plan_store"
+        snippet = (
+            _PROCESS_CHAOS_SNIPPET
+            .replace("TRACE_PATH", repr(str(trace)))
+            .replace("STORE_DIR", repr(str(store)))
+        )
+        code = subprocess.call(
+            [sys.executable, "-c", snippet], cwd=REPO_ROOT, env=env,
+        )
+        if code != 0:
+            print("process chaos run failed")
+            return code
+        return subprocess.call(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"),
+             "--quiet", str(trace)],
+            cwd=REPO_ROOT, env=env,
+        )
+
+
 def _check_chaos(env) -> int:
     """Supervised chaos run: bit-identical recovery + schema-valid trace."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -232,6 +317,20 @@ def _check_perf_baselines(env) -> int:
 
 
 def main(extra_args: list[str]) -> int:
+    extra_args = list(extra_args)
+    backend = "threads"
+    if "--backend" in extra_args:
+        at = extra_args.index("--backend")
+        try:
+            backend = extra_args[at + 1]
+        except IndexError:
+            print("--backend requires a value (threads or processes)")
+            return 2
+        del extra_args[at:at + 2]
+        if backend not in ("threads", "processes"):
+            print(f"unknown --backend {backend!r} (expected threads or processes)")
+            return 2
+
     env = dict(os.environ)
     # Pin every environmental source of nondeterminism: fixed hash seed,
     # and src/ on the path so the checkout (not an installed wheel) is
@@ -241,7 +340,10 @@ def main(extra_args: list[str]) -> int:
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    for marker in ("faults", "chaos"):
+    markers = ["faults", "chaos"]
+    if backend == "processes":
+        markers.append("procfaults")
+    for marker in markers:
         cmd = [
             sys.executable, "-m", "pytest",
             "-m", marker,
@@ -258,6 +360,12 @@ def main(extra_args: list[str]) -> int:
     code = _check_chaos(env)
     if code != 0:
         return code
+    if backend == "processes":
+        print("\nrunning the process-backend chaos gate "
+              "(real SIGKILL + store corruption, traced)")
+        code = _check_process_chaos(env)
+        if code != 0:
+            return code
     print("\nvalidating fault-run telemetry against the schema")
     code = _check_fault_trace(env)
     if code != 0:

@@ -80,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     fac.add_argument("--max-retries", type=int, default=None, metavar="N",
                      help="supervise the run: retry up to N times per "
                           "degradation tier on a crash (enables the "
-                          "sharded->chunked->serial->seed ladder)")
+                          "processes->sharded->chunked->serial->seed ladder)")
     fac.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                      help="supervised wall-clock budget across all attempts "
                           "(0 or unset = no deadline; implies supervision)")
@@ -145,17 +145,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_engine_args(p) -> None:
-    p.add_argument("--engine", default="off", choices=["off", "on", "sharded"],
+    p.add_argument("--engine", default="off",
+                   choices=["off", "on", "sharded", "processes"],
                    help="host execution engine: off (seed kernels), on "
-                        "(plan cache + chunked execution), sharded (+ threads)")
+                        "(plan cache + chunked execution), sharded "
+                        "(+ threads), processes (+ isolated crash-tolerant "
+                        "worker processes)")
     p.add_argument("--shards", type=int, default=None, metavar="N",
                    help="engine worker shards (implies --engine)")
+    p.add_argument("--backend", default=None,
+                   choices=["serial", "threads", "processes"],
+                   help="shard dispatch backend (implies --engine; "
+                        "default: threads)")
+    p.add_argument("--plan-store", default=None, metavar="DIR",
+                   help="persist MTTKRP plans to an on-disk, crash-safe, "
+                        "content-addressed store in DIR (implies --engine; "
+                        "serves coo-format plans, pair with --format coo)")
 
 
 def _engine_setting(args):
-    """Map ``--engine``/``--shards`` to the ``CstfConfig.engine`` setting."""
+    """Map the engine flags to the ``CstfConfig.engine`` setting."""
+    from repro.engine.config import default_shards
+
+    overrides = {}
     if getattr(args, "shards", None) is not None:
-        return {"shards": args.shards}
+        overrides["shards"] = args.shards
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+        if args.backend != "serial" and "shards" not in overrides:
+            overrides["shards"] = default_shards()
+    if getattr(args, "plan_store", None) is not None:
+        overrides["plan_store"] = args.plan_store
+    if overrides:
+        return overrides
     engine = getattr(args, "engine", "off")
     return None if engine == "off" else engine
 

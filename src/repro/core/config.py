@@ -63,6 +63,13 @@ class CstfConfig:
     fault_injector:
         A :class:`~repro.resilience.FaultInjector` corrupting intermediates
         at chosen phases (testing only).
+    on_iteration:
+        Optional ``(iteration:int) -> None`` callback invoked after every
+        completed outer AO iteration — the cooperative interruption point.
+        An exception it raises stops the run *at an iteration boundary*;
+        when checkpointing is configured, the just-completed iterate is
+        checkpointed before the exception propagates (used by the run
+        supervisor's in-run deadline guard).
     engine:
         Host execution engine for the concrete hot paths (see
         :mod:`repro.engine`): ``None``/``"off"`` (default — seed kernels),
@@ -96,11 +103,16 @@ class CstfConfig:
     resume_from: object = None
     fault_injector: object = None
     engine: object = None
+    on_iteration: object = None
 
     def __post_init__(self):
         from repro.engine.config import resolve_engine
 
         self.engine = resolve_engine(self.engine)
+        require(
+            self.on_iteration is None or callable(self.on_iteration),
+            "on_iteration must be callable (or None)",
+        )
         require(
             self.engine is None
             or not self.engine.gram_rescale

@@ -17,6 +17,7 @@ The same code path serves concrete tensors and paper-scale
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,8 +39,17 @@ from repro.machine.analytic import TensorStats, charge_mttkrp
 from repro.machine.executor import Executor
 from repro.machine.symbolic import SymArray
 from repro.obs import resolve_telemetry
-from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
-from repro.resilience.events import CHECKPOINT_RESUMED, CHECKPOINT_SAVED, ResilienceEvent
+from repro.resilience.checkpoint import (
+    CheckpointCorrupt,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.events import (
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_RESUMED,
+    CHECKPOINT_SAVED,
+    ResilienceEvent,
+)
 from repro.resilience.guards import ensure_finite
 from repro.resilience.policy import STATE_KEY, ResilienceContext, ResiliencePolicy
 from repro.tensor.alto import AltoTensor
@@ -245,7 +255,23 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
     checkpoint = None
     if config.resume_from is not None:
         require(not analytic, "resume_from requires a concrete tensor")
-        checkpoint = load_checkpoint(config.resume_from)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", CheckpointCorrupt)
+            checkpoint = load_checkpoint(config.resume_from)
+        for w in caught:
+            # A torn primary generation fell back to the rotated .prev:
+            # surface the degradation on the run's event log (and keep the
+            # warning visible to callers outside this capture).
+            if not issubclass(w.category, CheckpointCorrupt):
+                warnings.warn_explicit(
+                    w.message, w.category, w.filename, w.lineno
+                )
+                continue
+            if ctx is not None:
+                ctx.events.record(
+                    CHECKPOINT_CORRUPT, "CHECKPOINT",
+                    detail=str(w.message),
+                )
         require(
             checkpoint.shape == tuple(shape),
             f"checkpoint shape {checkpoint.shape} does not match tensor {tuple(shape)}",
@@ -462,6 +488,19 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
                 _write_checkpoint(config, update, shape, rank, iterations,
                                   factors, weights, grams, fits, state, ctx, tel)
         tel.close_span(iter_span)
+        if config.on_iteration is not None:
+            try:
+                config.on_iteration(iterations)
+            except BaseException:
+                # Cooperative interruption (the supervisor's in-run deadline
+                # guard, a campaign driver's stop signal): the just-completed
+                # iterate is checkpointed before the interrupt propagates, so
+                # the interrupted run resumes bit-identically.
+                if config.checkpoint_path is not None and not analytic:
+                    _write_checkpoint(config, update, shape, rank, iterations,
+                                      factors, weights, grams, fits, state,
+                                      ctx, tel)
+                raise
         if converged:
             break
 

@@ -11,6 +11,11 @@ Enable per run via ``CstfConfig(engine="on" | "sharded" | EngineConfig(...))``
 or on the CLI with ``repro factorize --engine on``.
 """
 
+from repro.engine.backends import (
+    ExecutionBackend,
+    get_backend,
+    shutdown_backends,
+)
 from repro.engine.batched import all_mode_krp_rows
 from repro.engine.config import EngineConfig, resolve_engine
 from repro.engine.driver import (
@@ -24,12 +29,20 @@ from repro.engine.execute import (
     run_shards,
     run_stream,
     sharded_segment_accumulate,
+    shutdown_pools,
 )
 from repro.engine.plan import MttkrpPlan, PlanCache, SegmentStream, get_plan_cache
+from repro.engine.plan_store import PlanStore, store_key
 
 __all__ = [
     "EngineConfig",
     "resolve_engine",
+    "ExecutionBackend",
+    "get_backend",
+    "shutdown_backends",
+    "shutdown_pools",
+    "PlanStore",
+    "store_key",
     "MttkrpPlan",
     "SegmentStream",
     "PlanCache",

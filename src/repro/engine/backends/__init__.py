@@ -1,0 +1,85 @@
+"""Execution-backend registry: named, lazily-built, process-wide singletons.
+
+``get_backend("serial" | "threads" | "processes")`` returns the shared
+instance for this process, creating it on first use — pools and worker
+processes are only ever spawned when a sharded run actually dispatches
+through them. :func:`shutdown_backends` tears every live backend down
+(thread pools joined-less, worker processes stopped and reaped) and is
+registered ``atexit`` so no interpreter exit leaks executors — the fix for
+the old module-global ``_POOLS`` in :mod:`repro.engine.execute`, which was
+created on demand and never shut down.
+
+Fork safety: the registry is cleared in every forked child via
+``os.register_at_fork``, so a child never dispatches into inherited pools
+(threads that don't exist in the child) or inherited worker pipes (shared
+with the real parent). The child lazily builds its own backends on first
+use; the parent's registry is untouched.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+
+from repro.engine.backends.base import ExecutionBackend, tree_reduce
+
+__all__ = [
+    "ExecutionBackend",
+    "tree_reduce",
+    "get_backend",
+    "shutdown_backends",
+    "BACKEND_NAMES",
+]
+
+BACKEND_NAMES = ("serial", "threads", "processes")
+
+_REGISTRY: dict[str, ExecutionBackend] = {}
+_LOCK = threading.Lock()
+
+
+def _build(name: str) -> ExecutionBackend:
+    if name == "serial":
+        from repro.engine.backends.serial import SerialBackend
+
+        return SerialBackend()
+    if name == "threads":
+        from repro.engine.backends.threads import ThreadsBackend
+
+        return ThreadsBackend()
+    if name == "processes":
+        from repro.engine.backends.processes import ProcessBackend
+
+        return ProcessBackend()
+    raise ValueError(
+        f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The process-wide backend instance registered under *name*."""
+    with _LOCK:
+        backend = _REGISTRY.get(name)
+        if backend is None:
+            backend = _build(name)
+            _REGISTRY[name] = backend
+        return backend
+
+
+def shutdown_backends() -> None:
+    """Tear down every live backend (pools, worker processes). Idempotent."""
+    with _LOCK:
+        backends = list(_REGISTRY.values())
+        _REGISTRY.clear()
+    for backend in backends:
+        backend.shutdown()
+
+
+def _forget_in_child() -> None:
+    # No shutdown: the pools/processes belong to the parent. Just forget.
+    _REGISTRY.clear()
+
+
+atexit.register(shutdown_backends)
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_forget_in_child)

@@ -1,0 +1,95 @@
+"""The execution-backend seam: how sharded MTTKRP work gets dispatched.
+
+An :class:`ExecutionBackend` owns exactly one decision — *where* the
+per-shard segment streams run (inline, on a thread pool, or in isolated
+worker processes) and how a worker that fails is detected and recovered.
+Everything numeric is shared: every backend executes the identical
+:func:`~repro.engine.execute.run_stream` per shard into a private
+``(out_rows, rank)`` accumulator and tree-reduces the partials, so all
+backends are bitwise identical to serial execution (disjoint output rows;
+the reduce adds exact zeros).
+
+The recovery contract every backend honors: a shard whose worker fails —
+raises, misses the ``shard_timeout`` deadline, or (process backend) is
+killed outright — is re-executed *serially on the dispatching thread* into
+a fresh accumulator. Each shard's summation order is private, so the redo
+is bit-identical to a clean run; the abandoned worker's orphaned buffer
+never enters the reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.partition import imbalance
+from repro.obs import current_telemetry
+
+__all__ = ["ExecutionBackend", "tree_reduce"]
+
+
+def tree_reduce(partials: list[np.ndarray]) -> np.ndarray:
+    """Pairwise in-place reduction of the shard accumulators."""
+    while len(partials) > 1:
+        nxt = []
+        for i in range(0, len(partials) - 1, 2):
+            np.add(partials[i], partials[i + 1], out=partials[i])
+            nxt.append(partials[i])
+        if len(partials) % 2:
+            nxt.append(partials[-1])
+        partials = nxt
+    return partials[0]
+
+
+class ExecutionBackend:
+    """One shard-dispatch strategy; see the module docstring for the contract."""
+
+    #: Registry name (``EngineConfig.backend`` value selecting this backend).
+    name = "base"
+
+    def run_shards(
+        self,
+        streams,
+        fmats,
+        mode: int,
+        out_rows: int,
+        rank: int,
+        cfg,
+        *,
+        faults=None,
+        events=None,
+        plan_ref=None,
+    ) -> np.ndarray:
+        """Execute per-worker shard streams and tree-reduce the partials.
+
+        ``plan_ref`` is an optional ``(plan_store_root, store_key)`` pair:
+        when the dispatching side persisted the plan to an on-disk
+        :class:`~repro.engine.plan_store.PlanStore`, process workers load
+        (and memoize) it by key instead of receiving the shard stream over
+        the task pipe.
+        """
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release worker resources (pools, processes, pipes). Idempotent."""
+
+    # ------------------------------------------------------------------ #
+    # Shared pre-dispatch bookkeeping
+    # ------------------------------------------------------------------ #
+    def _announce(self, streams) -> None:
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.counter("engine.backend.dispatches")
+            tel.gauge("engine.shard.workers", float(len(streams)))
+            tel.gauge(
+                "engine.shard.imbalance", imbalance([s.nnz for s in streams])
+            )
+
+    @staticmethod
+    def _redo_serial(stream, fmats, mode, out_rows: int, rank: int, chunk: int):
+        """Deterministic serial re-execution of one lost shard."""
+        from repro.engine.execute import run_stream
+
+        return run_stream(
+            stream, fmats, mode,
+            np.zeros((out_rows, rank), dtype=np.float64), chunk,
+        )

@@ -1,0 +1,367 @@
+"""Process-pool backend: shards in isolated workers, with real crash recovery.
+
+Workers are separate OS processes, so the failure modes are the real
+thing: a worker that takes a ``SIGKILL`` (OOM killer, operator, the chaos
+harness's ``kill_worker`` fault) or aborts simply *disappears* — no
+exception, no return value. The dispatching side runs a watchdog around
+every outstanding shard:
+
+- **liveness** — each worker owns a private duplex pipe; while a result is
+  pending the parent polls the pipe and the process in short beats. A
+  worker that is no longer alive (negative exitcode = died on a signal) is
+  declared lost: a ``worker_lost`` event is recorded, the
+  ``engine.backend.workers_lost`` counter bumps, the worker is respawned,
+  and the lost shard is re-executed serially on the dispatching thread —
+  deterministically bit-identical, because each shard's summation order is
+  private and its output rows are disjoint.
+- **straggler deadline** — a worker that is alive but has not delivered
+  within ``EngineConfig.shard_timeout`` is killed outright (its private
+  accumulator dies with it) and handled the same way, as a
+  ``shard_timeout``.
+- **in-worker exceptions** — a worker that raises sends back an error
+  marker and stays alive; the shard is redone serially (``shard_retry``),
+  matching the threads backend.
+
+Workers hold **private accumulators over disjoint output rows** (the
+medium-grained factor-block partitioning of Liavas & Sidiropoulos's
+distributed ADMM), so the parent-side tree reduce adds exact zeros and
+every recovery path is rtol=0 against serial execution.
+
+Task shipping: the parent's in-memory plan cache is invisible to workers,
+so a task either carries its shard stream inline (pickled over the pipe)
+or — when the plan was persisted to the on-disk
+:class:`~repro.engine.plan_store.PlanStore` — just the store key plus the
+shard coordinates. Workers memoize store loads and re-derive shard
+streams with the same deterministic LPT assignment as the parent, so
+repeated iterations ship only factor matrices.
+
+Pools are lazily sized, persistent across calls, refreshed if the parent
+PID changes (fork safety: a forked child never reuses inherited workers,
+whose pipes it shares with the real parent), and torn down by
+:meth:`shutdown` / the registry ``atexit`` hook.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.engine.backends.base import ExecutionBackend, tree_reduce
+from repro.obs import current_telemetry
+from repro.resilience.events import SHARD_RETRY, SHARD_TIMEOUT, WORKER_LOST
+
+__all__ = ["ProcessBackend"]
+
+#: Watchdog poll beat while a shard result is outstanding, in seconds.
+HEARTBEAT = 0.02
+
+#: Liveness budget for a shard when ``shard_timeout`` is disabled: the
+#: watchdog still detects dead workers on every beat, it just never
+#: declares a live worker a straggler.
+_NO_DEADLINE = float("inf")
+
+
+def _worker_main(conn, store_root) -> None:
+    """Worker loop: receive task dicts, answer ``("ok", partial)`` each.
+
+    Runs until the parent sends ``None`` or closes the pipe. Exceptions
+    are answered as ``("error", message)`` and do not kill the worker; an
+    injected ``kill`` task dies by real ``SIGKILL`` before any reply, which
+    is exactly the silence the parent's watchdog must detect.
+    """
+    from repro.engine.execute import run_stream
+
+    store = None
+    plans: dict = {}
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        try:
+            if task.get("kill"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            if task.get("delay", 0.0) > 0.0:
+                time.sleep(task["delay"])
+            if task.get("crash"):
+                from repro.resilience.faults import InjectedWorkerCrash
+
+                raise InjectedWorkerCrash(
+                    f"injected worker crash on mode-{task['mode']} shard"
+                )
+            stream = task.get("stream")
+            if stream is None:
+                key = task["key"]
+                plan = plans.get(key)
+                if plan is None:
+                    if store is None or os.fspath(store.root) != task["store"]:
+                        from repro.engine.plan_store import PlanStore
+
+                        store = PlanStore(task["store"])
+                        plans.clear()
+                    plan = store.load(key)
+                    if plan is None:
+                        raise RuntimeError(
+                            f"plan-store entry {key} is missing or quarantined"
+                        )
+                    plans[key] = plan
+                stream = plan.shard_streams(task["n_shards"])[task["shard"]]
+            out = np.zeros((task["out_rows"], task["rank"]), dtype=np.float64)
+            result = run_stream(
+                stream, task["fmats"], task["mode"], out, task["chunk"]
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported, not fatal
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except (OSError, ValueError):
+                return
+        else:
+            try:
+                conn.send(("ok", result))
+            except (OSError, ValueError):
+                return
+
+
+class _Worker:
+    """One pool slot: a process plus its private task/result pipe."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, ctx, index: int):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, None),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def stop(self, grace: float = 0.2) -> None:
+        try:
+            if self.proc.is_alive():
+                self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self.proc.join(timeout=grace)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=grace)
+        self.conn.close()
+        self.proc.close()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+            self.proc.join(timeout=1.0)
+        finally:
+            self.conn.close()
+            try:
+                self.proc.close()
+            except ValueError:  # pragma: no cover - still-running straggler
+                pass
+
+
+class ProcessBackend(ExecutionBackend):
+    name = "processes"
+
+    def __init__(self):
+        # fork is preferred where available: worker spawn is ~ms, and the
+        # child executes only repro code paths that never touch inherited
+        # locks. Falls back to spawn elsewhere (workers import repro fresh).
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._workers: list[_Worker] = []
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_workers(self, n: int) -> list[_Worker]:
+        if self._pid != os.getpid():
+            # Forked child: inherited Process handles belong to the real
+            # parent. Drop them unjoined and build a private pool.
+            self._workers = []
+            self._pid = os.getpid()
+        while len(self._workers) < n:
+            self._workers.append(_Worker(self._ctx, len(self._workers)))
+        for i in range(n):
+            if not self._workers[i].alive():
+                self._respawn(i)
+        return self._workers[:n]
+
+    def _respawn(self, index: int) -> _Worker:
+        try:
+            self._workers[index].kill()
+        except (OSError, ValueError):  # pragma: no cover - already reaped
+            pass
+        self._workers[index] = _Worker(self._ctx, index)
+        current_telemetry().counter("engine.backend.respawns")
+        return self._workers[index]
+
+    def shutdown(self) -> None:
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.stop()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------ #
+    def run_shards(
+        self, streams, fmats, mode, out_rows, rank, cfg, *,
+        faults=None, events=None, plan_ref=None,
+    ) -> np.ndarray:
+        self._announce(streams)
+
+        injected: dict[str, int] = {}
+        delay = 0.0
+        if faults is not None:
+            injected = faults.draw_shard_faults(
+                len(streams), mode=mode, events=events
+            )
+            if "slow_shard" in injected:
+                delay = faults.slow_shard_delay()
+
+        store_root, store_key = plan_ref if plan_ref is not None else (None, None)
+        workers = self._ensure_workers(len(streams))
+        fmats = [np.ascontiguousarray(f) for f in fmats]
+
+        launched = time.monotonic()
+        pending: list[bool] = [False] * len(streams)
+        partials: list[np.ndarray | None] = [None] * len(streams)
+        for i, stream in enumerate(streams):
+            task = {
+                "mode": mode, "out_rows": out_rows, "rank": rank,
+                "chunk": cfg.chunk, "fmats": fmats, "shard": i,
+                "n_shards": cfg.shards,
+                "kill": injected.get("kill_worker") == i,
+                "crash": injected.get("worker_crash") == i,
+                "delay": delay if injected.get("slow_shard") == i else 0.0,
+            }
+            if store_root is not None and store_key is not None:
+                task["stream"] = None
+                task["store"] = os.fspath(store_root)
+                task["key"] = store_key
+            else:
+                task["stream"] = stream
+            pending[i] = self._send(workers, i, task)
+
+        for i, stream in enumerate(streams):
+            if not pending[i]:
+                # The task could not even be delivered (worker lost between
+                # launches); it was already counted — execute inline.
+                partials[i] = self._redo_serial(
+                    stream, fmats, mode, out_rows, rank, cfg.chunk
+                )
+                continue
+            deadline = _NO_DEADLINE
+            if cfg.shard_timeout > 0.0:
+                deadline = launched + cfg.shard_timeout
+            partials[i] = self._collect(
+                workers, i, stream, fmats, mode, out_rows, rank, cfg,
+                deadline, events,
+            )
+        return tree_reduce(partials)
+
+    # ------------------------------------------------------------------ #
+    def _send(self, workers: list[_Worker], i: int, task: dict) -> bool:
+        """Deliver one task, respawning a dead worker once. Returns whether
+        the task is in flight; a failed delivery is recorded as a lost
+        worker and the caller executes the shard inline."""
+        for _attempt in range(2):
+            worker = workers[i]
+            try:
+                worker.conn.send(task)
+                return True
+            except (OSError, ValueError):
+                self._record_lost(
+                    worker, i, task["mode"], None,
+                    context="task delivery failed",
+                )
+                workers[i] = self._respawn(i)
+        return False
+
+    def _collect(
+        self, workers, i, stream, fmats, mode, out_rows, rank, cfg,
+        deadline, events,
+    ) -> np.ndarray:
+        """Watchdog loop for one outstanding shard result."""
+        tel = current_telemetry()
+        worker = workers[i]
+        while True:
+            try:
+                if worker.conn.poll(HEARTBEAT):
+                    status, payload = worker.conn.recv()
+                    if status == "ok":
+                        return payload
+                    # In-worker exception: worker survives, shard redone.
+                    tel.counter("engine.shard.retries")
+                    if events is not None:
+                        events.record(
+                            SHARD_RETRY, "MTTKRP", mode=mode,
+                            detail=f"shard {i} worker raised ({payload}); "
+                                   f"re-executed serially",
+                            shard=i, nnz=stream.nnz,
+                        )
+                    return self._redo_serial(
+                        stream, fmats, mode, out_rows, rank, cfg.chunk
+                    )
+            except (EOFError, OSError):
+                # Pipe died under us: treat as a lost worker below.
+                pass
+            if not worker.alive():
+                self._record_lost(worker, i, mode, events)
+                workers[i] = self._respawn(i)
+                return self._redo_serial(
+                    stream, fmats, mode, out_rows, rank, cfg.chunk
+                )
+            if time.monotonic() >= deadline:
+                # Straggler: kill it (its private accumulator dies with it)
+                # and redo the shard serially, bit-identically.
+                tel.counter("engine.shard.timeouts")
+                if events is not None:
+                    events.record(
+                        SHARD_TIMEOUT, "MTTKRP", mode=mode,
+                        detail=f"shard {i} missed its {cfg.shard_timeout:g}s "
+                               f"deadline; worker killed and shard "
+                               f"re-executed serially",
+                        shard=i, nnz=stream.nnz,
+                    )
+                self._respawn(i)
+                workers[i] = self._workers[i]
+                return self._redo_serial(
+                    stream, fmats, mode, out_rows, rank, cfg.chunk
+                )
+
+    def _record_lost(self, worker, i, mode, events, *, context=None) -> None:
+        exitcode = worker.proc.exitcode
+        if exitcode is not None and exitcode < 0:
+            how = f"died on signal {signal.Signals(-exitcode).name}"
+        elif exitcode is not None:
+            how = f"exited with code {exitcode}"
+        else:  # pragma: no cover - delivery race
+            how = "became unreachable"
+        if context:
+            how = f"{how} ({context})"
+        current_telemetry().counter("engine.backend.workers_lost")
+        if events is not None:
+            events.record(
+                WORKER_LOST, "MTTKRP", mode=mode,
+                detail=f"shard {i} worker process {how}; worker respawned "
+                       f"and shard re-executed serially",
+                shard=i, exitcode=exitcode,
+            )

@@ -1,0 +1,37 @@
+"""Serial backend: shard streams executed inline, one after another.
+
+The degenerate rung of the backend ladder — no workers, so nothing can
+crash or straggle, and execution faults targeting workers have nothing to
+hit (they are not drawn, keeping a serial run's injector RNG stream
+aligned with a run that never shards). Exists so ``EngineConfig.backend``
+is total: ``backend="serial"`` with ``shards > 1`` still partitions and
+tree-reduces — bit-identical to every parallel backend by the shared
+contract — which is what the equivalence suite leans on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.backends.base import ExecutionBackend, tree_reduce
+from repro.engine.execute import run_stream
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    name = "serial"
+
+    def run_shards(
+        self, streams, fmats, mode, out_rows, rank, cfg, *,
+        faults=None, events=None, plan_ref=None,
+    ) -> np.ndarray:
+        self._announce(streams)
+        partials = [
+            run_stream(
+                stream, fmats, mode,
+                np.zeros((out_rows, rank), dtype=np.float64), cfg.chunk,
+            )
+            for stream in streams
+        ]
+        return tree_reduce(partials)

@@ -1,0 +1,154 @@
+"""Thread-pool backend: shards on a shared in-process executor.
+
+This is the historical ``run_shards`` path of :mod:`repro.engine.execute`,
+moved behind the backend seam and given a real pool lifecycle: pools are
+created per worker-count on demand, torn down by :meth:`shutdown` (wired
+into :func:`repro.engine.backends.shutdown_backends` and its ``atexit``
+hook), and never survive a ``fork`` — a forked child only inherits the
+forking thread, so an inherited executor would accept work that no thread
+will ever run; the backend registry drops every backend instance in the
+child via ``os.register_at_fork``, and this backend additionally discards
+its pools if it ever observes a changed PID.
+
+Fault handling: a worker that raises mid-shard (including an injected
+``worker_crash``) or misses the per-shard ``shard_timeout`` deadline is
+re-executed serially on the dispatching thread, counted
+(``engine.shard.retries`` / ``engine.shard.timeouts``) and logged
+(``shard_retry`` / ``shard_timeout``). An injected ``kill_worker`` fault —
+a *process*-grade fault — degrades to ``worker_crash`` here, since a
+thread cannot be SIGKILLed without taking the whole process down.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.engine.backends.base import ExecutionBackend, tree_reduce
+from repro.engine.execute import run_stream
+from repro.obs import current_telemetry
+from repro.resilience.events import SHARD_RETRY, SHARD_TIMEOUT
+
+__all__ = ["ThreadsBackend"]
+
+
+def _chaos_worker(stream, fmats, mode, partial, chunk, *, crash=False, delay=0.0):
+    """Shard worker wrapper carrying the injected execution faults."""
+    if delay > 0.0:
+        time.sleep(delay)
+    if crash:
+        from repro.resilience.faults import InjectedWorkerCrash
+
+        raise InjectedWorkerCrash(f"injected worker crash on mode-{mode} shard")
+    return run_stream(stream, fmats, mode, partial, chunk)
+
+
+class ThreadsBackend(ExecutionBackend):
+    name = "threads"
+
+    def __init__(self):
+        self._pools: dict[int, concurrent.futures.ThreadPoolExecutor] = {}
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------ #
+    def _pool(self, workers: int) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            if self._pid != os.getpid():
+                # Forked child: the inherited executors have no worker
+                # threads. Drop them (no join — those threads never existed
+                # here) and start fresh.
+                self._pools = {}
+                self._pid = os.getpid()
+            pool = self._pools.get(workers)
+            if pool is None:
+                pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-shard"
+                )
+                self._pools[workers] = pool
+            return pool
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            # wait=False: an abandoned straggler may still be sleeping in an
+            # orphaned shard; it holds no shared state worth waiting for.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------ #
+    def run_shards(
+        self, streams, fmats, mode, out_rows, rank, cfg, *,
+        faults=None, events=None, plan_ref=None,
+    ) -> np.ndarray:
+        self._announce(streams)
+        tel = current_telemetry()
+
+        injected: dict[str, int] = {}
+        delay = 0.0
+        if faults is not None:
+            injected = faults.draw_shard_faults(
+                len(streams), mode=mode, events=events
+            )
+            if "slow_shard" in injected:
+                delay = faults.slow_shard_delay()
+        # kill_worker is a process-isolation fault; on threads the closest
+        # honest equivalent is an in-worker crash.
+        crash_shard = injected.get("worker_crash", injected.get("kill_worker"))
+
+        partials = [
+            np.zeros((out_rows, rank), dtype=np.float64) for _ in streams
+        ]
+        pool = self._pool(len(streams))
+        launched = time.monotonic()
+        futures = [
+            pool.submit(
+                _chaos_worker, stream, fmats, mode, partial, cfg.chunk,
+                crash=crash_shard == i,
+                delay=delay if injected.get("slow_shard") == i else 0.0,
+            )
+            for i, (stream, partial) in enumerate(zip(streams, partials))
+        ]
+        for i, future in enumerate(futures):
+            budget = None
+            if cfg.shard_timeout > 0.0:
+                budget = max(0.0, cfg.shard_timeout - (time.monotonic() - launched))
+            try:
+                future.result(timeout=budget)
+            except concurrent.futures.TimeoutError:
+                # Straggler: abandon the in-flight worker (it finishes into
+                # its orphaned buffer) and redo the shard serially.
+                tel.counter("engine.shard.timeouts")
+                if events is not None:
+                    events.record(
+                        SHARD_TIMEOUT, "MTTKRP", mode=mode,
+                        detail=f"shard {i}/{len(streams)} missed its "
+                               f"{cfg.shard_timeout:g}s deadline; "
+                               f"re-executed serially",
+                        shard=i, nnz=streams[i].nnz,
+                    )
+                partials[i] = self._redo_serial(
+                    streams[i], fmats, mode, out_rows, rank, cfg.chunk
+                )
+            except Exception as exc:
+                # Worker died mid-shard: deterministic serial re-execution.
+                # If the shard is genuinely poisoned (e.g. a corrupted
+                # plan), the serial pass raises too and the caller's
+                # plan-repair fires.
+                tel.counter("engine.shard.retries")
+                if events is not None:
+                    events.record(
+                        SHARD_RETRY, "MTTKRP", mode=mode,
+                        detail=f"shard {i}/{len(streams)} worker died "
+                               f"({type(exc).__name__}: {exc}); "
+                               f"re-executed serially",
+                        shard=i, nnz=streams[i].nnz,
+                    )
+                partials[i] = self._redo_serial(
+                    streams[i], fmats, mode, out_rows, rank, cfg.chunk
+                )
+        return tree_reduce(partials)

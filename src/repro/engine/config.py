@@ -17,6 +17,7 @@ from repro.utils.validation import check_positive_int, require
 __all__ = ["EngineConfig", "resolve_engine"]
 
 _VALIDATE = ("off", "cheap", "full")
+_BACKENDS = ("serial", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -43,11 +44,28 @@ class EngineConfig:
         Per-shard wall-clock budget in seconds for the sharded path
         (``0.0`` disables timeout detection). A shard that has not
         finished this long after the launch of its batch is declared a
-        straggler: its in-flight result is abandoned and the shard is
-        re-executed serially on the dispatching thread — bit-identical,
-        since each shard's summation order is private. Timeouts are
-        counted (``engine.shard.timeouts``) and logged as
-        ``shard_timeout`` events.
+        straggler: its in-flight result is abandoned (the ``processes``
+        backend kills the worker outright) and the shard is re-executed
+        serially on the dispatching thread — bit-identical, since each
+        shard's summation order is private. Timeouts are counted
+        (``engine.shard.timeouts``) and logged as ``shard_timeout``
+        events.
+    backend:
+        Shard dispatch strategy (see :mod:`repro.engine.backends`):
+        ``"threads"`` (default; shared in-process pool), ``"serial"``
+        (inline, no workers), or ``"processes"`` (isolated worker
+        processes with heartbeat/watchdog crash recovery — a SIGKILLed
+        or aborted worker is detected, respawned, and its shard redone
+        serially). All backends are bitwise identical to serial
+        execution; only failure isolation and wall-clock differ.
+    plan_store:
+        Optional path of an on-disk :class:`~repro.engine.plan_store.
+        PlanStore` directory (``None`` disables the store tier). Built
+        plans are persisted under content-fingerprint keys with
+        crash-safe writes, so fresh processes — pool workers of the
+        ``processes`` backend, or the next CLI run over the same tensor
+        — skip preprocessing. Corrupt entries are quarantined and
+        replanned, never trusted.
     gram_rescale:
         Reuse the Gram matrix of the *unnormalized* update result via a
         rank-one λ-rescale (``G(H/λ) = G(H)/(λλᵀ)``) instead of a separate
@@ -71,6 +89,8 @@ class EngineConfig:
     chunk: int = 4096
     shards: int = 1
     shard_timeout: float = 0.0
+    backend: str = "threads"
+    plan_store: str | None = None
     gram_rescale: bool = False
     max_tensors: int = 16
     validate: str = "cheap"
@@ -81,6 +101,12 @@ class EngineConfig:
         object.__setattr__(self, "shards", check_positive_int(self.shards, "shards"))
         require(float(self.shard_timeout) >= 0.0, "shard_timeout must be >= 0")
         object.__setattr__(self, "shard_timeout", float(self.shard_timeout))
+        require(
+            self.backend in _BACKENDS,
+            f"backend must be one of {_BACKENDS}, got {self.backend!r}",
+        )
+        if self.plan_store is not None:
+            object.__setattr__(self, "plan_store", os.fspath(self.plan_store))
         object.__setattr__(
             self, "max_tensors", check_positive_int(self.max_tensors, "max_tensors")
         )
@@ -100,8 +126,9 @@ def resolve_engine(setting) -> EngineConfig | None:
 
     Accepted: ``None``/``False``/``"off"`` (engine disabled), ``True``/
     ``"on"``/``"cached"`` (cached serial execution), ``"sharded"`` (cached +
-    sharded across :func:`default_shards` workers), a dict of
-    :class:`EngineConfig` fields, or an :class:`EngineConfig` instance.
+    sharded across :func:`default_shards` workers), ``"processes"``
+    (sharded across isolated worker processes with crash recovery), a dict
+    of :class:`EngineConfig` fields, or an :class:`EngineConfig` instance.
     """
     if setting is None or setting is False:
         return None
@@ -119,7 +146,9 @@ def resolve_engine(setting) -> EngineConfig | None:
             return EngineConfig()
         if low == "sharded":
             return EngineConfig(shards=default_shards())
+        if low == "processes":
+            return EngineConfig(shards=default_shards(), backend="processes")
     raise ValueError(
-        f"engine must be None/'off', 'on'/'cached', 'sharded', a dict of "
-        f"EngineConfig fields, or an EngineConfig, got {setting!r}"
+        f"engine must be None/'off', 'on'/'cached', 'sharded', 'processes', "
+        f"a dict of EngineConfig fields, or an EngineConfig, got {setting!r}"
     )

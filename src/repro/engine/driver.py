@@ -43,6 +43,8 @@ report the same device timelines — only the host wall-clock changes.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.engine.config import EngineConfig
@@ -134,7 +136,7 @@ _ENGINE_FORMATS = ("coo", "alto", "blco", "hicoo", "csf")
 
 def _dispatch(tensor, factors, fmats, mode, fmt, cfg, cache, rank, faults, events):
     if fmt == "coo":
-        plan = cache.plan(tensor, mode, validate=cfg.validate)
+        plan = cache.plan(tensor, mode, validate=cfg.validate, events=events)
         return run_plan(
             plan, fmats, mode, tensor.shape[mode], rank, cfg,
             faults=faults, events=events,
@@ -148,7 +150,7 @@ def _dispatch(tensor, factors, fmats, mode, fmt, cfg, cache, rank, faults, event
         )
         plan = cache.plan(
             tensor, mode, fmt="alto", indices=decoded, values=alto.values,
-            validate=cfg.validate,
+            validate=cfg.validate, events=events,
         )
         return run_plan(
             plan, fmats, mode, tensor.shape[mode], rank, cfg,
@@ -205,8 +207,29 @@ def engine_mttkrp(
         np.asarray(f, dtype=np.float64) for f in factors
     ]
 
+    if cfg.plan_store is not None and (
+        cache.store is None or os.fspath(cache.store.root) != cfg.plan_store
+    ):
+        from repro.engine.plan_store import PlanStore
+
+        cache.store = PlanStore(cfg.plan_store)
+
     if faults is not None and faults.draw_plan_fault(mode=mode, events=events):
         cache.corrupt(tensor)
+
+    if (
+        faults is not None
+        and cache.store is not None
+        and faults.draw_store_fault(mode=mode, events=events)
+    ):
+        # Damage the on-disk entry this dispatch would read and drop the
+        # in-memory plans, forcing the read path through the corrupt entry;
+        # the store quarantines it and the lookup replans.
+        from repro.engine.plan import _content_hash
+        from repro.engine.plan_store import store_key as _skey
+
+        if cache.store.corrupt(_skey(_content_hash(tensor), fmt, mode)):
+            cache.drop_plans(tensor)
 
     try:
         return _dispatch(

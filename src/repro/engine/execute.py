@@ -19,46 +19,33 @@ bitwise identical to the uncached kernels (IEEE multiplication and
 private accumulators cover disjoint rows, so the tree reduce adds exact
 zeros).
 
-Shard fault tolerance: a worker that raises mid-shard, or one that blows
-its per-shard timeout (``EngineConfig.shard_timeout``), is re-executed
-*serially* on the dispatching thread into a fresh private accumulator —
-deterministically bit-identical, since each shard's summation order is
-private and its output rows are disjoint. Retries and timeouts are
-counted (``engine.shard.retries`` / ``engine.shard.timeouts``) and logged
-as ``shard_retry`` / ``shard_timeout`` resilience events. The chaos
-harness drives the same paths on purpose through
+*Where* shards run is the :mod:`repro.engine.backends` seam:
+``EngineConfig.backend`` selects inline execution (``serial``), the shared
+thread pool (``threads``, the default), or isolated worker processes with
+real crash recovery (``processes``). All backends honor one contract — a
+shard whose worker raises, misses the ``shard_timeout`` deadline, or
+(process backend) dies outright is re-executed serially on the dispatching
+thread into a fresh private accumulator, deterministically bit-identical,
+with the recovery counted (``engine.shard.retries`` / ``.timeouts`` /
+``engine.backend.workers_lost``) and logged as ``shard_retry`` /
+``shard_timeout`` / ``worker_lost`` resilience events. The chaos harness
+drives the same paths on purpose through
 :class:`~repro.resilience.faults.FaultInjector`'s ``EXECUTE`` fault kinds
-(``worker_crash`` / ``slow_shard``), drawn from its seeded RNG in the
-dispatching thread so campaigns replay exactly.
+(``worker_crash`` / ``slow_shard`` / ``kill_worker``), drawn from its
+seeded RNG in the dispatching thread so campaigns replay exactly.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import threading
-import time
-
 import numpy as np
 
-from repro.kernels.partition import imbalance
-from repro.obs import current_telemetry
-from repro.resilience.events import SHARD_RETRY, SHARD_TIMEOUT
-
-__all__ = ["run_stream", "run_plan", "run_shards", "sharded_segment_accumulate"]
-
-_POOLS: dict[int, concurrent.futures.ThreadPoolExecutor] = {}
-_POOL_LOCK = threading.Lock()
-
-
-def _pool(workers: int) -> concurrent.futures.ThreadPoolExecutor:
-    with _POOL_LOCK:
-        pool = _POOLS.get(workers)
-        if pool is None:
-            pool = concurrent.futures.ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-shard"
-            )
-            _POOLS[workers] = pool
-        return pool
+__all__ = [
+    "run_stream",
+    "run_plan",
+    "run_shards",
+    "sharded_segment_accumulate",
+    "shutdown_pools",
+]
 
 
 def run_stream(stream, fmats, mode: int, out: np.ndarray, chunk: int) -> np.ndarray:
@@ -86,30 +73,6 @@ def run_stream(stream, fmats, mode: int, out: np.ndarray, chunk: int) -> np.ndar
     return out
 
 
-def _tree_reduce(partials: list[np.ndarray]) -> np.ndarray:
-    """Pairwise in-place reduction of the shard accumulators."""
-    while len(partials) > 1:
-        nxt = []
-        for i in range(0, len(partials) - 1, 2):
-            np.add(partials[i], partials[i + 1], out=partials[i])
-            nxt.append(partials[i])
-        if len(partials) % 2:
-            nxt.append(partials[-1])
-        partials = nxt
-    return partials[0]
-
-
-def _chaos_worker(stream, fmats, mode, partial, chunk, *, crash=False, delay=0.0):
-    """Shard worker wrapper carrying the injected execution faults."""
-    if delay > 0.0:
-        time.sleep(delay)
-    if crash:
-        from repro.resilience.faults import InjectedWorkerCrash
-
-        raise InjectedWorkerCrash(f"injected worker crash on mode-{mode} shard")
-    return run_stream(stream, fmats, mode, partial, chunk)
-
-
 def run_shards(
     streams,
     fmats,
@@ -120,82 +83,37 @@ def run_shards(
     *,
     faults=None,
     events=None,
+    plan_ref=None,
 ) -> np.ndarray:
     """Execute per-worker shard streams with crash/straggler recovery.
 
-    Every shard accumulates into a private ``(out_rows, rank)`` buffer and
-    the buffers are tree-reduced. A shard whose worker raises, or whose
-    worker misses the per-shard deadline (``cfg.shard_timeout``), is
-    re-executed serially into a *fresh* buffer on this thread — the
-    abandoned worker keeps writing into its orphaned private buffer, which
-    never enters the reduction, so recovery is bit-identical to a clean
-    run.
+    Thin dispatcher over the backend selected by ``cfg.backend`` (see
+    :mod:`repro.engine.backends`). Every shard accumulates into a private
+    ``(out_rows, rank)`` buffer and the buffers are tree-reduced; failed
+    shards are redone serially on this thread — bit-identical on every
+    backend, because shard summation order is private and output rows are
+    disjoint.
     """
-    tel = current_telemetry()
-    if tel.enabled:
-        tel.gauge("engine.shard.workers", float(len(streams)))
-        tel.gauge(
-            "engine.shard.imbalance", imbalance([s.nnz for s in streams])
-        )
+    from repro.engine.backends import get_backend
 
-    injected: dict[str, int] = {}
-    delay = 0.0
-    if faults is not None:
-        injected = faults.draw_shard_faults(len(streams), mode=mode, events=events)
-        if "slow_shard" in injected:
-            delay = faults.slow_shard_delay()
+    backend = get_backend(getattr(cfg, "backend", "threads"))
+    return backend.run_shards(
+        streams, fmats, mode, out_rows, rank, cfg,
+        faults=faults, events=events, plan_ref=plan_ref,
+    )
 
-    partials = [
-        np.zeros((out_rows, rank), dtype=np.float64) for _ in streams
-    ]
-    pool = _pool(len(streams))
-    launched = time.monotonic()
-    futures = [
-        pool.submit(
-            _chaos_worker, stream, fmats, mode, partial, cfg.chunk,
-            crash=injected.get("worker_crash") == i,
-            delay=delay if injected.get("slow_shard") == i else 0.0,
-        )
-        for i, (stream, partial) in enumerate(zip(streams, partials))
-    ]
-    for i, future in enumerate(futures):
-        budget = None
-        if cfg.shard_timeout > 0.0:
-            budget = max(0.0, cfg.shard_timeout - (time.monotonic() - launched))
-        try:
-            future.result(timeout=budget)
-        except concurrent.futures.TimeoutError:
-            # Straggler: abandon the in-flight worker (it finishes into its
-            # orphaned buffer) and redo the shard serially, bit-identically.
-            tel.counter("engine.shard.timeouts")
-            if events is not None:
-                events.record(
-                    SHARD_TIMEOUT, "MTTKRP", mode=mode,
-                    detail=f"shard {i}/{len(streams)} missed its "
-                           f"{cfg.shard_timeout:g}s deadline; re-executed serially",
-                    shard=i, nnz=streams[i].nnz,
-                )
-            partials[i] = run_stream(
-                streams[i], fmats, mode,
-                np.zeros((out_rows, rank), dtype=np.float64), cfg.chunk,
-            )
-        except Exception as exc:
-            # Worker died mid-shard: deterministic serial re-execution. If
-            # the shard is genuinely poisoned (e.g. a corrupted plan), the
-            # serial pass raises too and the caller's plan-repair fires.
-            tel.counter("engine.shard.retries")
-            if events is not None:
-                events.record(
-                    SHARD_RETRY, "MTTKRP", mode=mode,
-                    detail=f"shard {i}/{len(streams)} worker died "
-                           f"({type(exc).__name__}: {exc}); re-executed serially",
-                    shard=i, nnz=streams[i].nnz,
-                )
-            partials[i] = run_stream(
-                streams[i], fmats, mode,
-                np.zeros((out_rows, rank), dtype=np.float64), cfg.chunk,
-            )
-    return _tree_reduce(partials)
+
+def shutdown_pools() -> None:
+    """Tear down every live backend's workers (thread pools, processes).
+
+    Kept as the historically-named lifecycle hook for the old module-global
+    thread pools; delegates to
+    :func:`repro.engine.backends.shutdown_backends`, which is also run
+    ``atexit``. Safe to call at any point — backends respawn lazily.
+    """
+    from repro.engine.backends import shutdown_backends
+
+    shutdown_backends()
 
 
 def run_plan(
@@ -206,9 +124,14 @@ def run_plan(
     if cfg.shards > 1 and plan.stream.n_segments > 1:
         streams = plan.shard_streams(cfg.shards)
         if len(streams) > 1:
+            plan_ref = None
+            store_root = getattr(cfg, "plan_store", None)
+            store_key = getattr(plan, "store_key", None)
+            if store_root is not None and store_key is not None:
+                plan_ref = (store_root, store_key)
             return run_shards(
                 streams, fmats, mode, out_rows, rank, cfg,
-                faults=faults, events=events,
+                faults=faults, events=events, plan_ref=plan_ref,
             )
     out = np.zeros((out_rows, rank), dtype=np.float64)
     return run_stream(plan.stream, fmats, mode, out, cfg.chunk)

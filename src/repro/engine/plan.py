@@ -30,6 +30,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.engine.plan_store import store_key as _store_key
 from repro.kernels.partition import greedy_assign
 from repro.obs import current_telemetry
 
@@ -137,12 +138,16 @@ def _chunk_edges(bounds: np.ndarray, chunk: int) -> np.ndarray:
 class MttkrpPlan:
     """The cached preprocessing for one ``(tensor, format, mode)`` MTTKRP."""
 
-    __slots__ = ("mode", "out_rows", "stream", "_shards")
+    __slots__ = ("mode", "out_rows", "stream", "store_key", "_shards")
 
     def __init__(self, mode: int, out_rows: int, stream: SegmentStream):
         self.mode = mode
         self.out_rows = out_rows
         self.stream = stream
+        #: Key of this plan's on-disk :class:`~repro.engine.plan_store.
+        #: PlanStore` entry, when one exists — lets the process backend ship
+        #: shard work by reference instead of pickling streams per task.
+        self.store_key: str | None = None
         self._shards: dict[int, list[SegmentStream]] = {}
 
     @classmethod
@@ -266,8 +271,13 @@ class PlanCache:
     their plans; evicted or invalidated entries release everything.
     """
 
-    def __init__(self, max_tensors: int = 16):
+    def __init__(self, max_tensors: int = 16, store=None):
         self.max_tensors = int(max_tensors)
+        #: Optional :class:`~repro.engine.plan_store.PlanStore` tier: plan
+        #: misses probe the store before building, and fresh builds are
+        #: persisted under their content-fingerprint key. ``None`` keeps
+        #: the cache purely in-memory.
+        self.store = store
         self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
         self._by_content: dict[str, int] = {}
         self.hits = 0
@@ -293,12 +303,22 @@ class PlanCache:
         indices=None,
         values=None,
         validate: str = "cheap",
+        events=None,
     ) -> MttkrpPlan:
         """The cached plan for ``(tensor, fmt, mode)``; built on first use.
 
         ``indices``/``values`` override the arrays the plan is built from
         (used by the ALTO path, which plans over the decoded linearized
         order rather than the canonical COO order).
+
+        With a :attr:`store` attached, an in-memory miss probes the
+        on-disk tier under the content-fingerprint key before building —
+        the key depends only on tensor bytes, format, and mode, so plans
+        persisted by another process (or a previous run) are found — and
+        every fresh build is persisted back. A store entry that fails
+        validation is quarantined by the store (reported on *events* as
+        ``plan_repaired``) and simply counts as a miss here. ``indices``
+        overrides skip the store: the key cannot see the override arrays.
         """
         entry = self._entry(tensor, validate)
         key = (fmt, int(mode))
@@ -311,18 +331,46 @@ class PlanCache:
             plan = None
             self.record_repair(f"plan {fmt}/mode{mode} failed its integrity probe")
         if plan is None:
-            self.misses += 1
-            tel.counter("engine.plan.misses")
-            plan = MttkrpPlan.from_arrays(
-                tensor.indices if indices is None else indices,
-                tensor.values if values is None else values,
-                tensor.shape,
-                mode,
+            use_store = (
+                self.store is not None and indices is None and values is None
             )
+            skey = _store_key(entry.content, fmt, mode) if use_store else None
+            if skey is not None:
+                plan = self.store.load(skey, events=events)
+            if plan is None:
+                self.misses += 1
+                tel.counter("engine.plan.misses")
+                plan = MttkrpPlan.from_arrays(
+                    tensor.indices if indices is None else indices,
+                    tensor.values if values is None else values,
+                    tensor.shape,
+                    mode,
+                )
+                if skey is not None:
+                    try:
+                        self.store.save(skey, plan)
+                        plan.store_key = skey
+                    except OSError:  # store tier is best-effort
+                        pass
             entry.plans[key] = plan
         else:
             self.hits += 1
             tel.counter("engine.plan.hits")
+            # Backfill: a plan built before the store was attached (or
+            # whose entry was quarantined) is persisted on its next hit,
+            # so the on-disk tier converges to the in-memory contents.
+            if (
+                self.store is not None
+                and plan.store_key is None
+                and indices is None
+                and values is None
+            ):
+                skey = _store_key(entry.content, fmt, mode)
+                try:
+                    self.store.save(skey, plan)
+                    plan.store_key = skey
+                except OSError:
+                    pass
         return plan
 
     def block_plans(
@@ -449,6 +497,21 @@ class PlanCache:
     def invalidate(self, tensor) -> None:
         """Drop every cached plan/format of *tensor* (after mutating it)."""
         self._evict(id(tensor))
+
+    def drop_plans(self, tensor) -> int:
+        """Drop *tensor*'s in-memory plans, keeping format conversions.
+
+        The next :meth:`plan` lookup goes back through the store tier (when
+        one is attached) — the hook the chaos harness uses to force a
+        corrupted store entry onto the read path. Returns the number of
+        plan slots dropped.
+        """
+        entry = self._entries.get(id(tensor))
+        if entry is None or entry.tensor is not tensor:
+            return 0
+        dropped = len(entry.plans)
+        entry.plans.clear()
+        return dropped
 
     def corrupt(self, tensor, how: str = "bounds") -> int:
         """Deliberately corrupt *tensor*'s cached plans (chaos testing).

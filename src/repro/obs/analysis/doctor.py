@@ -17,9 +17,13 @@ watch:
   BLCO kernel records (max/mean nonzeros per block);
 - **checkpoint-resume gaps** — a resumed run that never re-armed
   checkpointing, leaving its post-resume progress unprotected;
+- **lost workers** — shard worker processes that died mid-run
+  (``worker_lost`` events / ``engine.backend.workers_lost``): recovered
+  bit-identically, but something is killing workers;
 - **degraded execution** — the run only finished because the execution
   layer healed itself: shard retries/timeouts, plan-cache repairs,
-  supervisor retries, ladder degradations, or format fallbacks.
+  plan-store quarantines, lost workers, supervisor retries, ladder
+  degradations, or format fallbacks.
 """
 
 from __future__ import annotations
@@ -301,6 +305,44 @@ def _detect_checkpoint_gaps(record: RunRecord) -> list[Finding]:
     return findings
 
 
+def _detect_lost_workers(record: RunRecord) -> list[Finding]:
+    """Process-backend worker deaths: every loss was recovered bit-identically,
+    but a nonzero count means something is killing workers (OOM, bad node,
+    chaos harness) and the run paid a serial redo per loss."""
+    lost_events = [e for e in record.events if e.kind == "worker_lost"]
+    lost = max(_counter(record, "engine.backend.workers_lost"), len(lost_events))
+    if lost == 0:
+        return []
+    respawns = _counter(record, "engine.backend.respawns")
+    exitcodes = sorted(
+        {e.data.get("exitcode") for e in lost_events
+         if e.data.get("exitcode") is not None}
+    )
+    codes = f" (worker exit codes: {exitcodes})" if exitcodes else ""
+    return [
+        Finding(
+            code="lost_workers",
+            severity="warn",
+            summary=(
+                f"{int(lost)} shard worker process(es) died mid-run and were "
+                f"respawned ({int(respawns)} respawns); each lost shard was "
+                f"re-executed serially{codes} — results are bit-identical, "
+                f"but find what is killing the workers (OOM killer, node "
+                f"health, injected faults)"
+            ),
+            evidence={
+                "workers_lost": lost,
+                "respawns": respawns,
+                "exitcodes": exitcodes,
+                "iterations": sorted(
+                    {e.iteration for e in lost_events if e.iteration is not None}
+                ),
+            },
+            score=float(lost),
+        )
+    ]
+
+
 def _detect_degraded_execution(record: RunRecord) -> list[Finding]:
     degraded = [e for e in record.events if e.kind == "execution_degraded"]
     fallbacks = [e for e in record.events if e.kind == "format_fallback"]
@@ -312,6 +354,8 @@ def _detect_degraded_execution(record: RunRecord) -> list[Finding]:
         "shard retries": _counter(record, "engine.shard.retries"),
         "shard timeouts": _counter(record, "engine.shard.timeouts"),
         "plan repairs": _counter(record, "engine.plan.repairs"),
+        "workers lost": _counter(record, "engine.backend.workers_lost"),
+        "store entries quarantined": _counter(record, "engine.store.quarantined"),
     }
     total = sum(counts.values()) + len(degraded) + len(fallbacks) + len(shard_events)
     if total == 0:
@@ -352,6 +396,7 @@ _DETECTORS = (
     _detect_fit_oscillation,
     _detect_blco_imbalance,
     _detect_checkpoint_gaps,
+    _detect_lost_workers,
     _detect_degraded_execution,
 )
 

@@ -16,13 +16,15 @@ loses hours of work. This package makes the stack survive those events:
 - :mod:`~repro.resilience.checkpoint` — atomic checkpoint/resume of the AO
   loop (bit-identical continuation).
 - :mod:`~repro.resilience.faults` — the seeded fault-injection harness the
-  ``faults``/``chaos`` test suites use to prove every recovery path fires
-  (numeric corruption plus the ``EXECUTE`` faults targeting the host
-  engine: worker crashes, stragglers, corrupted plans).
+  ``faults``/``chaos``/``procfaults`` test suites use to prove every
+  recovery path fires (numeric corruption plus the ``EXECUTE`` faults
+  targeting the host engine: worker crashes, real process kills,
+  stragglers, corrupted plans, corrupted plan-store entries).
 - :mod:`~repro.resilience.supervisor` — unattended-run supervision:
-  seeded-backoff retries, wall-clock deadlines, checkpoint auto-resume,
+  seeded-backoff retries, wall-clock deadlines (between attempts and
+  cooperatively at AO iteration boundaries), checkpoint auto-resume,
   and the graceful-degradation ladder
-  (sharded → chunked → serial engine → seed kernels).
+  (process → sharded → chunked → serial engine → seed kernels).
 """
 
 from repro.resilience.checkpoint import (
@@ -34,6 +36,7 @@ from repro.resilience.checkpoint import (
 from repro.resilience.events import EventLog, ResilienceError, ResilienceEvent
 from repro.resilience.faults import FaultInjector, FaultSpec, InjectedWorkerCrash
 from repro.resilience.supervisor import (
+    DeadlineInterrupt,
     RunSupervisor,
     SupervisorConfig,
     supervised_cstf,
@@ -49,6 +52,7 @@ from repro.resilience.policy import ResilienceContext, ResiliencePolicy
 __all__ = [
     "Checkpoint",
     "CheckpointCorrupt",
+    "DeadlineInterrupt",
     "EventLog",
     "FaultInjector",
     "FaultSpec",

@@ -35,6 +35,7 @@ SLICE_SKIPPED = "slice_skipped"
 # Execution-resilience kinds (shard fault tolerance + run supervision).
 SHARD_RETRY = "shard_retry"
 SHARD_TIMEOUT = "shard_timeout"
+WORKER_LOST = "worker_lost"
 PLAN_REPAIRED = "plan_repaired"
 RUN_RETRY = "run_retry"
 EXECUTION_DEGRADED = "execution_degraded"

@@ -26,6 +26,13 @@ layer* itself (the PR 4 host engine) rather than any array:
   at 1s), turning it into a straggler that trips the per-shard timeout.
 - ``"corrupt_plan"`` — a cached plan-cache entry is deliberately corrupted
   before lookup; the cache must detect, evict, and replan.
+- ``"kill_worker"`` — a *real* process kill: on the ``processes`` backend
+  the targeted shard worker SIGKILLs itself mid-task; the watchdog must
+  detect the dead process, respawn it, and redo the shard serially. On
+  thread backends (no process to kill) it degrades to ``worker_crash``.
+- ``"corrupt_store"`` — the on-disk plan-store entry the next dispatch
+  would read is damaged in place; the store must quarantine it on load
+  and the cache must replan.
 
 Execution faults are drawn from the same seeded generator as the numeric
 kinds, so a chaos campaign (``scripts/run_fault_suite.py``'s chaos stage)
@@ -67,7 +74,9 @@ NUMERIC_PHASES = ("GRAM", "MTTKRP", "UPDATE", "NORMALIZE")
 INJECTABLE_PHASES = NUMERIC_PHASES + ("EXECUTE",)
 
 _KINDS = ("nan", "inf", "perturb", "indefinite")
-_EXEC_KINDS = ("worker_crash", "slow_shard", "corrupt_plan")
+_EXEC_KINDS = (
+    "worker_crash", "slow_shard", "corrupt_plan", "kill_worker", "corrupt_store"
+)
 
 
 @dataclass(frozen=True)
@@ -202,13 +211,16 @@ class FaultInjector:
         """Which execution faults fire for an upcoming *n_shards* launch.
 
         Returns ``{kind: shard_index}`` for every firing ``worker_crash`` /
-        ``slow_shard`` spec. Must be called from the dispatching (main)
-        thread *before* workers launch, so the RNG stream order — and with
-        it the whole chaos campaign — stays deterministic.
+        ``slow_shard`` / ``kill_worker`` spec. Must be called from the
+        dispatching (main) thread *before* workers launch, so the RNG
+        stream order — and with it the whole chaos campaign — stays
+        deterministic.
         """
         fired: dict[str, int] = {}
         for spec in self.specs:
-            if spec.phase != "EXECUTE" or spec.kind not in ("worker_crash", "slow_shard"):
+            if spec.phase != "EXECUTE" or spec.kind not in (
+                "worker_crash", "slow_shard", "kill_worker"
+            ):
                 continue
             if not (self.rng.random() < spec.probability):
                 continue
@@ -249,6 +261,26 @@ class FaultInjector:
                     events.record(
                         FAULT_INJECTED, "EXECUTE", mode=mode,
                         detail="corrupted a cached plan before lookup",
+                        fault_kind=spec.kind,
+                    )
+        return fired
+
+    def draw_store_fault(
+        self, *, mode: int | None = None, events: EventLog | None = None
+    ) -> bool:
+        """Whether a ``corrupt_store`` fault fires for the next dispatch."""
+        fired = False
+        for spec in self.specs:
+            if spec.phase != "EXECUTE" or spec.kind != "corrupt_store":
+                continue
+            if self.rng.random() < spec.probability:
+                fired = True
+                self.injected += 1
+                if events is not None:
+                    events.record(
+                        FAULT_INJECTED, "EXECUTE", mode=mode,
+                        detail="corrupted the on-disk plan-store entry "
+                               "before lookup",
                         fault_kind=spec.kind,
                     )
         return fired

@@ -6,8 +6,11 @@ with seeded exponential backoff plus jitter; when retries at the current
 execution tier are exhausted the supervisor steps down the degradation
 ladder instead of giving up::
 
-    sharded engine  →  chunked engine  →  serial engine  →  seed kernels
+    process engine → sharded engine → chunked engine → serial engine → seed kernels
 
+(the ``process engine`` rung exists only when the run starts on the
+``processes`` execution backend; stepping down re-runs the same sharded
+configuration on in-process threads, losing crash isolation but not bits).
 Every path below the starting rung is bit-identical to it (the engine's
 rtol=0 guarantee), so degrading trades wall-clock for robustness and
 nothing else. A :class:`~repro.engine.driver.PlanBuildError` (a format
@@ -53,9 +56,21 @@ from repro.resilience.events import (
 from repro.utils.rng import as_generator
 from repro.utils.validation import require
 
-__all__ = ["SupervisorConfig", "RunSupervisor", "supervised_cstf"]
+__all__ = [
+    "SupervisorConfig",
+    "RunSupervisor",
+    "supervised_cstf",
+    "DeadlineInterrupt",
+]
 
 _PHASE = "SUPERVISE"
+
+
+class DeadlineInterrupt(Exception):
+    """Raised by the supervisor's in-run deadline guard at an AO iteration
+    boundary (via ``CstfConfig.on_iteration``) to stop a running attempt
+    cooperatively — after the driver has checkpointed the completed
+    iterate, when checkpointing is configured."""
 
 
 @dataclass(frozen=True)
@@ -70,9 +85,13 @@ class SupervisorConfig:
         its retries, the supervisor raises :class:`ResilienceError`.
     deadline:
         Total wall-clock budget in seconds across all attempts (``0``
-        disables). Checked between attempts — a running attempt is never
-        interrupted — and the backoff sleep is capped to the remaining
-        budget.
+        disables). Checked between attempts, *and* cooperatively inside a
+        running attempt at every completed AO iteration (via
+        ``CstfConfig.on_iteration``): a long-running attempt that crosses
+        the budget stops at the next iteration boundary with
+        :class:`DeadlineInterrupt`, checkpointing the completed iterate
+        first when checkpointing is configured. The backoff sleep is
+        capped to the remaining budget.
     backoff_base / backoff_max:
         Backoff before retry *k* at a rung is
         ``min(backoff_max, backoff_base * 2**k)`` seconds, scaled by the
@@ -120,6 +139,12 @@ def _ladder(engine):
 
     rungs = []
     if engine is not None:
+        if getattr(engine, "backend", "threads") == "processes" and engine.shards > 1:
+            # Top rung: isolated worker processes. One step down is the
+            # same sharded configuration on in-process threads — loses
+            # crash isolation, keeps the parallel numerics bit-identical.
+            rungs.append(("process engine", engine))
+            engine = replace(engine, backend="threads")
         if engine.shards > 1:
             rungs.append(("sharded engine", engine))
             chunk = engine.chunk if engine.chunk > 0 else EngineConfig().chunk
@@ -178,6 +203,28 @@ class RunSupervisor:
             and os.path.exists(os.fspath(path))
         )
 
+    def _deadline_guard(self, start: float):
+        """The ``on_iteration`` callback enforcing the in-run deadline.
+
+        Chains to any user-provided callback first (its exceptions win),
+        then raises :class:`DeadlineInterrupt` once the total budget is
+        crossed — the driver checkpoints the completed iterate before the
+        interrupt propagates back here.
+        """
+        inner = self.config.on_iteration
+
+        def guard(iteration: int) -> None:
+            if inner is not None:
+                inner(iteration)
+            elapsed = self.clock() - start
+            if elapsed >= self.sup.deadline:
+                raise DeadlineInterrupt(
+                    f"outer iteration {iteration} completed {elapsed:.3f}s "
+                    f"into a {self.sup.deadline:g}s deadline"
+                )
+
+        return guard
+
     def _check_deadline(self, start: float, context: str) -> None:
         if self.sup.deadline <= 0.0:
             return
@@ -216,8 +263,31 @@ class RunSupervisor:
                 self.config, engine=engine, mttkrp_format=fmt,
                 resume_from=resume_from,
             )
+            if self.sup.deadline > 0.0:
+                cfg = replace(cfg, on_iteration=self._deadline_guard(start))
             try:
                 result = cstf(tensor, cfg)
+            except DeadlineInterrupt as exc:
+                elapsed = self.clock() - start
+                checkpointed = (
+                    self.config.checkpoint_path is not None
+                    and os.path.exists(os.fspath(self.config.checkpoint_path))
+                )
+                self.events.record(
+                    DEADLINE_EXCEEDED, _PHASE,
+                    detail=f"in-run deadline guard stopped the attempt at an "
+                           f"iteration boundary ({exc})"
+                           + (f"; partial iterate checkpointed to "
+                              f"{self.config.checkpoint_path}"
+                              if checkpointed else ""),
+                    deadline=self.sup.deadline, elapsed=elapsed,
+                    checkpointed=checkpointed,
+                )
+                raise ResilienceError(
+                    f"supervised run blew its {self.sup.deadline:g}s deadline "
+                    f"(stopped cooperatively at an iteration boundary)",
+                    self.events,
+                ) from exc
             except PlanBuildError as exc:
                 if not self.sup.degrade or fmt == "coo":
                     raise ResilienceError(

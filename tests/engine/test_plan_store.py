@@ -1,0 +1,211 @@
+"""The crash-safe on-disk plan store: content-keyed round trips, checksum
+validation with quarantine-and-replan, and the PlanCache store tier that
+lets a fresh process (or a fresh cache) skip preprocessing entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    PlanCache,
+    PlanStore,
+    engine_mttkrp,
+    store_key,
+)
+from repro.engine.plan import MttkrpPlan, _content_hash
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.obs import telemetry_session
+from repro.resilience import EventLog
+from repro.tensor.synthetic import random_sparse
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_sparse((28, 22, 16), nnz=1100, seed=9)
+
+
+@pytest.fixture(scope="module")
+def factors(tensor):
+    rng = np.random.default_rng(2)
+    return [rng.random((d, 4)) for d in tensor.shape]
+
+
+def _plan(tensor, mode=0):
+    return MttkrpPlan.from_arrays(tensor.indices, tensor.values, tensor.shape, mode)
+
+
+def _key(tensor, mode=0, fmt="coo"):
+    return store_key(_content_hash(tensor), fmt, mode)
+
+
+class TestStoreKey:
+    def test_deterministic_and_mode_qualified(self, tensor):
+        assert _key(tensor, 0) == _key(tensor, 0)
+        assert _key(tensor, 0) != _key(tensor, 1)
+        assert _key(tensor, 0, "coo") != _key(tensor, 0, "alto")
+        assert _key(tensor, 0).endswith("-coo-m0")
+
+    def test_content_addressed(self, tensor):
+        """An equal copy in another process derives the same key — the
+        property the process backend's plan_ref shipping relies on."""
+        twin = random_sparse((28, 22, 16), nnz=1100, seed=9)
+        assert _key(twin) == _key(tensor)
+
+
+class TestRoundTrip:
+    def test_save_load_bit_identical(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        plan = _plan(tensor, mode=1)
+        key = _key(tensor, 1)
+        store.save(key, plan)
+        assert key in store
+        assert store.keys() == [key]
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.mode == plan.mode
+        assert loaded.out_rows == plan.out_rows
+        assert loaded.store_key == key
+        assert np.array_equal(loaded.stream.values, plan.stream.values)
+        assert np.array_equal(loaded.stream.starts, plan.stream.starts)
+        assert np.array_equal(loaded.stream.out_index, plan.stream.out_index)
+        for a, b in zip(loaded.stream.cols, plan.stream.cols):
+            assert np.array_equal(a, b)
+        assert store.stats() == {
+            "entries": 1, "hits": 1, "misses": 0, "writes": 1, "quarantined": 0,
+        }
+
+    def test_no_tmp_debris_after_save(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        store.save(_key(tensor), _plan(tensor))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_missing_key_is_a_counted_miss(self, tmp_path):
+        store = PlanStore(tmp_path)
+        with telemetry_session() as tel:
+            assert store.load("nope-coo-m0") is None
+        assert store.misses == 1
+        assert tel.metrics.summary()["counters"]["engine.store.misses"] == 1
+
+    def test_empty_store(self, tmp_path):
+        store = PlanStore(tmp_path / "never-created")
+        assert len(store) == 0
+        assert store.keys() == []
+
+
+class TestQuarantine:
+    def test_corrupt_entry_quarantined_with_event(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        key = _key(tensor)
+        store.save(key, _plan(tensor))
+        assert store.corrupt(key)
+        events = EventLog()
+        with telemetry_session() as tel:
+            assert store.load(key, events=events) is None
+        assert store.quarantined == 1
+        assert key not in store
+        assert (tmp_path / f"{key}.quarantine").exists()
+        (ev,) = events.of_kind("plan_repaired")
+        assert ev.phase == "STORE"
+        assert key in ev.detail
+        counters = tel.metrics.summary()["counters"]
+        assert counters["engine.store.quarantined"] == 1
+
+    def test_corrupt_missing_key_is_noop(self, tmp_path):
+        assert not PlanStore(tmp_path).corrupt("absent-coo-m0")
+
+    def test_garbage_file_quarantined(self, tmp_path):
+        store = PlanStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path("junk-coo-m0").write_bytes(b"this is not an npz archive")
+        assert store.load("junk-coo-m0") is None
+        assert store.quarantined == 1
+
+    def test_save_republishes_quarantined_key(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        key = _key(tensor)
+        store.save(key, _plan(tensor))
+        store.corrupt(key)
+        assert store.load(key) is None
+        store.save(key, _plan(tensor))
+        assert store.load(key) is not None
+
+
+class TestCacheStoreTier:
+    def test_fresh_build_is_persisted(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        cache = PlanCache(store=store)
+        plan = cache.plan(tensor, 0)
+        assert cache.misses == 1
+        assert store.misses == 1  # probed before building
+        assert store.writes == 1
+        assert plan.store_key == _key(tensor)
+
+    def test_second_cache_loads_instead_of_building(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        PlanCache(store=store).plan(tensor, 0)
+        # A fresh cache over an equal tensor (different object, same bytes)
+        # must find the persisted plan — the cross-process reuse story.
+        twin = random_sparse((28, 22, 16), nnz=1100, seed=9)
+        fresh = PlanCache(store=PlanStore(tmp_path))
+        plan = fresh.plan(twin, 0)
+        assert fresh.store.hits == 1
+        assert fresh.store.writes == 0
+        assert np.array_equal(plan.stream.values, _plan(tensor).stream.values)
+
+    def test_backfill_on_hit(self, tensor, tmp_path):
+        """A plan built before the store was attached is persisted on its
+        next hit, converging the disk tier to the in-memory contents."""
+        cache = PlanCache()
+        plan = cache.plan(tensor, 0)
+        assert plan.store_key is None
+        cache.store = PlanStore(tmp_path)
+        again = cache.plan(tensor, 0)
+        assert again is plan
+        assert cache.store.writes == 1
+        assert plan.store_key == _key(tensor)
+
+    def test_override_arrays_skip_store(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        cache = PlanCache(store=store)
+        order = np.argsort(tensor.indices[:, 0], kind="stable")
+        cache.plan(
+            tensor, 0,
+            indices=tensor.indices[order], values=tensor.values[order],
+        )
+        assert store.writes == 0 and store.misses == 0
+
+    def test_drop_plans_reloads_through_store(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        cache = PlanCache(store=store)
+        cache.plan(tensor, 0)
+        assert cache.drop_plans(tensor) == 1
+        cache.plan(tensor, 0)
+        assert store.hits == 1
+
+    def test_drop_plans_without_entry(self, tensor):
+        assert PlanCache().drop_plans(tensor) == 0
+
+
+class TestDriverIntegration:
+    def test_plan_store_config_populates_and_matches_seed(
+        self, tensor, factors, tmp_path
+    ):
+        cfg = EngineConfig(chunk=256, plan_store=tmp_path / "plans")
+        cache = PlanCache()
+        for mode in range(tensor.ndim):
+            ref = mttkrp_coo(tensor, factors, mode)
+            got = engine_mttkrp(tensor, factors, mode, "coo", cfg, cache)
+            assert np.array_equal(ref, got)
+        assert cache.store is not None
+        assert len(cache.store) == tensor.ndim  # one entry per mode
+        assert cache.store.writes == tensor.ndim
+
+    def test_second_run_hits_the_disk_tier(self, tensor, factors, tmp_path):
+        cfg = EngineConfig(chunk=256, plan_store=tmp_path / "plans")
+        engine_mttkrp(tensor, factors, 0, "coo", cfg, PlanCache())
+        cache = PlanCache()  # fresh in-memory cache, same store directory
+        got = engine_mttkrp(tensor, factors, 0, "coo", cfg, cache)
+        assert np.array_equal(got, mttkrp_coo(tensor, factors, 0))
+        assert cache.store.hits == 1
+        assert cache.misses == 0

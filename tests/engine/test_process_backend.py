@@ -1,0 +1,205 @@
+"""The process-isolation backend: real worker processes, real SIGKILLs.
+
+Everything here spawns OS processes, so the suite is marked ``procfaults``
+and excluded from tier-1 (``addopts = -m "not procfaults"``); it runs via
+``scripts/run_fault_suite.py --backend processes`` or an explicit
+``-m procfaults``. The invariant under test is the tentpole guarantee:
+every recovery path — watchdog-detected worker death, straggler kill,
+in-worker exception — produces bits identical to serial execution.
+"""
+
+import signal
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    PlanCache,
+    engine_mttkrp,
+    get_backend,
+    shutdown_backends,
+)
+from repro.engine.backends.processes import ProcessBackend
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.obs import telemetry_session
+from repro.resilience import EventLog, FaultInjector, FaultSpec
+from repro.tensor.synthetic import random_sparse
+
+pytestmark = pytest.mark.procfaults
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_sparse((40, 30, 20), nnz=2500, seed=3)
+
+
+@pytest.fixture(scope="module")
+def factors(tensor):
+    rng = np.random.default_rng(1)
+    return [rng.random((d, 6)) for d in tensor.shape]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _reap_workers():
+    """Leave no worker processes behind once the module is done."""
+    yield
+    shutdown_backends()
+
+
+def _cfg(**overrides):
+    kw = dict(shards=3, chunk=256, backend="processes")
+    kw.update(overrides)
+    return EngineConfig(**kw)
+
+
+class TestBitIdentity:
+    def test_matches_seed_all_modes(self, tensor, factors):
+        cache = PlanCache()
+        for mode in range(tensor.ndim):
+            ref = mttkrp_coo(tensor, factors, mode)
+            got = engine_mttkrp(tensor, factors, mode, "coo", _cfg(), cache)
+            assert np.array_equal(ref, got)
+
+    def test_repeated_dispatch_reuses_the_pool(self, tensor, factors):
+        backend = get_backend("processes")
+        cache = PlanCache()
+        engine_mttkrp(tensor, factors, 0, "coo", _cfg(), cache)
+        pids = [w.proc.pid for w in backend._workers]
+        engine_mttkrp(tensor, factors, 0, "coo", _cfg(), cache)
+        assert [w.proc.pid for w in backend._workers] == pids
+
+
+class TestKillWorker:
+    def test_sigkilled_worker_detected_and_shard_redone(self, tensor, factors):
+        ref = mttkrp_coo(tensor, factors, 0)
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "kill_worker", probability=1.0), seed=5
+        )
+        events = EventLog()
+        with telemetry_session() as tel:
+            got = engine_mttkrp(
+                tensor, factors, 0, "coo", _cfg(), PlanCache(),
+                faults=inj, events=events,
+            )
+        assert np.array_equal(ref, got)
+        lost = events.of_kind("worker_lost")
+        assert len(lost) == 1
+        # A real SIGKILL death, not a simulated one: the watchdog saw the
+        # negative exitcode and named the signal.
+        assert lost[0].data["exitcode"] == -signal.SIGKILL
+        assert "SIGKILL" in lost[0].detail
+        counters = tel.metrics.summary()["counters"]
+        assert counters["engine.backend.workers_lost"] == 1
+        assert counters["engine.backend.respawns"] >= 1
+
+    def test_pool_recovers_for_the_next_dispatch(self, tensor, factors):
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "kill_worker", probability=1.0), seed=8
+        )
+        cache = PlanCache()
+        events = EventLog()
+        engine_mttkrp(
+            tensor, factors, 0, "coo", _cfg(), cache,
+            faults=inj, events=events,
+        )
+        assert len(events.of_kind("worker_lost")) == 1
+        # The respawned pool serves the next (fault-free) dispatch cleanly.
+        got = engine_mttkrp(tensor, factors, 1, "coo", _cfg(), cache)
+        assert np.array_equal(got, mttkrp_coo(tensor, factors, 1))
+        assert len(events.of_kind("worker_lost")) == 1
+        backend = get_backend("processes")
+        assert all(w.alive() for w in backend._workers)
+
+
+class TestInWorkerException:
+    def test_crash_reply_redoes_shard_without_killing_worker(
+        self, tensor, factors
+    ):
+        ref = mttkrp_coo(tensor, factors, 0)
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "worker_crash", probability=1.0), seed=4
+        )
+        events = EventLog()
+        with telemetry_session() as tel:
+            got = engine_mttkrp(
+                tensor, factors, 0, "coo", _cfg(), PlanCache(),
+                faults=inj, events=events,
+            )
+        assert np.array_equal(ref, got)
+        (retry,) = events.of_kind("shard_retry")
+        assert "InjectedWorkerCrash" in retry.detail
+        assert events.of_kind("worker_lost") == []
+        counters = tel.metrics.summary()["counters"]
+        assert counters["engine.shard.retries"] == 1
+        assert "engine.backend.workers_lost" not in counters
+
+
+class TestStraggler:
+    def test_straggler_killed_and_shard_redone(self, tensor, factors):
+        ref = mttkrp_coo(tensor, factors, 0)
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "slow_shard", probability=1.0, magnitude=0.5),
+            seed=2,
+        )
+        events = EventLog()
+        with telemetry_session() as tel:
+            got = engine_mttkrp(
+                tensor, factors, 0, "coo", _cfg(shard_timeout=0.05),
+                PlanCache(), faults=inj, events=events,
+            )
+        assert np.array_equal(ref, got)
+        assert len(events.of_kind("shard_timeout")) == 1
+        assert tel.metrics.summary()["counters"]["engine.shard.timeouts"] == 1
+
+
+class TestPlanRefShipping:
+    def test_workers_load_plans_from_the_store(self, tensor, factors, tmp_path):
+        """With a plan store configured the task carries only the store key;
+        workers rebuild their shard stream from the persisted plan."""
+        cfg = _cfg(plan_store=tmp_path / "plans")
+        cache = PlanCache()
+        for mode in range(tensor.ndim):
+            ref = mttkrp_coo(tensor, factors, mode)
+            got = engine_mttkrp(tensor, factors, mode, "coo", cfg, cache)
+            assert np.array_equal(ref, got)
+        assert cache.store is not None and len(cache.store) == tensor.ndim
+
+    def test_store_backed_dispatch_survives_a_kill(self, tensor, factors, tmp_path):
+        cfg = _cfg(plan_store=tmp_path / "plans")
+        inj = FaultInjector(
+            FaultSpec("EXECUTE", "kill_worker", probability=1.0), seed=6
+        )
+        events = EventLog()
+        got = engine_mttkrp(
+            tensor, factors, 0, "coo", cfg, PlanCache(),
+            faults=inj, events=events,
+        )
+        assert np.array_equal(got, mttkrp_coo(tensor, factors, 0))
+        assert len(events.of_kind("worker_lost")) == 1
+
+
+class TestLifecycle:
+    def test_shutdown_stops_workers_and_is_idempotent(self, tensor, factors):
+        backend = get_backend("processes")
+        engine_mttkrp(tensor, factors, 0, "coo", _cfg(), PlanCache())
+        procs = [w.proc for w in backend._workers]
+        assert procs
+        backend.shutdown()
+        assert backend._workers == []
+        backend.shutdown()
+        # A later dispatch lazily rebuilds the pool.
+        got = engine_mttkrp(tensor, factors, 0, "coo", _cfg(), PlanCache())
+        assert np.array_equal(got, mttkrp_coo(tensor, factors, 0))
+
+    def test_fresh_backend_instance_is_independent(self, tensor, factors):
+        """Direct construction (outside the registry) works and cleans up."""
+        backend = ProcessBackend()
+        plan = PlanCache().plan(tensor, 0)
+        streams = plan.shard_streams(2)
+        got = backend.run_shards(
+            streams, [np.asarray(f) for f in factors], 0,
+            tensor.shape[0], 6, EngineConfig(shards=2, backend="processes"),
+        )
+        backend.shutdown()
+        assert np.array_equal(got, mttkrp_coo(tensor, factors, 0))

@@ -197,6 +197,55 @@ class TestSyntheticDetectors:
         assert all(f.code != "degraded_execution" for f in diagnose(rec))
 
 
+class TestLostWorkers:
+    """The process-backend worker-death detector."""
+
+    def _record(self):
+        rec = RunRecord()
+        rec.metrics_summary = {"counters": {}, "gauges": {}, "histograms": {}}
+        return rec
+
+    def test_lost_workers_flagged_with_exitcodes(self):
+        rec = self._record()
+        for i, it in enumerate([2, 5]):
+            rec.events.append(ResilienceTraceEvent(
+                kind="worker_lost", phase="MTTKRP", ts=float(i), mode=0,
+                iteration=it, data={"shard": i, "exitcode": -9}))
+        rec.metrics_summary["counters"]["engine.backend.workers_lost"] = 2
+        rec.metrics_summary["counters"]["engine.backend.respawns"] = 2
+        findings = diagnose(rec)
+        lost = next(f for f in findings if f.code == "lost_workers")
+        assert lost.severity == "warn"
+        assert lost.evidence["workers_lost"] == 2
+        assert lost.evidence["respawns"] == 2
+        assert lost.evidence["exitcodes"] == [-9]
+        assert lost.evidence["iterations"] == [2, 5]
+        assert "bit-identical" in lost.summary
+
+    def test_counter_alone_is_enough(self):
+        """A worker lost outside an event-logged dispatch (counter only)
+        still fires the detector."""
+        rec = self._record()
+        rec.metrics_summary["counters"]["engine.backend.workers_lost"] = 1
+        (finding,) = [f for f in diagnose(rec) if f.code == "lost_workers"]
+        assert finding.evidence["workers_lost"] == 1
+
+    def test_quiet_without_losses(self):
+        rec = self._record()
+        rec.metrics_summary["counters"]["engine.backend.respawns"] = 1
+        assert all(f.code != "lost_workers" for f in diagnose(rec))
+
+    def test_degraded_execution_counts_store_quarantines(self):
+        rec = self._record()
+        rec.metrics_summary["counters"]["engine.store.quarantined"] = 1
+        rec.metrics_summary["counters"]["engine.backend.workers_lost"] = 1
+        findings = diagnose(rec)
+        degraded = next(f for f in findings if f.code == "degraded_execution")
+        assert degraded.evidence["counters"]["store entries quarantined"] == 1
+        assert degraded.evidence["counters"]["workers lost"] == 1
+        assert "1 workers lost" in degraded.summary
+
+
 class TestRanking:
     def test_severity_then_score(self):
         findings = sorted(

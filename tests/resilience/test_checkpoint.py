@@ -231,7 +231,9 @@ class TestTornWriteProtection:
 
     def test_driver_run_survives_torn_checkpoint(self, tensor, tmp_path):
         """End to end: a resume pointed at a torn file transparently uses
-        the rotated generation and stays bit-identical from there."""
+        the rotated generation and stays bit-identical from there. The
+        driver surfaces the fallback as a ``checkpoint_corrupt`` event on
+        the run (the warning stays at the file-layer API)."""
         straight = cstf(tensor, rank=3, max_iters=6, seed=3, tol=0.0)
         path = tmp_path / "cp.npz"
         cstf(tensor, rank=3, max_iters=4, seed=3, tol=0.0,
@@ -239,9 +241,9 @@ class TestTornWriteProtection:
         # The primary holds iteration 4, the rotation iteration 2. Tear
         # the primary: the resume must fall back to iteration 2.
         path.write_bytes(path.read_bytes()[:100])
-        with pytest.warns(CheckpointCorrupt):
-            resumed = cstf(tensor, rank=3, max_iters=6, seed=3, tol=0.0,
-                           resume_from=path)
+        resumed = cstf(tensor, rank=3, max_iters=6, seed=3, tol=0.0,
+                       resume_from=path)
         assert resumed.start_iteration == 2
+        assert any(e.kind == "checkpoint_corrupt" for e in resumed.events)
         for a, b in zip(straight.kruskal.factors, resumed.kruskal.factors):
             assert np.array_equal(a, b)
