@@ -6,8 +6,15 @@ Checks every line of each file against ``repro.obs.schema.TELEMETRY_SCHEMA``
 confirms the stream converts to a loadable Chrome trace. Exit code 0 iff
 every file passes.
 
-Each file is read exactly once: the parsed records feed both the schema
-check (which counts them) and the Chrome-trace conversion.
+``--require-worker-spans`` adds the trace-completeness gate for captured
+sharded runs: every ``shard`` span must have at least one descendant span
+carrying worker attribution (a ``shard_kernel`` shipped back from the
+worker that executed it) — the guarantee that cross-process telemetry is
+not silently dropping kernel spans.
+
+Each file is read exactly once: the parsed records feed the schema check
+(which counts them), the completeness gate, and the Chrome-trace
+conversion.
 
 Run:  python scripts/check_trace.py [--quiet] run.jsonl [more.jsonl ...]
 """
@@ -26,7 +33,30 @@ from repro.obs.schema import validate_record  # noqa: E402
 from repro.obs.sinks import read_jsonl  # noqa: E402
 
 
-def check_file(path: str) -> tuple[list[str], int]:
+def check_worker_spans(records) -> list[str]:
+    """The trace-completeness gate: no executed shard may be span-silent.
+
+    Every ``shard`` span needs ≥1 descendant span with ``worker``
+    attribution; a sharded trace with no shard spans at all also fails —
+    that is the exact symptom this gate exists to catch.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    shard_spans = [s for s in spans if s.get("name") == "shard"]
+    if not shard_spans:
+        return ["--require-worker-spans: trace contains no shard spans"]
+    attributed = {s.get("parent") for s in spans if s.get("worker")}
+    problems = []
+    for s in shard_spans:
+        if s["id"] not in attributed:
+            problems.append(
+                f"--require-worker-spans: shard span #{s['id']} "
+                f"(shard {s.get('attrs', {}).get('shard')}) has no "
+                f"worker-attributed kernel span"
+            )
+    return problems
+
+
+def check_file(path: str, *, require_worker_spans: bool = False) -> tuple[list[str], int]:
     """Validate *path*; returns ``(problems, record_count)``.
 
     The file is opened once, with the handle released before validation
@@ -42,6 +72,10 @@ def check_file(path: str) -> tuple[list[str], int]:
         errors.extend(f"line {i}: {e}" for e in validate_record(rec))
     if errors:
         return errors, len(records)
+    if require_worker_spans:
+        errors = check_worker_spans(records)
+        if errors:
+            return errors, len(records)
     try:
         trace = telemetry_to_chrome_trace(records)
     except Exception as exc:  # defensive: schema-valid should always convert
@@ -56,6 +90,10 @@ def main(argv=None) -> int:
     parser.add_argument("files", nargs="+", help="telemetry JSONL files to validate")
     parser.add_argument("--quiet", action="store_true",
                         help="print failures only (for CI wrappers)")
+    parser.add_argument("--require-worker-spans", action="store_true",
+                        help="fail unless every shard span has >=1 "
+                             "worker-attributed kernel span beneath it "
+                             "(cross-process trace completeness)")
     args = parser.parse_args(argv)
 
     failed = 0
@@ -64,7 +102,9 @@ def main(argv=None) -> int:
             print(f"[FAIL] {path}: no such file")
             failed += 1
             continue
-        problems, count = check_file(path)
+        problems, count = check_file(
+            path, require_worker_spans=args.require_worker_spans
+        )
         if problems:
             failed += 1
             print(f"[FAIL] {path}")

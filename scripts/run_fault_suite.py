@@ -17,7 +17,10 @@ failure reproduces locally from the same command:
 plus a supervised chaos run on the ``processes`` execution backend that
 SIGKILLs a worker mid-MTTKRP *and* corrupts an on-disk plan-store entry,
 asserting bit-identical convergence with ``worker_lost`` and
-``plan_repaired`` events and a schema-valid trace.
+``plan_repaired`` events and a schema-valid trace. The trace check runs
+with ``--require-worker-spans`` (trace completeness): every executed shard
+must carry at least one worker-attributed kernel span, even across kills
+and respawns.
 
 Extra arguments are forwarded to pytest, e.g.::
 
@@ -161,7 +164,8 @@ print("chaos OK: faults=%d, recoveries=%s" % (
 # plan-store entry corrupted under the run. The watchdog must detect the
 # dead worker (worker_lost), the store must quarantine the damaged entry
 # (plan_repaired), and the factors must still match the serial-backend run
-# bit for bit. Trace stays schema-valid (checked by the caller).
+# bit for bit. Trace stays schema-valid and complete — every shard span
+# keeps a worker-attributed kernel span (checked by the caller).
 _PROCESS_CHAOS_SNIPPET = """
 import numpy as np
 from repro.core.config import CstfConfig
@@ -229,7 +233,7 @@ def _check_process_chaos(env) -> int:
             return code
         return subprocess.call(
             [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"),
-             "--quiet", str(trace)],
+             "--quiet", "--require-worker-spans", str(trace)],
             cwd=REPO_ROOT, env=env,
         )
 

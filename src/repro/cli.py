@@ -110,6 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--out", default="trace.json", metavar="PATH",
                      help="output Chrome-trace path (default: trace.json)")
 
+    wat = sub.add_parser("watch", help="live run monitor: tail a run's "
+                                       "telemetry JSONL and refresh in place")
+    wat.add_argument("jsonl", help="telemetry JSONL file another process is "
+                                   "writing (from --trace-out); opened "
+                                   "read-only, never modified")
+    wat.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                     help="poll/redraw interval (default: 0.5)")
+    wat.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                     help="stop after this many seconds (default: until the "
+                          "run's summary line or Ctrl-C)")
+    wat.add_argument("--once", action="store_true",
+                     help="render one frame from the current file contents "
+                          "and exit")
+    wat.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen "
+                          "(log-friendly)")
+
     def add_run_source(p):
         p.add_argument("source",
                        help="telemetry JSONL file (*.jsonl), or a .tns file / "
@@ -161,6 +178,9 @@ def _add_engine_args(p) -> None:
                    help="persist MTTKRP plans to an on-disk, crash-safe, "
                         "content-addressed store in DIR (implies --engine; "
                         "serves coo-format plans, pair with --format coo)")
+    p.add_argument("--plan-store-bytes", type=int, default=None, metavar="N",
+                   help="bound the plan store to N bytes with LRU eviction "
+                        "(requires --plan-store; 0 = unbounded)")
 
 
 def _engine_setting(args):
@@ -176,6 +196,8 @@ def _engine_setting(args):
             overrides["shards"] = default_shards()
     if getattr(args, "plan_store", None) is not None:
         overrides["plan_store"] = args.plan_store
+        if getattr(args, "plan_store_bytes", None) is not None:
+            overrides["plan_store_bytes"] = args.plan_store_bytes
     if overrides:
         return overrides
     engine = getattr(args, "engine", "off")
@@ -426,6 +448,25 @@ def _load_analysis_record(args, out):
     return cstf(tensor, config).telemetry
 
 
+def _cmd_watch(args, out) -> int:
+    import os as _os
+
+    from repro.obs.watch import watch_run
+
+    if not _os.path.exists(args.jsonl):
+        _err(f"repro watch: no such file: {args.jsonl}")
+        return 2
+    watch_run(
+        args.jsonl,
+        interval=args.interval,
+        duration=args.duration,
+        once=args.once,
+        clear=not args.no_clear,
+        out=out,
+    )
+    return 0
+
+
 def _cmd_perf(args, out) -> int:
     from repro.obs.analysis import analyze_trace, fusion_report, preinversion_report
 
@@ -500,6 +541,25 @@ def _cmd_perf(args, out) -> int:
             imbalance = gauges.get("engine.shard.imbalance", 0.0)
             print(f"engine sharding: {int(workers)} workers, "
                   f"{imbalance:.3f} load imbalance (max/mean; 1.0 = balanced)", file=out)
+    s_hits = counters.get("engine.store.hits", 0)
+    s_misses = counters.get("engine.store.misses", 0)
+    if s_hits or s_misses or counters.get("engine.store.writes", 0):
+        probes = s_hits + s_misses
+        rate = f" ({100 * s_hits / probes:.1f}% hit rate)" if probes else ""
+        print(f"plan store: {int(s_hits)} hits, {int(s_misses)} misses, "
+              f"{int(counters.get('engine.store.writes', 0))} writes, "
+              f"{int(counters.get('engine.store.evictions', 0))} evictions, "
+              f"{int(counters.get('engine.store.quarantined', 0))} quarantined"
+              f"{rate}", file=out)
+    batches = counters.get("obs.overhead.batches", 0)
+    if batches:
+        ship = counters.get("obs.overhead.worker_s", 0.0)
+        merge = counters.get("obs.overhead.merge_s", 0.0)
+        print(f"telemetry shipping: {int(batches)} worker batches, "
+              f"{int(counters.get('obs.overhead.spans', 0))} spans, "
+              f"self-cost {1e3 * (ship + merge):.2f} ms "
+              f"(worker {1e3 * ship:.2f} ms + merge {1e3 * merge:.2f} ms)",
+              file=out)
     return 0
 
 
@@ -588,6 +648,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "watch":
+        return _cmd_watch(args, out)
     if args.command == "perf":
         return _cmd_perf(args, out)
     if args.command == "doctor":

@@ -15,6 +15,16 @@ killed outright — is re-executed *serially on the dispatching thread* into
 a fresh accumulator. Each shard's summation order is private, so the redo
 is bit-identical to a clean run; the abandoned worker's orphaned buffer
 never enters the reduction.
+
+The observability contract is backend-independent too: every executed
+shard runs through :func:`run_shard_captured`, which records a
+``shard_kernel`` span (plus any counters the shard code touches) in a
+local :class:`~repro.obs.worker.WorkerTelemetrySession` and returns the
+drained batch alongside the partial. The dispatching side synthesizes one
+``shard`` span per shard under the ambient session's current span
+(:meth:`ExecutionBackend._finish_shard`) and merges the worker batch
+beneath it with pid/worker attribution — so a trace has the same shape
+whether the shard ran inline, on a thread, or in another process.
 """
 
 from __future__ import annotations
@@ -23,8 +33,38 @@ import numpy as np
 
 from repro.kernels.partition import imbalance
 from repro.obs import current_telemetry
+from repro.obs.worker import WorkerTelemetrySession, merge_worker_batch
 
-__all__ = ["ExecutionBackend", "tree_reduce"]
+__all__ = ["ExecutionBackend", "tree_reduce", "run_shard_captured"]
+
+
+def run_shard_captured(
+    stream, fmats, mode, out: np.ndarray, chunk: int, shard: int, *,
+    enabled: bool = True,
+):
+    """Execute one shard stream under a local capture session.
+
+    Returns ``(partial, batch)``: the accumulator and the drained
+    telemetry batch — a ``shard_kernel`` span plus whatever counters the
+    shard code bumped — ready for :func:`~repro.obs.worker.merge_worker_batch`.
+    With ``enabled=False`` the capture session is skipped entirely and the
+    batch is ``None`` (the zero-overhead path when telemetry is off).
+
+    This is the one shard entry point every backend shares: process
+    workers call it in the child, the threads backend calls it on pool
+    threads (whose contextvars never see the ambient session), and the
+    serial backend calls it inline — identical numerics, identical trace
+    shape.
+    """
+    from repro.engine.execute import run_stream
+
+    if not enabled:
+        return run_stream(stream, fmats, mode, out, chunk), None
+    session = WorkerTelemetrySession(worker_id=shard)
+    with session.activate():
+        with session.span("shard_kernel", shard=shard, mode=mode, nnz=stream.nnz):
+            result = run_stream(stream, fmats, mode, out, chunk)
+    return result, session.drain()
 
 
 def tree_reduce(partials: list[np.ndarray]) -> np.ndarray:
@@ -93,3 +133,44 @@ class ExecutionBackend:
             stream, fmats, mode,
             np.zeros((out_rows, rank), dtype=np.float64), chunk,
         )
+
+    @staticmethod
+    def _redo_captured(
+        stream, fmats, mode, out_rows: int, rank: int, chunk: int,
+        shard: int, *, enabled: bool = True,
+    ):
+        """Captured variant of :meth:`_redo_serial`: ``(partial, batch)``."""
+        return run_shard_captured(
+            stream, fmats, mode,
+            np.zeros((out_rows, rank), dtype=np.float64), chunk, shard,
+            enabled=enabled,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared post-shard bookkeeping
+    # ------------------------------------------------------------------ #
+    def _finish_shard(
+        self, tel, anchor: int | None, t0: float, shard: int, nnz: int,
+        batches, *, redone: bool = False, captured: bool = True,
+    ) -> None:
+        """Synthesize the parent-side ``shard`` span and merge worker batches.
+
+        *anchor* is the ambient session's current span id at dispatch time
+        (typically the driver's ``mttkrp`` span); *t0* the dispatch
+        timestamp on the session clock. Shard spans overlap in time, so
+        they cannot ride the LIFO span stack — :meth:`Telemetry.add_span`
+        records them as already-completed spans. When *captured* shards
+        ship no spans at all, the ``obs.worker.silent`` counter bumps —
+        the doctor's ``silent_worker`` evidence.
+        """
+        if not tel.enabled:
+            return
+        attrs = {"shard": int(shard), "nnz": int(nnz)}
+        if redone:
+            attrs["redone"] = True
+        span = tel.add_span("shard", t0, tel.now() - t0, parent=anchor, attrs=attrs)
+        merged = 0
+        for batch in batches or ():
+            merged += merge_worker_batch(tel, batch, anchor=span)
+        if captured and merged == 0:
+            tel.counter("obs.worker.silent")

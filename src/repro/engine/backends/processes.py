@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.engine.backends.base import ExecutionBackend, tree_reduce
 from repro.obs import current_telemetry
+from repro.obs.worker import merge_worker_batch
 from repro.resilience.events import SHARD_RETRY, SHARD_TIMEOUT, WORKER_LOST
 
 __all__ = ["ProcessBackend"]
@@ -65,16 +66,29 @@ HEARTBEAT = 0.02
 _NO_DEADLINE = float("inf")
 
 
-def _worker_main(conn, store_root) -> None:
-    """Worker loop: receive task dicts, answer ``("ok", partial)`` each.
+def _worker_main(conn, worker_id: int) -> None:
+    """Worker loop: receive task dicts, answer ``("ok", partial, batch)``.
 
     Runs until the parent sends ``None`` or closes the pipe. Exceptions
-    are answered as ``("error", message)`` and do not kill the worker; an
-    injected ``kill`` task dies by real ``SIGKILL`` before any reply, which
-    is exactly the silence the parent's watchdog must detect.
+    are answered as ``("error", message, batch)`` and do not kill the
+    worker; an injected ``kill`` task dies by real ``SIGKILL`` before any
+    reply, which is exactly the silence the parent's watchdog must detect.
+
+    Telemetry: the worker installs its own
+    :class:`~repro.obs.worker.WorkerTelemetrySession` as the ambient
+    session the moment it starts (the parent's session never crosses the
+    fork — see :mod:`repro.obs.spans`), so ``shard_kernel`` spans *and*
+    everything deep code bumps — plan-store hit/miss counters, gauges —
+    are captured locally. Each reply piggybacks the drained batch when the
+    task asked for capture; the ``None`` shutdown sentinel is answered
+    with a final ``("flush", batch)`` carrying whatever is still
+    unshipped, so end-of-run traces are never truncated.
     """
     from repro.engine.execute import run_stream
+    from repro.obs.worker import WorkerTelemetrySession
 
+    session = WorkerTelemetrySession(worker_id=worker_id)
+    session.push()
     store = None
     plans: dict = {}
     while True:
@@ -83,7 +97,13 @@ def _worker_main(conn, store_root) -> None:
         except (EOFError, OSError):
             return
         if task is None:
+            session.counter("obs.worker.flushes")
+            try:
+                conn.send(("flush", session.drain()))
+            except (OSError, ValueError):
+                pass
             return
+        capture = bool(task.get("telemetry"))
         try:
             if task.get("kill"):
                 os.kill(os.getpid(), signal.SIGKILL)
@@ -113,17 +133,29 @@ def _worker_main(conn, store_root) -> None:
                     plans[key] = plan
                 stream = plan.shard_streams(task["n_shards"])[task["shard"]]
             out = np.zeros((task["out_rows"], task["rank"]), dtype=np.float64)
-            result = run_stream(
-                stream, task["fmats"], task["mode"], out, task["chunk"]
-            )
+            if capture:
+                with session.span(
+                    "shard_kernel", shard=task["shard"], mode=task["mode"],
+                    nnz=stream.nnz,
+                ):
+                    result = run_stream(
+                        stream, task["fmats"], task["mode"], out, task["chunk"]
+                    )
+            else:
+                result = run_stream(
+                    stream, task["fmats"], task["mode"], out, task["chunk"]
+                )
         except BaseException as exc:  # noqa: BLE001 - reported, not fatal
             try:
-                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                conn.send((
+                    "error", f"{type(exc).__name__}: {exc}",
+                    session.drain() if capture else None,
+                ))
             except (OSError, ValueError):
                 return
         else:
             try:
-                conn.send(("ok", result))
+                conn.send(("ok", result, session.drain() if capture else None))
             except (OSError, ValueError):
                 return
 
@@ -137,7 +169,7 @@ class _Worker:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, None),
+            args=(child_conn, index),
             name=f"repro-shard-{index}",
             daemon=True,
         )
@@ -148,11 +180,27 @@ class _Worker:
     def alive(self) -> bool:
         return self.proc.is_alive()
 
-    def stop(self, grace: float = 0.2) -> None:
+    def stop(self, grace: float = 0.2) -> dict | None:
+        """Shut the worker down; returns its final telemetry flush batch.
+
+        The ``None`` sentinel is answered by a ``("flush", batch)`` reply
+        carrying everything the worker had not yet shipped; stale replies
+        from abandoned shards are skipped while waiting for it. Returns
+        ``None`` when the worker died before flushing.
+        """
+        batch = None
         try:
             if self.proc.is_alive():
                 self.conn.send(None)
-        except (OSError, ValueError):
+                deadline = time.monotonic() + grace
+                while time.monotonic() < deadline:
+                    if not self.conn.poll(HEARTBEAT):
+                        continue
+                    reply = self.conn.recv()
+                    if reply and reply[0] == "flush":
+                        batch = reply[1]
+                        break
+        except (EOFError, OSError, ValueError):
             pass
         self.proc.join(timeout=grace)
         if self.proc.is_alive():
@@ -160,6 +208,7 @@ class _Worker:
             self.proc.join(timeout=grace)
         self.conn.close()
         self.proc.close()
+        return batch
 
     def kill(self) -> None:
         try:
@@ -214,11 +263,17 @@ class ProcessBackend(ExecutionBackend):
 
     def shutdown(self) -> None:
         workers, self._workers = self._workers, []
+        tel = current_telemetry()
         for worker in workers:
             try:
-                worker.stop()
+                batch = worker.stop()
             except (OSError, ValueError):  # pragma: no cover - defensive
-                pass
+                batch = None
+            # Final flush: anything a worker had not shipped yet (metrics
+            # between shards, the flush counter itself) merges before the
+            # process is reaped, so end-of-run traces are not truncated.
+            if batch is not None:
+                merge_worker_batch(tel, batch)
 
     # ------------------------------------------------------------------ #
     def run_shards(
@@ -240,6 +295,9 @@ class ProcessBackend(ExecutionBackend):
         workers = self._ensure_workers(len(streams))
         fmats = [np.ascontiguousarray(f) for f in fmats]
 
+        tel = current_telemetry()
+        anchor = tel.current_span_id()
+        t_dispatch = tel.now()
         launched = time.monotonic()
         pending: list[bool] = [False] * len(streams)
         partials: list[np.ndarray | None] = [None] * len(streams)
@@ -248,6 +306,7 @@ class ProcessBackend(ExecutionBackend):
                 "mode": mode, "out_rows": out_rows, "rank": rank,
                 "chunk": cfg.chunk, "fmats": fmats, "shard": i,
                 "n_shards": cfg.shards,
+                "telemetry": tel.enabled,
                 "kill": injected.get("kill_worker") == i,
                 "crash": injected.get("worker_crash") == i,
                 "delay": delay if injected.get("slow_shard") == i else 0.0,
@@ -264,16 +323,22 @@ class ProcessBackend(ExecutionBackend):
             if not pending[i]:
                 # The task could not even be delivered (worker lost between
                 # launches); it was already counted — execute inline.
-                partials[i] = self._redo_serial(
-                    stream, fmats, mode, out_rows, rank, cfg.chunk
+                partials[i], batch = self._redo_captured(
+                    stream, fmats, mode, out_rows, rank, cfg.chunk, i,
+                    enabled=tel.enabled,
                 )
-                continue
-            deadline = _NO_DEADLINE
-            if cfg.shard_timeout > 0.0:
-                deadline = launched + cfg.shard_timeout
-            partials[i] = self._collect(
-                workers, i, stream, fmats, mode, out_rows, rank, cfg,
-                deadline, events,
+                batches, redone = [batch], True
+            else:
+                deadline = _NO_DEADLINE
+                if cfg.shard_timeout > 0.0:
+                    deadline = launched + cfg.shard_timeout
+                partials[i], batches, redone = self._collect(
+                    workers, i, stream, fmats, mode, out_rows, rank, cfg,
+                    deadline, events,
+                )
+            self._finish_shard(
+                tel, anchor, t_dispatch, i, stream.nnz, batches,
+                redone=redone, captured=tel.enabled,
             )
         return tree_reduce(partials)
 
@@ -298,16 +363,23 @@ class ProcessBackend(ExecutionBackend):
     def _collect(
         self, workers, i, stream, fmats, mode, out_rows, rank, cfg,
         deadline, events,
-    ) -> np.ndarray:
-        """Watchdog loop for one outstanding shard result."""
+    ) -> tuple:
+        """Watchdog loop for one outstanding shard result.
+
+        Returns ``(partial, batches, redone)``: the shard accumulator, the
+        worker telemetry batches to merge under this shard's span (the
+        piggybacked reply batch; on an in-worker exception, the failed
+        attempt's batch *and* the redo's), and whether the shard was
+        re-executed serially.
+        """
         tel = current_telemetry()
         worker = workers[i]
         while True:
             try:
                 if worker.conn.poll(HEARTBEAT):
-                    status, payload = worker.conn.recv()
+                    status, payload, batch = worker.conn.recv()
                     if status == "ok":
-                        return payload
+                        return payload, [batch], False
                     # In-worker exception: worker survives, shard redone.
                     tel.counter("engine.shard.retries")
                     if events is not None:
@@ -317,18 +389,22 @@ class ProcessBackend(ExecutionBackend):
                                    f"re-executed serially",
                             shard=i, nnz=stream.nnz,
                         )
-                    return self._redo_serial(
-                        stream, fmats, mode, out_rows, rank, cfg.chunk
+                    partial, redo_batch = self._redo_captured(
+                        stream, fmats, mode, out_rows, rank, cfg.chunk, i,
+                        enabled=tel.enabled,
                     )
+                    return partial, [batch, redo_batch], True
             except (EOFError, OSError):
                 # Pipe died under us: treat as a lost worker below.
                 pass
             if not worker.alive():
                 self._record_lost(worker, i, mode, events)
                 workers[i] = self._respawn(i)
-                return self._redo_serial(
-                    stream, fmats, mode, out_rows, rank, cfg.chunk
+                partial, batch = self._redo_captured(
+                    stream, fmats, mode, out_rows, rank, cfg.chunk, i,
+                    enabled=tel.enabled,
                 )
+                return partial, [batch], True
             if time.monotonic() >= deadline:
                 # Straggler: kill it (its private accumulator dies with it)
                 # and redo the shard serially, bit-identically.
@@ -343,9 +419,11 @@ class ProcessBackend(ExecutionBackend):
                     )
                 self._respawn(i)
                 workers[i] = self._workers[i]
-                return self._redo_serial(
-                    stream, fmats, mode, out_rows, rank, cfg.chunk
+                partial, batch = self._redo_captured(
+                    stream, fmats, mode, out_rows, rank, cfg.chunk, i,
+                    enabled=tel.enabled,
                 )
+                return partial, [batch], True
 
     def _record_lost(self, worker, i, mode, events, *, context=None) -> None:
         exitcode = worker.proc.exitcode

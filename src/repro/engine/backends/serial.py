@@ -13,8 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.backends.base import ExecutionBackend, tree_reduce
-from repro.engine.execute import run_stream
+from repro.engine.backends.base import (
+    ExecutionBackend,
+    run_shard_captured,
+    tree_reduce,
+)
+from repro.obs import current_telemetry
 
 __all__ = ["SerialBackend"]
 
@@ -27,11 +31,19 @@ class SerialBackend(ExecutionBackend):
         faults=None, events=None, plan_ref=None,
     ) -> np.ndarray:
         self._announce(streams)
-        partials = [
-            run_stream(
+        tel = current_telemetry()
+        anchor = tel.current_span_id()
+        partials = []
+        for i, stream in enumerate(streams):
+            t0 = tel.now()
+            partial, batch = run_shard_captured(
                 stream, fmats, mode,
-                np.zeros((out_rows, rank), dtype=np.float64), cfg.chunk,
+                np.zeros((out_rows, rank), dtype=np.float64), cfg.chunk, i,
+                enabled=tel.enabled,
             )
-            for stream in streams
-        ]
+            self._finish_shard(
+                tel, anchor, t0, i, stream.nnz, [batch],
+                captured=tel.enabled,
+            )
+            partials.append(partial)
         return tree_reduce(partials)

@@ -28,23 +28,36 @@ import time
 
 import numpy as np
 
-from repro.engine.backends.base import ExecutionBackend, tree_reduce
-from repro.engine.execute import run_stream
+from repro.engine.backends.base import (
+    ExecutionBackend,
+    run_shard_captured,
+    tree_reduce,
+)
 from repro.obs import current_telemetry
 from repro.resilience.events import SHARD_RETRY, SHARD_TIMEOUT
 
 __all__ = ["ThreadsBackend"]
 
 
-def _chaos_worker(stream, fmats, mode, partial, chunk, *, crash=False, delay=0.0):
-    """Shard worker wrapper carrying the injected execution faults."""
+def _chaos_worker(
+    stream, fmats, mode, partial, chunk, shard, *,
+    crash=False, delay=0.0, capture=True,
+):
+    """Shard worker wrapper carrying the injected execution faults.
+
+    Pool threads never inherit the ambient contextvars session, so — like
+    a process worker — the shard runs under its own local capture session
+    and ships the batch back with the partial: ``(partial, batch)``.
+    """
     if delay > 0.0:
         time.sleep(delay)
     if crash:
         from repro.resilience.faults import InjectedWorkerCrash
 
         raise InjectedWorkerCrash(f"injected worker crash on mode-{mode} shard")
-    return run_stream(stream, fmats, mode, partial, chunk)
+    return run_shard_captured(
+        stream, fmats, mode, partial, chunk, shard, enabled=capture
+    )
 
 
 class ThreadsBackend(ExecutionBackend):
@@ -104,21 +117,25 @@ class ThreadsBackend(ExecutionBackend):
             np.zeros((out_rows, rank), dtype=np.float64) for _ in streams
         ]
         pool = self._pool(len(streams))
+        anchor = tel.current_span_id()
+        t_dispatch = tel.now()
         launched = time.monotonic()
         futures = [
             pool.submit(
-                _chaos_worker, stream, fmats, mode, partial, cfg.chunk,
+                _chaos_worker, stream, fmats, mode, partial, cfg.chunk, i,
                 crash=crash_shard == i,
                 delay=delay if injected.get("slow_shard") == i else 0.0,
+                capture=tel.enabled,
             )
             for i, (stream, partial) in enumerate(zip(streams, partials))
         ]
         for i, future in enumerate(futures):
             budget = None
+            redone = False
             if cfg.shard_timeout > 0.0:
                 budget = max(0.0, cfg.shard_timeout - (time.monotonic() - launched))
             try:
-                future.result(timeout=budget)
+                partials[i], batch = future.result(timeout=budget)
             except concurrent.futures.TimeoutError:
                 # Straggler: abandon the in-flight worker (it finishes into
                 # its orphaned buffer) and redo the shard serially.
@@ -131,9 +148,11 @@ class ThreadsBackend(ExecutionBackend):
                                f"re-executed serially",
                         shard=i, nnz=streams[i].nnz,
                     )
-                partials[i] = self._redo_serial(
-                    streams[i], fmats, mode, out_rows, rank, cfg.chunk
+                partials[i], batch = self._redo_captured(
+                    streams[i], fmats, mode, out_rows, rank, cfg.chunk, i,
+                    enabled=tel.enabled,
                 )
+                redone = True
             except Exception as exc:
                 # Worker died mid-shard: deterministic serial re-execution.
                 # If the shard is genuinely poisoned (e.g. a corrupted
@@ -148,7 +167,13 @@ class ThreadsBackend(ExecutionBackend):
                                f"re-executed serially",
                         shard=i, nnz=streams[i].nnz,
                     )
-                partials[i] = self._redo_serial(
-                    streams[i], fmats, mode, out_rows, rank, cfg.chunk
+                partials[i], batch = self._redo_captured(
+                    streams[i], fmats, mode, out_rows, rank, cfg.chunk, i,
+                    enabled=tel.enabled,
                 )
+                redone = True
+            self._finish_shard(
+                tel, anchor, t_dispatch, i, streams[i].nnz, [batch],
+                redone=redone, captured=tel.enabled,
+            )
         return tree_reduce(partials)

@@ -66,6 +66,13 @@ class EngineConfig:
         ``processes`` backend, or the next CLI run over the same tensor
         — skip preprocessing. Corrupt entries are quarantined and
         replanned, never trusted.
+    plan_store_bytes:
+        On-disk budget for the plan store in bytes (``0`` = unbounded,
+        the default). When set, every save evicts least-recently-used
+        entries (mtime order; loads touch entries) until the store —
+        including quarantine residue, which is evicted first — fits the
+        budget. Evictions are counted (``engine.store.evictions``).
+        Ignored when ``plan_store`` is ``None``.
     gram_rescale:
         Reuse the Gram matrix of the *unnormalized* update result via a
         rank-one λ-rescale (``G(H/λ) = G(H)/(λλᵀ)``) instead of a separate
@@ -91,6 +98,7 @@ class EngineConfig:
     shard_timeout: float = 0.0
     backend: str = "threads"
     plan_store: str | None = None
+    plan_store_bytes: int = 0
     gram_rescale: bool = False
     max_tensors: int = 16
     validate: str = "cheap"
@@ -107,6 +115,8 @@ class EngineConfig:
         )
         if self.plan_store is not None:
             object.__setattr__(self, "plan_store", os.fspath(self.plan_store))
+        require(int(self.plan_store_bytes) >= 0, "plan_store_bytes must be >= 0")
+        object.__setattr__(self, "plan_store_bytes", int(self.plan_store_bytes))
         object.__setattr__(
             self, "max_tensors", check_positive_int(self.max_tensors, "max_tensors")
         )

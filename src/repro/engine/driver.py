@@ -212,7 +212,9 @@ def engine_mttkrp(
     ):
         from repro.engine.plan_store import PlanStore
 
-        cache.store = PlanStore(cfg.plan_store)
+        cache.store = PlanStore(
+            cfg.plan_store, max_bytes=cfg.plan_store_bytes or None
+        )
 
     if faults is not None and faults.draw_plan_fault(mode=mode, events=events):
         cache.corrupt(tensor)

@@ -26,8 +26,10 @@ writes):
   ``plan_repaired`` resilience events.
 
 Store traffic is counted through the ambient telemetry session
-(``engine.store.hits`` / ``engine.store.misses`` / ``engine.store.writes``)
-and mirrored on the instance for direct assertion in tests.
+(``engine.store.hits`` / ``engine.store.misses`` / ``engine.store.writes``
+/ ``engine.store.evictions``) and mirrored on the instance for direct
+assertion in tests. An optional ``max_bytes`` budget bounds the on-disk
+footprint with LRU-by-mtime eviction (quarantine residue goes first).
 """
 
 from __future__ import annotations
@@ -75,14 +77,26 @@ def _payload_digest(arrays: dict) -> str:
 
 
 class PlanStore:
-    """Content-keyed directory of serialized :class:`MttkrpPlan` entries."""
+    """Content-keyed directory of serialized :class:`MttkrpPlan` entries.
 
-    def __init__(self, root):
+    ``max_bytes`` bounds the on-disk footprint: after every save the store
+    evicts entries least-recently-*used* first (mtime order — loads touch
+    the entry, so a hot plan survives) until the live ``.npz`` payload
+    plus any ``.quarantine`` residue fits the budget. Quarantined files
+    count against the budget and are evicted before any live entry — dead
+    bytes go first. Evictions are counted (``engine.store.evictions``) and
+    surfaced by ``repro perf``; ``max_bytes=None`` (the default) keeps the
+    store unbounded.
+    """
+
+    def __init__(self, root, max_bytes: int | None = None):
         self.root = Path(root)
+        self.max_bytes = int(max_bytes) if max_bytes else None
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     def path(self, key: str) -> Path:
@@ -135,7 +149,52 @@ class PlanStore:
         os.replace(tmp, path)
         self.writes += 1
         current_telemetry().counter("engine.store.writes")
+        if self.max_bytes is not None:
+            self._enforce_budget(keep=path)
         return path
+
+    def _enforce_budget(self, keep: Path | None = None) -> None:
+        """Evict entries (LRU by mtime) until the store fits ``max_bytes``.
+
+        Quarantined residue is charged against the budget and evicted
+        first; the just-written *keep* entry is never evicted, so a plan
+        larger than the whole budget still persists (the store then holds
+        exactly that one entry).
+        """
+        candidates: list[tuple[int, float, int, Path]] = []  # (tier, mtime, size, path)
+        total = 0
+        for pattern, tier in ((".quarantine", 0), (".npz", 1)):
+            for path in self.root.glob(f"*{pattern}"):
+                try:
+                    st = path.stat()
+                except OSError:  # pragma: no cover - racing removal
+                    continue
+                total += st.st_size
+                if keep is not None and path == keep:
+                    continue
+                candidates.append((tier, st.st_mtime, st.st_size, path))
+        if total <= self.max_bytes:
+            return
+        candidates.sort()  # dead quarantine bytes first, then oldest-used
+        for _tier, _mtime, size, path in candidates:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - racing removal
+                continue
+            total -= size
+            self.evictions += 1
+            current_telemetry().counter("engine.store.evictions")
+
+    def _total_bytes(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(
+            p.stat().st_size
+            for pattern in ("*.npz", "*.quarantine")
+            for p in self.root.glob(pattern)
+        )
 
     def load(self, key: str, *, events=None):
         """The plan stored under *key*, or ``None`` on miss.
@@ -189,6 +248,12 @@ class PlanStore:
             return None
         self.hits += 1
         tel.counter("engine.store.hits")
+        try:
+            # LRU touch: a loaded entry is "recently used", so the budget
+            # enforcer evicts cold plans before hot ones.
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only store is still usable
+            pass
         return plan
 
     def _quarantine(self, key: str, path: Path, exc: Exception, events) -> None:
@@ -237,6 +302,9 @@ class PlanStore:
             "misses": self.misses,
             "writes": self.writes,
             "quarantined": self.quarantined,
+            "evictions": self.evictions,
+            "bytes": self._total_bytes(),
+            "max_bytes": self.max_bytes,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -14,7 +14,10 @@ breakdowns and counters (Figures 1/3/4) — as a first-class subsystem:
 - :mod:`repro.obs.chrome` — the Chrome-trace/Perfetto exporter that puts
   host spans, simulated kernels, and resilience events on one timeline;
 - :mod:`repro.obs.schema` — the JSONL line contract (JSON Schema) and its
-  validator.
+  validator;
+- :mod:`repro.obs.worker` — cross-process telemetry: the worker-side
+  capture session and the parent-side batch merger;
+- :mod:`repro.obs.watch` — the live run monitor behind ``repro watch``.
 
 Enable per run (``cstf(..., telemetry="on")``), per session
 (:func:`telemetry_session`), or not at all — the default is a no-op with
@@ -28,7 +31,12 @@ from repro.obs.chrome import (
 )
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.record import KernelEvent, ResilienceTraceEvent, RunRecord, Span
-from repro.obs.schema import TELEMETRY_SCHEMA, validate_jsonl, validate_record
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    TELEMETRY_SCHEMA,
+    validate_jsonl,
+    validate_record,
+)
 from repro.obs.sinks import JsonlSink, read_jsonl
 from repro.obs.spans import (
     NULL,
@@ -38,6 +46,8 @@ from repro.obs.spans import (
     resolve_telemetry,
     telemetry_session,
 )
+from repro.obs.watch import JsonlTail, RunMonitor
+from repro.obs.worker import WorkerTelemetrySession, merge_worker_batch
 
 __all__ = [
     "Telemetry",
@@ -57,7 +67,12 @@ __all__ = [
     "telemetry_to_chrome_trace",
     "jsonl_to_chrome_trace",
     "write_telemetry_chrome_trace",
+    "SCHEMA_VERSION",
     "TELEMETRY_SCHEMA",
     "validate_record",
     "validate_jsonl",
+    "WorkerTelemetrySession",
+    "merge_worker_batch",
+    "JsonlTail",
+    "RunMonitor",
 ]

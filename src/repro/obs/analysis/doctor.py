@@ -20,6 +20,9 @@ watch:
 - **lost workers** — shard worker processes that died mid-run
   (``worker_lost`` events / ``engine.backend.workers_lost``): recovered
   bit-identically, but something is killing workers;
+- **silent workers** — shards that returned results but shipped no
+  worker-attributed kernel spans (``obs.worker.silent``): the numbers are
+  fine, the cross-process telemetry path is not;
 - **degraded execution** — the run only finished because the execution
   layer healed itself: shard retries/timeouts, plan-cache repairs,
   plan-store quarantines, lost workers, supervisor retries, ladder
@@ -343,6 +346,45 @@ def _detect_lost_workers(record: RunRecord) -> list[Finding]:
     ]
 
 
+def _detect_silent_workers(record: RunRecord) -> list[Finding]:
+    """Shards that returned results but shipped no kernel spans.
+
+    Every captured shard should merge at least one worker-attributed
+    ``shard_kernel`` span under its ``shard`` span; a shard span with no
+    attributed descendants means the worker's telemetry was lost or its
+    capture is stuck — the numbers are fine, the observability is not."""
+    shard_spans = [s for s in record.spans if s.name == "shard"]
+    if not shard_spans:
+        return []
+    attributed_parents = {
+        s.parent for s in record.spans
+        if s.worker is not None and s.parent is not None
+    }
+    silent = [s for s in shard_spans if s.id not in attributed_parents]
+    counted = _counter(record, "obs.worker.silent")
+    if not silent and counted == 0:
+        return []
+    span_ids = [s.id for s in silent[:8]]
+    shards = sorted({s.attrs.get("shard") for s in silent
+                     if s.attrs.get("shard") is not None})
+    n = max(len(silent), int(counted))
+    return [
+        Finding(
+            code="silent_worker",
+            severity="warn",
+            summary=(
+                f"{n} shard(s) returned results but shipped no kernel spans "
+                f"(shard indices {shards}): worker telemetry was lost or the "
+                f"capture session is stuck — numerics are unaffected, but "
+                f"per-worker attribution has holes"
+            ),
+            evidence={"span_ids": span_ids, "shards": shards,
+                      "silent_counter": counted},
+            score=float(n),
+        )
+    ]
+
+
 def _detect_degraded_execution(record: RunRecord) -> list[Finding]:
     degraded = [e for e in record.events if e.kind == "execution_degraded"]
     fallbacks = [e for e in record.events if e.kind == "format_fallback"]
@@ -356,6 +398,7 @@ def _detect_degraded_execution(record: RunRecord) -> list[Finding]:
         "plan repairs": _counter(record, "engine.plan.repairs"),
         "workers lost": _counter(record, "engine.backend.workers_lost"),
         "store entries quarantined": _counter(record, "engine.store.quarantined"),
+        "silent workers": _counter(record, "obs.worker.silent"),
     }
     total = sum(counts.values()) + len(degraded) + len(fallbacks) + len(shard_events)
     if total == 0:
@@ -397,6 +440,7 @@ _DETECTORS = (
     _detect_blco_imbalance,
     _detect_checkpoint_gaps,
     _detect_lost_workers,
+    _detect_silent_workers,
     _detect_degraded_execution,
 )
 

@@ -74,6 +74,7 @@ def _from_records(records) -> RunRecord:
                     dur=float(obj["dur"]),
                     sim=dict(obj["sim"]) if obj.get("sim") else None,
                     open=False,
+                    worker=dict(obj["worker"]) if obj.get("worker") else None,
                 )
             )
         elif kind == "kernel":

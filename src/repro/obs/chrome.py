@@ -1,14 +1,22 @@
 """Chrome-trace (``chrome://tracing`` / Perfetto) exporter.
 
 Renders one unified timeline from a telemetry source — a live
-:class:`~repro.obs.record.RunRecord` or an emitted JSONL file — with three
-process tracks:
+:class:`~repro.obs.record.RunRecord` or an emitted JSONL file — with
+these process tracks:
 
-- **host** (pid 1): the hierarchical span tree as complete (``X``) events;
+- **host** (pid 1): the hierarchical span tree as complete (``X``)
+  events. Thread 1 carries the ordinary LIFO span stack; synthesized
+  per-shard ``shard`` spans (which overlap in time) each get their own
+  ``shard <i>`` thread so concurrent shards render side by side;
 - **device (simulated)** (pid 2): the simulated kernel stream, one thread
   per cSTF phase, laid out back-to-back in simulated time;
 - **resilience** (pid 3): every resilience-layer action as an instant
-  (``i``) event at the host time it fired.
+  (``i``) event at the host time it fired;
+- **worker <slot>** (pid 10+slot): spans shipped from pool workers
+  (schema-v2 ``worker`` attribution). The *slot* keys the track, so a
+  worker that is killed and respawned stays on the same named track; the
+  OS pid of the process that actually ran each span is the thread, so a
+  respawn is visible as a new ``pid <n>`` lane inside the track.
 
 Host and simulated tracks use their own time bases (host wall time vs.
 simulated device seconds); they share the viewport, not a clock.
@@ -29,6 +37,10 @@ PID_HOST = 1
 PID_DEVICE = 2
 PID_RESILIENCE = 3
 
+#: Base pid for per-worker tracks: worker slot *w* renders as pid
+#: ``PID_WORKERS + w``, stable across respawns of that slot.
+PID_WORKERS = 10
+
 
 def _meta_event(pid: int, name: str, tid: int = 0, kind: str = "process_name") -> dict:
     return {"name": kind, "ph": "M", "pid": pid, "tid": tid, "args": {"name": name}}
@@ -46,24 +58,57 @@ def telemetry_to_chrome_trace(source) -> dict:
         _meta_event(PID_RESILIENCE, "events", tid=1, kind="thread_name"),
     ]
 
+    worker_tracks: dict[int, set[int]] = {}
+    shard_tids: dict[int, int] = {}
     for s in spans:
         args = {k: v for k, v in s["attrs"].items()}
         if s.get("sim"):
             args["sim_seconds"] = s["sim"]["seconds"]
             args["sim_flops"] = s["sim"]["flops"]
             args["sim_bytes"] = s["sim"]["bytes"]
+        worker = s.get("worker")
+        if worker:
+            # Worker-shipped span: its own process track keyed by the
+            # worker *slot* (stable across respawns); the OS pid is the
+            # thread, so a respawned slot shows a new pid lane.
+            slot = int(worker.get("id", 0))
+            ospid = int(worker.get("pid", 0))
+            pid, tid = PID_WORKERS + slot, ospid
+            worker_tracks.setdefault(slot, set()).add(ospid)
+            args["worker_pid"] = ospid
+        elif s["name"] == "shard":
+            # Overlapping per-shard spans render side by side, one host
+            # thread per shard index.
+            shard = int(s["attrs"].get("shard", 0))
+            tid = shard_tids.setdefault(shard, 2 + shard)
+            pid = PID_HOST
+        else:
+            pid, tid = PID_HOST, 1
         trace_events.append(
             {
                 "name": s["name"],
-                "cat": "host",
+                "cat": "host" if pid == PID_HOST else "worker",
                 "ph": "X",
                 "ts": round(s["ts"] * 1e6, 3),
                 "dur": round(s["dur"] * 1e6, 3),
-                "pid": PID_HOST,
-                "tid": 1,
+                "pid": pid,
+                "tid": tid,
                 "args": args,
             }
         )
+    for shard, tid in shard_tids.items():
+        trace_events.append(
+            _meta_event(PID_HOST, f"shard {shard}", tid=tid, kind="thread_name")
+        )
+    for slot, ospids in sorted(worker_tracks.items()):
+        trace_events.append(_meta_event(PID_WORKERS + slot, f"worker {slot}"))
+        for ospid in sorted(ospids):
+            trace_events.append(
+                _meta_event(
+                    PID_WORKERS + slot, f"pid {ospid}", tid=ospid,
+                    kind="thread_name",
+                )
+            )
 
     phase_tids: dict[str, int] = {}
     for k in kernels:

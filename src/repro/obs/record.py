@@ -33,6 +33,9 @@ class Span:
     dur: float = 0.0
     sim: dict | None = None
     open: bool = True
+    worker: dict | None = None
+    """Cross-process attribution when the span ran in a pool worker:
+    ``{"pid": <OS pid>, "id": <worker slot>}`` (schema version 2)."""
 
 
 @dataclass(frozen=True)
@@ -136,6 +139,7 @@ class RunRecord:
                     "id": s.id, "parent": s.parent, "name": s.name,
                     "ts": s.t0, "dur": s.dur, "attrs": dict(s.attrs),
                     "sim": dict(s.sim) if s.sim else None,
+                    **({"worker": dict(s.worker)} if s.worker else {}),
                 }
                 for s in self.spans
             ],

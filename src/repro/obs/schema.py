@@ -15,7 +15,20 @@ events are schema-checked too.
 
 from __future__ import annotations
 
-__all__ = ["TELEMETRY_SCHEMA", "check_schema", "validate_record", "validate_jsonl"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA",
+    "check_schema",
+    "validate_record",
+    "validate_jsonl",
+]
+
+SCHEMA_VERSION = 2
+"""Current JSONL line-contract version, stamped into ``meta`` lines.
+
+Version 2 adds the optional ``worker`` field on span lines (cross-process
+attribution: the worker slot and OS pid that actually ran the span).
+Version-1 files remain valid — the field is optional, never required."""
 
 _NUM = {"type": "number"}
 _STR = {"type": "string"}
@@ -49,6 +62,12 @@ TELEMETRY_SCHEMA: dict = {
                     "type": ["object", "null"],
                     "required": ["seconds", "flops", "bytes"],
                     "properties": {"seconds": _NUM, "flops": _NUM, "bytes": _NUM},
+                },
+                # Optional since version 2: cross-process attribution.
+                "worker": {
+                    "type": ["object", "null"],
+                    "required": ["pid", "id"],
+                    "properties": {"pid": _INT, "id": _INT},
                 },
             },
         },

@@ -22,12 +22,14 @@ no session is active, :func:`current_telemetry` returns the module's
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.record import KernelEvent, ResilienceTraceEvent, RunRecord, Span
+from repro.obs.schema import SCHEMA_VERSION
 
 __all__ = [
     "Telemetry",
@@ -60,6 +62,15 @@ class NullTelemetry:
 
     def close_span(self, span) -> None:
         pass
+
+    def add_span(self, name, t0, dur, parent=None, *, worker=None, attrs=None):
+        return None
+
+    def current_span_id(self):
+        return None
+
+    def now(self) -> float:
+        return 0.0
 
     # -- metrics ------------------------------------------------------- #
     def counter(self, name, amount=1.0, **attrs) -> None:
@@ -138,6 +149,19 @@ def current_telemetry():
     return _ACTIVE.get()
 
 
+def _reset_active_after_fork() -> None:
+    # Forked children inherit the parent's ambient session *object*,
+    # including its open JSONL file handle; any write from the child would
+    # interleave bytes into the parent's stream. Children therefore start
+    # with no ambient session — pool workers install their own
+    # WorkerTelemetrySession explicitly (see repro.obs.worker).
+    _ACTIVE.set(NULL)
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on POSIX
+    os.register_at_fork(after_in_child=_reset_active_after_fork)
+
+
 class Telemetry:
     """One run-scoped telemetry session.
 
@@ -171,11 +195,15 @@ class Telemetry:
             from repro.obs.sinks import JsonlSink
 
             self._sink = JsonlSink(jsonl_path)
-            self._sink.emit({"type": "meta", "version": 1, "run": {}})
+            self._sink.emit({"type": "meta", "version": SCHEMA_VERSION, "run": {}})
 
     # ------------------------------------------------------------------ #
     def _now(self) -> float:
         return self._clock() - self._epoch
+
+    def now(self) -> float:
+        """Seconds since this session's epoch (the spans' time base)."""
+        return self._now()
 
     def _emit(self, obj: dict) -> None:
         if self._sink is not None:
@@ -245,6 +273,57 @@ class Telemetry:
         finally:
             self.close_span(span)
 
+    def current_span_id(self) -> int | None:
+        """ID of the innermost open span (``None`` at the top level)."""
+        return self._stack[-1].id if self._stack else None
+
+    def add_span(
+        self,
+        name: str,
+        t0: float,
+        dur: float,
+        parent: int | None = None,
+        *,
+        worker: dict | None = None,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Record an already-completed span outside the ambient stack.
+
+        This is how cross-process telemetry enters the session: the
+        parent-side merger re-roots spans captured in worker processes
+        (or shard threads) under an explicit *parent* id with ``worker``
+        attribution, and the backends synthesize the per-shard ``shard``
+        spans whose lifetimes overlap and therefore cannot ride the
+        LIFO ``open_span``/``close_span`` stack.
+        """
+        span = Span(
+            id=self._next_id,
+            name=name,
+            parent=parent,
+            t0=float(t0),
+            attrs=dict(attrs or {}),
+            dur=float(dur),
+            sim=None,
+            open=False,
+            worker=dict(worker) if worker else None,
+        )
+        self._next_id += 1
+        self.record.spans.append(span)
+        line = {
+            "type": "span",
+            "id": span.id,
+            "parent": span.parent,
+            "name": span.name,
+            "ts": span.t0,
+            "dur": span.dur,
+            "attrs": dict(span.attrs),
+            "sim": None,
+        }
+        if span.worker is not None:
+            line["worker"] = dict(span.worker)
+        self._emit(line)
+        return span
+
     def _sim_flops_total(self) -> float:
         return sum(self.record.sim_phase_flops.values())
 
@@ -301,7 +380,7 @@ class Telemetry:
 
     def set_meta(self, **meta) -> None:
         self.record.meta.update(meta)
-        self._emit({"type": "meta", "version": 1, "run": _jsonable(meta)})
+        self._emit({"type": "meta", "version": SCHEMA_VERSION, "run": _jsonable(meta)})
 
     # ------------------------------------------------------------------ #
     # Bridges: simulated device and resilience layers

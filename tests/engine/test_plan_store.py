@@ -71,9 +71,15 @@ class TestRoundTrip:
         assert np.array_equal(loaded.stream.out_index, plan.stream.out_index)
         for a, b in zip(loaded.stream.cols, plan.stream.cols):
             assert np.array_equal(a, b)
-        assert store.stats() == {
-            "entries": 1, "hits": 1, "misses": 0, "writes": 1, "quarantined": 0,
-        }
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["writes"] == 1
+        assert stats["quarantined"] == 0
+        assert stats["evictions"] == 0
+        assert stats["max_bytes"] is None
+        assert stats["bytes"] > 0
 
     def test_no_tmp_debris_after_save(self, tensor, tmp_path):
         store = PlanStore(tmp_path)
@@ -129,6 +135,87 @@ class TestQuarantine:
         assert store.load(key) is None
         store.save(key, _plan(tensor))
         assert store.load(key) is not None
+
+
+class TestSizeBudget:
+    def _entry_size(self, tensor, tmp_path):
+        probe = PlanStore(tmp_path / "probe")
+        path = probe.save(_key(tensor, 0), _plan(tensor, 0))
+        return path.stat().st_size
+
+    def test_unbounded_by_default(self, tensor, tmp_path):
+        store = PlanStore(tmp_path)
+        for mode in range(tensor.ndim):
+            store.save(_key(tensor, mode), _plan(tensor, mode))
+        assert len(store) == tensor.ndim
+        assert store.evictions == 0
+
+    def test_lru_eviction_keeps_recently_used(self, tensor, tmp_path):
+        import os
+        import time
+
+        size = self._entry_size(tensor, tmp_path)
+        # Budget for two entries; saving a third must evict exactly one.
+        store = PlanStore(tmp_path / "store", max_bytes=int(size * 2.5))
+        store.save(_key(tensor, 0), _plan(tensor, 0))
+        time.sleep(0.01)
+        store.save(_key(tensor, 1), _plan(tensor, 1))
+        # Touch mode 0 so mode 1 becomes the LRU victim.
+        past = time.time() - 60
+        os.utime(store.path(_key(tensor, 1)), (past, past))
+        assert store.load(_key(tensor, 0)) is not None
+        with telemetry_session() as tel:
+            store.save(_key(tensor, 2), _plan(tensor, 2))
+        assert store.evictions == 1
+        assert _key(tensor, 1) not in store  # LRU victim
+        assert _key(tensor, 0) in store  # recently loaded, survives
+        assert _key(tensor, 2) in store  # just written, never evicted
+        counters = tel.metrics.summary()["counters"]
+        assert counters["engine.store.evictions"] == 1
+
+    def test_just_written_entry_survives_tiny_budget(self, tensor, tmp_path):
+        store = PlanStore(tmp_path, max_bytes=1)
+        store.save(_key(tensor, 0), _plan(tensor, 0))
+        store.save(_key(tensor, 1), _plan(tensor, 1))
+        # Each save keeps its own entry but evicts everything else.
+        assert store.keys() == [_key(tensor, 1)]
+        assert store.evictions == 1
+
+    def test_quarantine_residue_evicted_first(self, tensor, tmp_path):
+        size = self._entry_size(tensor, tmp_path)
+        store = PlanStore(tmp_path / "store", max_bytes=int(size * 2.5))
+        key = _key(tensor, 0)
+        store.save(key, _plan(tensor, 0))
+        store.corrupt(key)
+        assert store.load(key) is None  # quarantined
+        quarantine = store.root / f"{key}.quarantine"
+        assert quarantine.exists()
+        # The next save must reclaim the dead quarantine bytes before
+        # touching any live entry.
+        store.save(_key(tensor, 1), _plan(tensor, 1))
+        store.save(_key(tensor, 2), _plan(tensor, 2))
+        assert not quarantine.exists()
+        assert _key(tensor, 1) in store and _key(tensor, 2) in store
+
+    def test_stats_reports_budget(self, tensor, tmp_path):
+        store = PlanStore(tmp_path, max_bytes=10_000_000)
+        store.save(_key(tensor, 0), _plan(tensor, 0))
+        stats = store.stats()
+        assert stats["max_bytes"] == 10_000_000
+        assert 0 < stats["bytes"] <= 10_000_000
+
+    def test_config_threads_budget_to_store(self, tensor, factors, tmp_path):
+        cfg = EngineConfig(
+            chunk=256, plan_store=tmp_path / "plans", plan_store_bytes=1,
+        )
+        cache = PlanCache()
+        for mode in range(tensor.ndim):
+            got = engine_mttkrp(tensor, factors, mode, "coo", cfg, cache)
+            assert np.array_equal(got, mttkrp_coo(tensor, factors, mode))
+        assert cache.store.max_bytes == 1
+        # One-entry budget: every save after the first evicted the previous.
+        assert len(cache.store) == 1
+        assert cache.store.evictions == tensor.ndim - 1
 
 
 class TestCacheStoreTier:

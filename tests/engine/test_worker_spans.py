@@ -1,0 +1,137 @@
+"""The backend-independent observability contract (tier-1 half).
+
+Every executed shard must appear in the trace as a parent-side ``shard``
+span with at least one worker-attributed ``shard_kernel`` span beneath it
+— whether the shard ran inline (serial) or on a pool thread. The
+processes-backend half of the contract lives in test_process_telemetry.py
+(marked ``procfaults``, excluded from tier-1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, PlanCache, engine_mttkrp, shutdown_backends
+from repro.obs import telemetry_session
+from repro.tensor.synthetic import random_sparse
+
+pytestmark = pytest.mark.telemetry
+
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_sparse((30, 24, 18), nnz=1500, seed=11)
+
+
+@pytest.fixture(scope="module")
+def factors(tensor):
+    rng = np.random.default_rng(4)
+    return [rng.random((d, 5)) for d in tensor.shape]
+
+
+def _traced_run(tensor, factors, backend, jsonl_path=None):
+    cfg = EngineConfig(shards=SHARDS, chunk=256, backend=backend)
+    try:
+        with telemetry_session(jsonl_path=jsonl_path) as tel:
+            engine_mttkrp(tensor, factors, 0, "coo", cfg, PlanCache())
+    finally:
+        shutdown_backends()
+    return tel
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads"])
+class TestShardSpans:
+    def test_one_shard_span_per_shard(self, tensor, factors, backend):
+        tel = _traced_run(tensor, factors, backend)
+        shard_spans = [s for s in tel.record.spans if s.name == "shard"]
+        assert len(shard_spans) == SHARDS
+        assert sorted(s.attrs["shard"] for s in shard_spans) == list(range(SHARDS))
+        assert sum(s.attrs["nnz"] for s in shard_spans) == tensor.nnz
+        for s in shard_spans:
+            assert not s.open
+            assert s.worker is None  # synthesized host-side
+
+    def test_kernel_span_under_every_shard(self, tensor, factors, backend):
+        tel = _traced_run(tensor, factors, backend)
+        shard_ids = {s.id for s in tel.record.spans if s.name == "shard"}
+        kernels = [s for s in tel.record.spans if s.name == "shard_kernel"]
+        assert len(kernels) == SHARDS
+        assert {k.parent for k in kernels} == shard_ids
+        for k in kernels:
+            assert k.worker is not None
+            assert set(k.worker) == {"pid", "id"}
+            assert k.attrs["shard"] == k.worker["id"]
+
+    def test_no_silent_workers_on_clean_run(self, tensor, factors, backend):
+        tel = _traced_run(tensor, factors, backend)
+        counters = tel.metrics.summary()["counters"]
+        assert "obs.worker.silent" not in counters
+        assert counters["obs.overhead.batches"] == SHARDS
+        assert counters["obs.overhead.spans"] == SHARDS
+
+    def test_trace_round_trips_through_schema(
+        self, tensor, factors, backend, tmp_path
+    ):
+        from repro.obs import read_jsonl, validate_record
+
+        path = tmp_path / "run.jsonl"
+        _traced_run(tensor, factors, backend, jsonl_path=path)
+        records = read_jsonl(path)
+        for rec in records:
+            assert validate_record(rec) == []
+        kernel_lines = [
+            r for r in records
+            if r.get("type") == "span" and r.get("name") == "shard_kernel"
+        ]
+        assert len(kernel_lines) == SHARDS
+        assert all(r["worker"] for r in kernel_lines)
+
+
+class TestBackendParity:
+    def test_serial_and_threads_trace_shapes_match(self, tensor, factors):
+        shapes = {}
+        for backend in ("serial", "threads"):
+            tel = _traced_run(tensor, factors, backend)
+            shapes[backend] = sorted(
+                (s.name, s.attrs.get("shard"))
+                for s in tel.record.spans
+                if s.name in ("shard", "shard_kernel")
+            )
+        assert shapes["serial"] == shapes["threads"]
+
+    def test_disabled_telemetry_ships_nothing(self, tensor, factors):
+        # No ambient session: the zero-overhead path must not capture.
+        cfg = EngineConfig(shards=SHARDS, chunk=256, backend="threads")
+        try:
+            got = engine_mttkrp(tensor, factors, 0, "coo", cfg, PlanCache())
+        finally:
+            shutdown_backends()
+        ref = engine_mttkrp(
+            tensor, factors, 0, "coo",
+            EngineConfig(shards=1, backend="serial"), PlanCache(),
+        )
+        assert np.array_equal(got, ref)
+
+
+class TestSilentWorkerCounter:
+    def test_empty_batch_bumps_silent_counter(self):
+        """A captured shard whose batches carry no spans is a silent
+        worker — the counter the doctor's silent_worker finding reads."""
+        from repro.engine.backends.base import ExecutionBackend
+
+        backend = ExecutionBackend()
+        with telemetry_session() as tel:
+            backend._finish_shard(tel, None, 0.0, 0, 100, [None])
+        counters = tel.metrics.summary()["counters"]
+        assert counters["obs.worker.silent"] == 1
+        # The shard span itself is still synthesized.
+        assert [s.name for s in tel.record.spans if s.name == "shard"]
+
+    def test_uncaptured_shard_is_not_silent(self):
+        from repro.engine.backends.base import ExecutionBackend
+
+        backend = ExecutionBackend()
+        with telemetry_session() as tel:
+            backend._finish_shard(tel, None, 0.0, 0, 100, [None], captured=False)
+        assert "obs.worker.silent" not in tel.metrics.summary()["counters"]

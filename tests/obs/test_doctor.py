@@ -246,6 +246,75 @@ class TestLostWorkers:
         assert "1 workers lost" in degraded.summary
 
 
+class TestSilentWorkers:
+    """The cross-process observability-hole detector."""
+
+    def _record(self):
+        rec = RunRecord()
+        rec.metrics_summary = {"counters": {}, "gauges": {}, "histograms": {}}
+        return rec
+
+    def _shard(self, rec, span_id, shard, *, kernel=True, pid=900):
+        rec.spans.append(Span(
+            id=span_id, name="shard", parent=None, t0=0.0,
+            attrs={"shard": shard, "nnz": 100}, dur=0.01, open=False,
+        ))
+        if kernel:
+            rec.spans.append(Span(
+                id=span_id + 1, name="shard_kernel", parent=span_id, t0=0.0,
+                attrs={"shard": shard}, dur=0.008, open=False,
+                worker={"pid": pid + shard, "id": shard},
+            ))
+
+    def test_silent_shard_flagged_with_span_evidence(self):
+        rec = self._record()
+        self._shard(rec, 0, 0)
+        self._shard(rec, 10, 1, kernel=False)  # shard 1 shipped nothing
+        rec.metrics_summary["counters"]["obs.worker.silent"] = 1
+        findings = diagnose(rec)
+        silent = next(f for f in findings if f.code == "silent_worker")
+        assert silent.severity == "warn"
+        assert silent.evidence["span_ids"] == [10]
+        assert silent.evidence["shards"] == [1]
+        assert silent.evidence["silent_counter"] == 1
+        assert "no kernel spans" in silent.summary
+
+    def test_counted_under_degraded_execution(self):
+        rec = self._record()
+        self._shard(rec, 0, 0, kernel=False)
+        rec.metrics_summary["counters"]["obs.worker.silent"] = 1
+        degraded = next(
+            f for f in diagnose(rec) if f.code == "degraded_execution"
+        )
+        assert degraded.evidence["counters"]["silent workers"] == 1
+        assert "1 silent workers" in degraded.summary
+
+    def test_counter_without_spans_still_fires(self):
+        """A silent shard whose span record was lost entirely (e.g. trace
+        loaded from a truncated file) is still reported via the counter."""
+        rec = self._record()
+        self._shard(rec, 0, 0)  # the one recorded shard is attributed
+        rec.metrics_summary["counters"]["obs.worker.silent"] = 2
+        silent = next(f for f in diagnose(rec) if f.code == "silent_worker")
+        assert silent.evidence["span_ids"] == []
+        assert silent.evidence["silent_counter"] == 2
+        assert silent.score == 2.0
+
+    def test_quiet_when_every_shard_attributed(self):
+        rec = self._record()
+        for i, sid in enumerate((0, 10, 20)):
+            self._shard(rec, sid, i)
+        assert all(f.code != "silent_worker" for f in diagnose(rec))
+
+    def test_quiet_without_shard_spans(self):
+        """Serial, unsharded runs have no shard spans and no finding."""
+        rec = self._record()
+        rec.spans.append(Span(
+            id=0, name="mttkrp", parent=None, t0=0.0, dur=0.1, open=False,
+        ))
+        assert all(f.code != "silent_worker" for f in diagnose(rec))
+
+
 class TestRanking:
     def test_severity_then_score(self):
         findings = sorted(

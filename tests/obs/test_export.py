@@ -14,7 +14,7 @@ from repro.obs import (
     validate_record,
     write_telemetry_chrome_trace,
 )
-from repro.obs.chrome import PID_DEVICE, PID_HOST, PID_RESILIENCE
+from repro.obs.chrome import PID_DEVICE, PID_HOST, PID_RESILIENCE, PID_WORKERS
 from repro.obs.sinks import JsonlSink
 
 pytestmark = pytest.mark.telemetry
@@ -124,3 +124,145 @@ class TestChromeTrace:
         loaded = json.loads(out.read_text())
         assert isinstance(loaded["traceEvents"], list)
         assert loaded["otherData"]["kind"] == "test"
+
+
+def _worker_span(span_id, shard, pid, *, parent=None, name="shard_kernel"):
+    return {
+        "type": "span", "id": span_id, "parent": parent, "name": name,
+        "ts": 0.0, "dur": 0.01, "attrs": {"shard": shard}, "sim": None,
+        "worker": {"pid": pid, "id": shard},
+    }
+
+
+def _shard_span(span_id, shard):
+    return {
+        "type": "span", "id": span_id, "parent": None, "name": "shard",
+        "ts": 0.0, "dur": 0.02, "attrs": {"shard": shard, "nnz": 10},
+        "sim": None,
+    }
+
+
+class TestWorkerSchema:
+    """Schema v2: the optional ``worker`` span field round-trips and its
+    absence (v1 legacy lines) stays valid."""
+
+    def test_worker_field_round_trips(self, tmp_path):
+        from repro.obs import SCHEMA_VERSION, Telemetry
+
+        assert SCHEMA_VERSION == 2
+        path = tmp_path / "run.jsonl"
+        tel = Telemetry(jsonl_path=path)
+        tel.add_span(
+            "shard_kernel", 0.0, 0.5, worker={"pid": 77, "id": 2},
+            attrs={"shard": 2},
+        )
+        tel.close()
+        assert validate_jsonl(path) == []
+        (line,) = [r for r in read_jsonl(path) if r["type"] == "span"]
+        assert line["worker"] == {"pid": 77, "id": 2}
+
+    def test_legacy_span_without_worker_is_valid(self):
+        assert validate_record(_shard_span(0, 0)) == []
+
+    def test_null_worker_is_valid(self):
+        span = _shard_span(0, 0)
+        span["worker"] = None
+        assert validate_record(span) == []
+
+    def test_malformed_worker_rejected(self):
+        span = _worker_span(0, 0, 42)
+        span["worker"] = {"pid": 42}  # id missing
+        assert validate_record(span)
+        span["worker"] = "pid 42"  # wrong type
+        assert validate_record(span)
+
+    def test_ingest_parses_worker(self, tmp_path):
+        from repro.obs.analysis import load_run
+
+        path = tmp_path / "run.jsonl"
+        lines = [
+            {"type": "meta", "version": 2, "run": {}},
+            _worker_span(0, 1, 55),
+            _shard_span(1, 0),
+        ]
+        path.write_text("\n".join(json.dumps(x) for x in lines) + "\n")
+        record = load_run(path)
+        by_name = {s.name: s for s in record.spans}
+        assert by_name["shard_kernel"].worker == {"pid": 55, "id": 1}
+        assert by_name["shard"].worker is None
+
+
+class TestWorkerTracks:
+    """Chrome export: worker-attributed spans land on per-worker pid
+    tracks keyed by slot, with the OS pid as the thread lane."""
+
+    def _records(self):
+        return [
+            {"type": "meta", "version": 2, "run": {}},
+            _shard_span(0, 0),
+            _shard_span(1, 1),
+            _worker_span(2, 0, 501, parent=0),
+            _worker_span(3, 1, 502, parent=1),
+        ]
+
+    def test_distinct_pid_per_worker_slot(self):
+        trace = telemetry_to_chrome_trace(self._records())
+        kernels = [e for e in trace["traceEvents"]
+                   if e["ph"] == "X" and e["name"] == "shard_kernel"]
+        assert {e["pid"] for e in kernels} == {PID_WORKERS, PID_WORKERS + 1}
+        assert {e["tid"] for e in kernels} == {501, 502}
+        assert all(e["cat"] == "worker" for e in kernels)
+        assert all(e["args"]["worker_pid"] == e["tid"] for e in kernels)
+
+    def test_track_and_lane_names(self):
+        trace = telemetry_to_chrome_trace(self._records())
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        track_names = {
+            e["pid"]: e["args"]["name"]
+            for e in metas if e["name"] == "process_name"
+        }
+        assert track_names[PID_WORKERS] == "worker 0"
+        assert track_names[PID_WORKERS + 1] == "worker 1"
+        lanes = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in metas if e["name"] == "thread_name"
+        }
+        assert lanes[(PID_WORKERS, 501)] == "pid 501"
+        assert lanes[(PID_WORKERS + 1, 502)] == "pid 502"
+
+    def test_respawn_keeps_track_name_adds_pid_lane(self):
+        """The same worker slot across a respawn: one track, two lanes."""
+        records = [
+            _shard_span(0, 1),
+            _worker_span(1, 1, 601, parent=0),
+            _shard_span(2, 1),
+            _worker_span(3, 1, 602, parent=2),  # respawned: new OS pid
+        ]
+        trace = telemetry_to_chrome_trace(records)
+        track = PID_WORKERS + 1
+        names = [
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+            and e["pid"] == track
+        ]
+        assert names == ["worker 1"]  # one stable track name
+        lanes = {
+            e["tid"] for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == track
+        }
+        assert lanes == {601, 602}
+
+    def test_shard_spans_render_side_by_side_on_host(self):
+        trace = telemetry_to_chrome_trace(self._records())
+        shards = [e for e in trace["traceEvents"]
+                  if e["ph"] == "X" and e["name"] == "shard"]
+        assert all(e["pid"] == PID_HOST for e in shards)
+        assert len({e["tid"] for e in shards}) == 2  # one thread per shard
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for e in shards:
+            shard = e["args"]["shard"]
+            assert thread_names[(PID_HOST, e["tid"])] == f"shard {shard}"

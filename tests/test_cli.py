@@ -241,6 +241,67 @@ class TestDiffVerb:
         assert "invalid bench document" in capsys.readouterr().err
 
 
+class TestWatchVerb:
+    def _write_stream(self, path):
+        import json
+
+        lines = [
+            {"type": "meta", "version": 2, "run": {}},
+            {"type": "span", "id": 0, "parent": None, "name": "shard",
+             "ts": 0.0, "dur": 0.01, "attrs": {"shard": 0, "nnz": 9},
+             "sim": None},
+            {"type": "span", "id": 1, "parent": 0, "name": "shard_kernel",
+             "ts": 0.0, "dur": 0.008, "attrs": {"shard": 0}, "sim": None,
+             "worker": {"pid": 404, "id": 0}},
+            {"type": "summary", "metrics": {}},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(x) for x in lines) + "\n", encoding="utf-8"
+        )
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code, _ = _run(["watch", str(tmp_path / "gone.jsonl")])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_once_renders_panel(self, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        self._write_stream(jsonl)
+        code, text = _run(["watch", str(jsonl), "--once"])
+        assert code == 0
+        assert "schema v2" in text
+        assert "shard 0" in text
+        assert "pids=[404]" in text
+
+    def test_watch_does_not_modify_stream(self, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        self._write_stream(jsonl)
+        before = jsonl.read_bytes()
+        code, _ = _run(["watch", str(jsonl), "--once"])
+        assert code == 0
+        assert jsonl.read_bytes() == before
+
+    def test_live_mode_exits_on_summary(self, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        self._write_stream(jsonl)
+        code, text = _run(["watch", str(jsonl), "--interval", "0.01",
+                           "--no-clear"])
+        assert code == 0
+        assert "finished" in text
+
+    def test_plan_store_bytes_flag(self, tmp_path):
+        from repro.cli import _engine_setting
+
+        args = build_parser().parse_args(
+            ["factorize", "x.tns", "--rank", "2",
+             "--plan-store", str(tmp_path / "plans"),
+             "--plan-store-bytes", "4096"]
+        )
+        setting = _engine_setting(args)
+        assert setting["plan_store"] == str(tmp_path / "plans")
+        assert setting["plan_store_bytes"] == 4096
+
+
 class TestTrace:
     def test_factorize_with_trace(self, tmp_path):
         import json
