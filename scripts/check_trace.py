@@ -12,6 +12,12 @@ carrying worker attribution (a ``shard_kernel`` shipped back from the
 worker that executed it) — the guarantee that cross-process telemetry is
 not silently dropping kernel spans.
 
+``--require-transport-attr`` adds the transport-provenance gate: every
+``shard`` span must carry a ``transport`` attr naming one of the known
+transports (``inline``/``threads``/``pipe``/``shm``), so a trace *proves*
+which shard transport actually ran (e.g. that an shm-enabled chaos run did
+not silently fall back to pipes).
+
 Each file is read exactly once: the parsed records feed the schema check
 (which counts them), the completeness gate, and the Chrome-trace
 conversion.
@@ -56,7 +62,37 @@ def check_worker_spans(records) -> list[str]:
     return problems
 
 
-def check_file(path: str, *, require_worker_spans: bool = False) -> tuple[list[str], int]:
+_TRANSPORTS = ("inline", "threads", "pipe", "shm")
+
+
+def check_transport_attrs(records) -> list[str]:
+    """The transport-provenance gate: every shard span names its transport.
+
+    A sharded trace with no shard spans at all also fails — proving "which
+    transport ran" requires shards to have run at all.
+    """
+    shard_spans = [
+        r for r in records
+        if r.get("type") == "span" and r.get("name") == "shard"
+    ]
+    if not shard_spans:
+        return ["--require-transport-attr: trace contains no shard spans"]
+    problems = []
+    for s in shard_spans:
+        transport = s.get("attrs", {}).get("transport")
+        if transport not in _TRANSPORTS:
+            problems.append(
+                f"--require-transport-attr: shard span #{s['id']} "
+                f"(shard {s.get('attrs', {}).get('shard')}) has transport "
+                f"attr {transport!r}, expected one of {_TRANSPORTS}"
+            )
+    return problems
+
+
+def check_file(
+    path: str, *, require_worker_spans: bool = False,
+    require_transport_attr: bool = False,
+) -> tuple[list[str], int]:
     """Validate *path*; returns ``(problems, record_count)``.
 
     The file is opened once, with the handle released before validation
@@ -74,6 +110,10 @@ def check_file(path: str, *, require_worker_spans: bool = False) -> tuple[list[s
         return errors, len(records)
     if require_worker_spans:
         errors = check_worker_spans(records)
+        if errors:
+            return errors, len(records)
+    if require_transport_attr:
+        errors = check_transport_attrs(records)
         if errors:
             return errors, len(records)
     try:
@@ -94,6 +134,10 @@ def main(argv=None) -> int:
                         help="fail unless every shard span has >=1 "
                              "worker-attributed kernel span beneath it "
                              "(cross-process trace completeness)")
+    parser.add_argument("--require-transport-attr", action="store_true",
+                        help="fail unless every shard span carries a "
+                             "transport attr naming a known transport "
+                             "(inline/threads/pipe/shm)")
     args = parser.parse_args(argv)
 
     failed = 0
@@ -103,7 +147,8 @@ def main(argv=None) -> int:
             failed += 1
             continue
         problems, count = check_file(
-            path, require_worker_spans=args.require_worker_spans
+            path, require_worker_spans=args.require_worker_spans,
+            require_transport_attr=args.require_transport_attr,
         )
         if problems:
             failed += 1

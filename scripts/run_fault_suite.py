@@ -17,10 +17,13 @@ failure reproduces locally from the same command:
 plus a supervised chaos run on the ``processes`` execution backend that
 SIGKILLs a worker mid-MTTKRP *and* corrupts an on-disk plan-store entry,
 asserting bit-identical convergence with ``worker_lost`` and
-``plan_repaired`` events and a schema-valid trace. The trace check runs
-with ``--require-worker-spans`` (trace completeness): every executed shard
-must carry at least one worker-attributed kernel span, even across kills
-and respawns.
+``plan_repaired`` events and a schema-valid trace. The chaos run executes
+**twice** — once per shard transport (``shm="on"`` zero-copy shared
+memory, ``shm="off"`` pipe pickling) — and each trace is checked with
+``--require-worker-spans`` (trace completeness: every executed shard must
+carry at least one worker-attributed kernel span, even across kills and
+respawns) and ``--require-transport-attr`` (transport provenance: every
+shard span proves which transport actually ran).
 
 Extra arguments are forwarded to pytest, e.g.::
 
@@ -193,11 +196,21 @@ injector = FaultInjector(
 )
 chaos = supervised_cstf(X, CstfConfig(
     **base,
-    engine={"shards": 3, "backend": "processes", "plan_store": STORE_DIR},
+    engine={"shards": 3, "backend": "processes", "plan_store": STORE_DIR,
+            "shm": SHM_MODE},
     fault_injector=injector,
     telemetry=Telemetry(jsonl_path=TRACE_PATH),
 ))
 assert injector.injected > 0, "process chaos run injected no faults"
+counters = chaos.telemetry.metrics_summary.get("counters", {})
+if SHM_MODE == "on":
+    assert counters.get("engine.shm.segments", 0) > 0, (
+        "shm transport enabled but no shared-memory segment was published"
+    )
+else:
+    assert "engine.shm.segments" not in counters, (
+        "shm segments created despite shm='off'"
+    )
 for mode, (a, b) in enumerate(zip(serial.kruskal.factors, chaos.kruskal.factors)):
     assert np.array_equal(a, b), (
         f"processes backend factor {mode} differs from serial under chaos"
@@ -210,13 +223,19 @@ assert "plan_repaired" in kinds, (
     f"no plan_repaired event despite corrupt_store faults (saw {sorted(kinds)})"
 )
 shutdown_pools()
-print("process chaos OK: faults=%d, kinds=%s" % (
-    injector.injected, ",".join(sorted(kinds & {"worker_lost", "plan_repaired"}))))
+print("process chaos OK (shm=%s): faults=%d, kinds=%s" % (
+    SHM_MODE, injector.injected,
+    ",".join(sorted(kinds & {"worker_lost", "plan_repaired"}))))
 """
 
 
-def _check_process_chaos(env) -> int:
-    """Process-backend chaos: SIGKILL + store corruption, bit-identical."""
+def _check_process_chaos(env, shm_mode: str) -> int:
+    """Process-backend chaos: SIGKILL + store corruption, bit-identical.
+
+    Runs on one shard transport (*shm_mode* ``"on"`` or ``"off"``); the
+    caller invokes it for both so recovery is proven with and without the
+    zero-copy path.
+    """
     with tempfile.TemporaryDirectory() as tmp:
         trace = Path(tmp) / "process_chaos.jsonl"
         store = Path(tmp) / "plan_store"
@@ -224,16 +243,18 @@ def _check_process_chaos(env) -> int:
             _PROCESS_CHAOS_SNIPPET
             .replace("TRACE_PATH", repr(str(trace)))
             .replace("STORE_DIR", repr(str(store)))
+            .replace("SHM_MODE", repr(shm_mode))
         )
         code = subprocess.call(
             [sys.executable, "-c", snippet], cwd=REPO_ROOT, env=env,
         )
         if code != 0:
-            print("process chaos run failed")
+            print(f"process chaos run failed (shm={shm_mode})")
             return code
         return subprocess.call(
             [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"),
-             "--quiet", "--require-worker-spans", str(trace)],
+             "--quiet", "--require-worker-spans", "--require-transport-attr",
+             str(trace)],
             cwd=REPO_ROOT, env=env,
         )
 
@@ -290,6 +311,9 @@ def _check_perf_baselines(env) -> int:
     is a genuine behavior change, not noise; the measured ``fig4wall``
     group carries its own wide tolerance and is additionally gated here on
     the PR 4 acceptance floor: engine wall-clock speedup geomean >= 2x.
+    The ``--shm-bench`` group (processes-backend dispatch overhead, pipe
+    vs shared-memory transport) rides along and is diffed against its
+    blessed baseline; its speedup is reported informationally.
     """
     import json
 
@@ -297,7 +321,7 @@ def _check_perf_baselines(env) -> int:
         bench = Path(tmp) / "BENCH_ci.json"
         code = subprocess.call(
             [sys.executable, str(REPO_ROOT / "scripts" / "run_bench_suite.py"),
-             "--quiet", "--out", str(bench)],
+             "--quiet", "--shm-bench", "--out", str(bench)],
             cwd=REPO_ROOT, env=env,
         )
         if code != 0:
@@ -305,6 +329,11 @@ def _check_perf_baselines(env) -> int:
             return code
         doc = json.loads(bench.read_text(encoding="utf-8"))
         for group in doc["groups"]:
+            if group["figure"] == "shmdispatch":
+                m = group["metrics"]
+                print(f"shm dispatch overhead: pipe {m['pipe.dispatch_s']*1e3:.1f}ms "
+                      f"vs shm {m['shm.dispatch_s']*1e3:.1f}ms "
+                      f"({m['shm_speedup']:.2f}x)")
             if group["figure"] != "fig4wall":
                 continue
             speedup = group["metrics"]["geomean.engine_speedup"]
@@ -365,11 +394,12 @@ def main(extra_args: list[str]) -> int:
     if code != 0:
         return code
     if backend == "processes":
-        print("\nrunning the process-backend chaos gate "
-              "(real SIGKILL + store corruption, traced)")
-        code = _check_process_chaos(env)
-        if code != 0:
-            return code
+        for shm_mode in ("on", "off"):
+            print(f"\nrunning the process-backend chaos gate "
+                  f"(real SIGKILL + store corruption, traced, shm={shm_mode})")
+            code = _check_process_chaos(env, shm_mode)
+            if code != 0:
+                return code
     print("\nvalidating fault-run telemetry against the schema")
     code = _check_fault_trace(env)
     if code != 0:

@@ -181,6 +181,11 @@ def _add_engine_args(p) -> None:
     p.add_argument("--plan-store-bytes", type=int, default=None, metavar="N",
                    help="bound the plan store to N bytes with LRU eviction "
                         "(requires --plan-store; 0 = unbounded)")
+    p.add_argument("--shm", default=None, choices=["auto", "on", "off"],
+                   help="processes-backend shard transport (implies "
+                        "--engine): auto (default; zero-copy shared-memory "
+                        "segments where available, pipe fallback), on "
+                        "(require shared memory), off (pickle over pipes)")
 
 
 def _engine_setting(args):
@@ -198,6 +203,8 @@ def _engine_setting(args):
         overrides["plan_store"] = args.plan_store
         if getattr(args, "plan_store_bytes", None) is not None:
             overrides["plan_store_bytes"] = args.plan_store_bytes
+    if getattr(args, "shm", None) is not None:
+        overrides["shm"] = args.shm
     if overrides:
         return overrides
     engine = getattr(args, "engine", "off")

@@ -24,7 +24,10 @@ drained batch alongside the partial. The dispatching side synthesizes one
 ``shard`` span per shard under the ambient session's current span
 (:meth:`ExecutionBackend._finish_shard`) and merges the worker batch
 beneath it with pid/worker attribution — so a trace has the same shape
-whether the shard ran inline, on a thread, or in another process.
+whether the shard ran inline, on a thread, or in another process. Each
+``shard`` span additionally carries a ``transport`` attr (``inline`` /
+``threads`` / ``pipe`` / ``shm``) naming how that shard's inputs and
+accumulator actually traveled, so traces prove which transport ran.
 """
 
 from __future__ import annotations
@@ -68,7 +71,16 @@ def run_shard_captured(
 
 
 def tree_reduce(partials: list[np.ndarray]) -> np.ndarray:
-    """Pairwise in-place reduction of the shard accumulators."""
+    """Pairwise in-place reduction of the shard accumulators.
+
+    The empty list is a contract violation, not a silent zero: a dispatch
+    always has at least one shard (``EngineConfig.shards >= 1``), and the
+    shape/dtype of an empty reduction would have to be invented. Raises
+    ``ValueError`` so a buggy caller fails loudly instead of with a bare
+    ``IndexError`` deep in the reduce.
+    """
+    if not partials:
+        raise ValueError("tree_reduce() requires at least one shard partial")
     while len(partials) > 1:
         nxt = []
         for i in range(0, len(partials) - 1, 2):
@@ -152,6 +164,7 @@ class ExecutionBackend:
     def _finish_shard(
         self, tel, anchor: int | None, t0: float, shard: int, nnz: int,
         batches, *, redone: bool = False, captured: bool = True,
+        transport: str | None = None,
     ) -> None:
         """Synthesize the parent-side ``shard`` span and merge worker batches.
 
@@ -162,10 +175,20 @@ class ExecutionBackend:
         records them as already-completed spans. When *captured* shards
         ship no spans at all, the ``obs.worker.silent`` counter bumps —
         the doctor's ``silent_worker`` evidence.
+
+        *transport* names how the shard's inputs and accumulator actually
+        traveled — ``"inline"`` (same-thread execution, including every
+        serial redo), ``"threads"`` (shared-address-space pool), ``"pipe"``
+        (pickled over the worker pipe), or ``"shm"`` (zero-copy shared
+        memory) — recorded as the shard span's ``transport`` attr so a
+        trace *proves* which transport ran (``check_trace.py
+        --require-transport-attr``).
         """
         if not tel.enabled:
             return
         attrs = {"shard": int(shard), "nnz": int(nnz)}
+        if transport is not None:
+            attrs["transport"] = str(transport)
         if redone:
             attrs["redone"] = True
         span = tel.add_span("shard", t0, tel.now() - t0, parent=anchor, attrs=attrs)

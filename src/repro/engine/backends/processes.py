@@ -15,9 +15,15 @@ every outstanding shard:
   deterministically bit-identical, because each shard's summation order is
   private and its output rows are disjoint.
 - **straggler deadline** — a worker that is alive but has not delivered
-  within ``EngineConfig.shard_timeout`` is killed outright (its private
-  accumulator dies with it) and handled the same way, as a
-  ``shard_timeout``.
+  within ``EngineConfig.shard_timeout`` of the start of *its own*
+  collection (deadlines are anchored per shard as the watchdog reaches
+  it, so collecting or redoing earlier shards never erodes a later
+  shard's budget) is killed outright (its private accumulator dies with
+  it) and handled the same way, as a ``shard_timeout``.
+- **broken pipes** — a task pipe that raises ``EOFError``/``OSError``
+  while a result is pending can never deliver, even if the worker
+  process is technically still alive (wedged); it is treated as a lost
+  worker immediately rather than polling forever.
 - **in-worker exceptions** — a worker that raises sends back an error
   marker and stays alive; the shard is redone serially (``shard_retry``),
   matching the threads backend.
@@ -31,9 +37,26 @@ Task shipping: the parent's in-memory plan cache is invisible to workers,
 so a task either carries its shard stream inline (pickled over the pipe)
 or — when the plan was persisted to the on-disk
 :class:`~repro.engine.plan_store.PlanStore` — just the store key plus the
-shard coordinates. Workers memoize store loads and re-derive shard
-streams with the same deterministic LPT assignment as the parent, so
-repeated iterations ship only factor matrices.
+shard coordinates. Workers memoize store loads (a small LRU, bounded so a
+long-lived pool serving many tensors cannot grow without limit) and
+re-derive shard streams with the same deterministic LPT assignment as the
+parent.
+
+Factor matrices and accumulators travel over one of two transports:
+
+- **pipe** — the baseline: factor matrices pickled into every task,
+  each ``(out_rows, rank)`` accumulator pickled back in the reply.
+- **shm** (default where POSIX shared memory works; see
+  ``EngineConfig.shm``) — zero-copy via :mod:`repro.engine.backends.shm`:
+  the parent publishes each factor matrix once per dispatch into a pooled
+  shared-memory segment and pre-zeroes one shm accumulator per shard that
+  the worker fills in place, so tasks carry only segment names/shapes and
+  the reply shrinks to a status tuple. Descriptors carry a per-dispatch
+  generation tag a worker refuses when stale; fault paths discard the
+  abandoned shm accumulator unread and redo the shard serially into a
+  fresh private buffer, so every recovery rung stays bit-identical.
+  Segments are unlinked on shutdown/atexit, idle segments on every
+  respawn.
 
 Pools are lazily sized, persistent across calls, refreshed if the parent
 PID changes (fork safety: a forked child never reuses inherited workers,
@@ -47,6 +70,7 @@ import multiprocessing
 import os
 import signal
 import time
+from collections import OrderedDict
 
 import numpy as np
 
@@ -64,6 +88,42 @@ HEARTBEAT = 0.02
 #: watchdog still detects dead workers on every beat, it just never
 #: declares a live worker a straggler.
 _NO_DEADLINE = float("inf")
+
+#: Worker-side plan memo capacity (plans loaded from the on-disk store).
+#: A long-lived pool serving many tensors re-loads a cold plan from the
+#: store rather than pinning every plan it ever saw in worker memory.
+_PLAN_MEMO_LIMIT = 8
+
+
+def _attach_shm_task(shm_desc: dict, attached: list, last_gen: int):
+    """Worker-side: map one task's shm descriptors into ndarray views.
+
+    Appends every successful attach to *attached* (the caller detaches in
+    its ``finally`` whatever was mapped, even on a half-failed attach) and
+    refuses descriptors from a dispatch generation older than the newest
+    this worker has served — a respawned parent pool or recycled name must
+    never be scribbled on.
+    """
+    from repro.engine.backends.shm import (
+        ShmAttachError,
+        attach_segment,
+        segment_view,
+    )
+
+    gen = int(shm_desc["gen"])
+    if gen < last_gen:
+        raise ShmAttachError(
+            f"stale shm generation {gen} (worker already served {last_gen})"
+        )
+    fmats = []
+    for desc in shm_desc["fmats"]:
+        seg = attach_segment(desc["name"])
+        attached.append(seg)
+        fmats.append(segment_view(seg, desc["shape"]))
+    seg = attach_segment(shm_desc["out"]["name"])
+    attached.append(seg)
+    out = segment_view(seg, shm_desc["out"]["shape"])
+    return fmats, out, gen
 
 
 def _worker_main(conn, worker_id: int) -> None:
@@ -90,7 +150,8 @@ def _worker_main(conn, worker_id: int) -> None:
     session = WorkerTelemetrySession(worker_id=worker_id)
     session.push()
     store = None
-    plans: dict = {}
+    plans: OrderedDict = OrderedDict()
+    last_gen = 0
     while True:
         try:
             task = conn.recv()
@@ -131,20 +192,43 @@ def _worker_main(conn, worker_id: int) -> None:
                             f"plan-store entry {key} is missing or quarantined"
                         )
                     plans[key] = plan
+                    while len(plans) > _PLAN_MEMO_LIMIT:
+                        plans.popitem(last=False)
+                else:
+                    plans.move_to_end(key)
                 stream = plan.shard_streams(task["n_shards"])[task["shard"]]
-            out = np.zeros((task["out_rows"], task["rank"]), dtype=np.float64)
-            if capture:
-                with session.span(
-                    "shard_kernel", shard=task["shard"], mode=task["mode"],
-                    nnz=stream.nnz,
-                ):
-                    result = run_stream(
-                        stream, task["fmats"], task["mode"], out, task["chunk"]
+            shm_desc = task.get("shm")
+            attached: list = []
+            try:
+                if shm_desc is not None:
+                    fmats, out, last_gen = _attach_shm_task(
+                        shm_desc, attached, last_gen
                     )
-            else:
-                result = run_stream(
-                    stream, task["fmats"], task["mode"], out, task["chunk"]
-                )
+                else:
+                    fmats = task["fmats"]
+                    out = np.zeros(
+                        (task["out_rows"], task["rank"]), dtype=np.float64
+                    )
+                if capture:
+                    with session.span(
+                        "shard_kernel", shard=task["shard"], mode=task["mode"],
+                        nnz=stream.nnz,
+                    ):
+                        run_stream(
+                            stream, fmats, task["mode"], out, task["chunk"]
+                        )
+                else:
+                    run_stream(stream, fmats, task["mode"], out, task["chunk"])
+                # shm: the parent already holds the filled accumulator —
+                # the reply carries no payload at all.
+                result = None if shm_desc is not None else out
+            finally:
+                fmats = out = None  # drop buffer views before unmapping
+                for seg in attached:
+                    try:
+                        seg.close()
+                    except BufferError:  # pragma: no cover - defensive
+                        pass
         except BaseException as exc:  # noqa: BLE001 - reported, not fatal
             try:
                 conn.send((
@@ -235,6 +319,7 @@ class ProcessBackend(ExecutionBackend):
         )
         self._workers: list[_Worker] = []
         self._pid = os.getpid()
+        self._shm_pool = None
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
@@ -242,8 +327,19 @@ class ProcessBackend(ExecutionBackend):
     def _ensure_workers(self, n: int) -> list[_Worker]:
         if self._pid != os.getpid():
             # Forked child: inherited Process handles belong to the real
-            # parent. Drop them unjoined and build a private pool.
+            # parent. Close the inherited pipe FDs (the other ends are the
+            # parent's; keeping ours open would leak an FD per worker and
+            # hold the parent's pipes half-open), then drop the handles
+            # unjoined and build a private pool. The inherited shm pool's
+            # segments also belong to the parent — forget them, never
+            # unlink them.
+            for worker in self._workers:
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
             self._workers = []
+            self._shm_pool = None
             self._pid = os.getpid()
         while len(self._workers) < n:
             self._workers.append(_Worker(self._ctx, len(self._workers)))
@@ -257,6 +353,11 @@ class ProcessBackend(ExecutionBackend):
             self._workers[index].kill()
         except (OSError, ValueError):  # pragma: no cover - already reaped
             pass
+        if self._shm_pool is not None:
+            # Respawn hygiene: idle segments are unlinked so the fresh
+            # worker can never attach a recycled name from a dispatch it
+            # did not see. The current dispatch's leases are untouched.
+            self._shm_pool.flush_free()
         self._workers[index] = _Worker(self._ctx, index)
         current_telemetry().counter("engine.backend.respawns")
         return self._workers[index]
@@ -274,6 +375,37 @@ class ProcessBackend(ExecutionBackend):
             # process is reaped, so end-of-run traces are not truncated.
             if batch is not None:
                 merge_worker_batch(tel, batch)
+        pool, self._shm_pool = self._shm_pool, None
+        if pool is not None:
+            # Leak hygiene: every segment the transport ever created is
+            # unlinked here (shutdown_backends wires this into atexit).
+            pool.close()
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory transport plumbing
+    # ------------------------------------------------------------------ #
+    def _use_shm(self, cfg) -> bool:
+        mode = getattr(cfg, "shm", "auto")
+        if mode == "off":
+            return False
+        from repro.engine.backends.shm import shm_available
+
+        if shm_available():
+            return True
+        if mode == "on":
+            raise RuntimeError(
+                "EngineConfig.shm='on' but POSIX shared memory is "
+                "unavailable on this host (shm='auto' falls back to the "
+                "pipe transport instead)"
+            )
+        return False  # pragma: no cover - host without /dev/shm
+
+    def _segment_pool(self):
+        if self._shm_pool is None:
+            from repro.engine.backends.shm import SegmentPool
+
+            self._shm_pool = SegmentPool()
+        return self._shm_pool
 
     # ------------------------------------------------------------------ #
     def run_shards(
@@ -293,54 +425,106 @@ class ProcessBackend(ExecutionBackend):
 
         store_root, store_key = plan_ref if plan_ref is not None else (None, None)
         workers = self._ensure_workers(len(streams))
-        fmats = [np.ascontiguousarray(f) for f in fmats]
+        fmats = [np.ascontiguousarray(f, dtype=np.float64) for f in fmats]
 
         tel = current_telemetry()
+        use_shm = self._use_shm(cfg)
         anchor = tel.current_span_id()
         t_dispatch = tel.now()
-        launched = time.monotonic()
         pending: list[bool] = [False] * len(streams)
         partials: list[np.ndarray | None] = [None] * len(streams)
-        for i, stream in enumerate(streams):
-            task = {
-                "mode": mode, "out_rows": out_rows, "rank": rank,
-                "chunk": cfg.chunk, "fmats": fmats, "shard": i,
-                "n_shards": cfg.shards,
-                "telemetry": tel.enabled,
-                "kill": injected.get("kill_worker") == i,
-                "crash": injected.get("worker_crash") == i,
-                "delay": delay if injected.get("slow_shard") == i else 0.0,
-            }
-            if store_root is not None and store_key is not None:
-                task["stream"] = None
-                task["store"] = os.fspath(store_root)
-                task["key"] = store_key
-            else:
-                task["stream"] = stream
-            pending[i] = self._send(workers, i, task)
+        out_views: list[np.ndarray | None] = [None] * len(streams)
+        out_leases: list = [None] * len(streams)
+        fmat_leases: list = []
+        pool = None
+        shm_base = None
+        if use_shm:
+            pool = self._segment_pool()
+            # One write, N readers: each factor matrix is published once
+            # per dispatch; every task carries only names and shapes.
+            fmat_descs = []
+            for f in fmats:
+                lease = pool.lease(f.nbytes)
+                fmat_leases.append(lease)
+                lease.view(f.shape)[...] = f
+                fmat_descs.append({"name": lease.name, "shape": f.shape})
+            shm_base = {"gen": pool.next_generation(), "fmats": fmat_descs}
+        try:
+            for i, stream in enumerate(streams):
+                task = {
+                    "mode": mode, "out_rows": out_rows, "rank": rank,
+                    "chunk": cfg.chunk, "shard": i,
+                    "n_shards": cfg.shards,
+                    "telemetry": tel.enabled,
+                    "kill": injected.get("kill_worker") == i,
+                    "crash": injected.get("worker_crash") == i,
+                    "delay": delay if injected.get("slow_shard") == i else 0.0,
+                }
+                if use_shm:
+                    lease = pool.lease(out_rows * rank * 8)
+                    out_leases[i] = lease
+                    out_views[i] = lease.view((out_rows, rank))
+                    # run_stream assigns segment sums into disjoint rows;
+                    # rows no nonzero touches must be exact zeros, and a
+                    # reused segment still holds the previous dispatch.
+                    out_views[i][...] = 0.0
+                    task["shm"] = dict(
+                        shm_base,
+                        out={"name": lease.name, "shape": (out_rows, rank)},
+                    )
+                else:
+                    task["fmats"] = fmats
+                if store_root is not None and store_key is not None:
+                    task["stream"] = None
+                    task["store"] = os.fspath(store_root)
+                    task["key"] = store_key
+                else:
+                    task["stream"] = stream
+                pending[i] = self._send(workers, i, task)
 
-        for i, stream in enumerate(streams):
-            if not pending[i]:
-                # The task could not even be delivered (worker lost between
-                # launches); it was already counted — execute inline.
-                partials[i], batch = self._redo_captured(
-                    stream, fmats, mode, out_rows, rank, cfg.chunk, i,
-                    enabled=tel.enabled,
+            for i, stream in enumerate(streams):
+                if not pending[i]:
+                    # The task could not even be delivered (worker lost
+                    # between launches); it was already counted — execute
+                    # inline.
+                    partials[i], batch = self._redo_captured(
+                        stream, fmats, mode, out_rows, rank, cfg.chunk, i,
+                        enabled=tel.enabled,
+                    )
+                    batches, redone = [batch], True
+                else:
+                    partials[i], batches, redone = self._collect(
+                        workers, i, stream, fmats, mode, out_rows, rank, cfg,
+                        events, out_view=out_views[i],
+                    )
+                if redone and use_shm and out_leases[i] is not None:
+                    # Fault hygiene: the abandoned shm accumulator (which a
+                    # killed worker may have been mid-write into) is never
+                    # read and never recycled. Drop the parent-side view
+                    # first so the segment unmaps cleanly.
+                    out_views[i] = None
+                    pool.discard(out_leases[i])
+                    out_leases[i] = None
+                self._finish_shard(
+                    tel, anchor, t_dispatch, i, stream.nnz, batches,
+                    redone=redone, captured=tel.enabled,
+                    transport="inline" if redone
+                    else ("shm" if use_shm else "pipe"),
                 )
-                batches, redone = [batch], True
-            else:
-                deadline = _NO_DEADLINE
-                if cfg.shard_timeout > 0.0:
-                    deadline = launched + cfg.shard_timeout
-                partials[i], batches, redone = self._collect(
-                    workers, i, stream, fmats, mode, out_rows, rank, cfg,
-                    deadline, events,
-                )
-            self._finish_shard(
-                tel, anchor, t_dispatch, i, stream.nnz, batches,
-                redone=redone, captured=tel.enabled,
-            )
-        return tree_reduce(partials)
+            reduced = tree_reduce(partials)
+            if use_shm:
+                # The reduction root may be an shm view; the caller owns
+                # the result beyond this dispatch's leases.
+                reduced = np.array(reduced, dtype=np.float64, copy=True)
+            return reduced
+        finally:
+            if use_shm:
+                partials = out_views = None  # drop segment views first
+                for lease in fmat_leases:
+                    pool.release(lease)
+                for lease in out_leases:
+                    if lease is not None:
+                        pool.release(lease)
 
     # ------------------------------------------------------------------ #
     def _send(self, workers: list[_Worker], i: int, task: dict) -> bool:
@@ -362,7 +546,7 @@ class ProcessBackend(ExecutionBackend):
 
     def _collect(
         self, workers, i, stream, fmats, mode, out_rows, rank, cfg,
-        deadline, events,
+        events, *, out_view=None,
     ) -> tuple:
         """Watchdog loop for one outstanding shard result.
 
@@ -371,17 +555,32 @@ class ProcessBackend(ExecutionBackend):
         piggybacked reply batch; on an in-worker exception, the failed
         attempt's batch *and* the redo's), and whether the shard was
         re-executed serially.
+
+        The straggler deadline is anchored **here**, when this shard's
+        collection begins — never at dispatch — so time spent collecting
+        earlier shards (or serially redoing one) can never eat a later,
+        healthy shard's budget. *out_view* is the parent-side view of the
+        shard's shm accumulator (``None`` on the pipe transport): an
+        ``"ok"`` reply means the worker filled it in place.
         """
         tel = current_telemetry()
         worker = workers[i]
+        deadline = _NO_DEADLINE
+        if cfg.shard_timeout > 0.0:
+            deadline = time.monotonic() + cfg.shard_timeout
         while True:
             try:
                 if worker.conn.poll(HEARTBEAT):
                     status, payload, batch = worker.conn.recv()
                     if status == "ok":
-                        return payload, [batch], False
+                        partial = out_view if out_view is not None else payload
+                        return partial, [batch], False
                     # In-worker exception: worker survives, shard redone.
                     tel.counter("engine.shard.retries")
+                    if isinstance(payload, str) and payload.startswith(
+                        "ShmAttachError"
+                    ):
+                        tel.counter("engine.shm.attach_failures")
                     if events is not None:
                         events.record(
                             SHARD_RETRY, "MTTKRP", mode=mode,
@@ -395,8 +594,24 @@ class ProcessBackend(ExecutionBackend):
                     )
                     return partial, [batch, redo_batch], True
             except (EOFError, OSError):
-                # Pipe died under us: treat as a lost worker below.
-                pass
+                # The task pipe broke. The worker may well still be alive
+                # (wedged in a long shard, or its FD closed under it) but
+                # can never deliver this result — spinning on liveness
+                # would hang forever with shard_timeout=0. Treat it as a
+                # lost worker: record, respawn, redo serially. A dying
+                # worker's pipe EOF can race its reapability, so grant a
+                # short grace first — a real death is then reported with
+                # its exitcode/signal instead of "became unreachable".
+                worker.proc.join(timeout=0.2)
+                self._record_lost(
+                    worker, i, mode, events, context="task pipe broke"
+                )
+                workers[i] = self._respawn(i)
+                partial, batch = self._redo_captured(
+                    stream, fmats, mode, out_rows, rank, cfg.chunk, i,
+                    enabled=tel.enabled,
+                )
+                return partial, [batch], True
             if not worker.alive():
                 self._record_lost(worker, i, mode, events)
                 workers[i] = self._respawn(i)
@@ -431,7 +646,8 @@ class ProcessBackend(ExecutionBackend):
             how = f"died on signal {signal.Signals(-exitcode).name}"
         elif exitcode is not None:
             how = f"exited with code {exitcode}"
-        else:  # pragma: no cover - delivery race
+        else:
+            # Still-live worker behind a broken pipe, or a delivery race.
             how = "became unreachable"
         if context:
             how = f"{how} ({context})"

@@ -43,7 +43,7 @@ class SerialBackend(ExecutionBackend):
             )
             self._finish_shard(
                 tel, anchor, t0, i, stream.nnz, [batch],
-                captured=tel.enabled,
+                captured=tel.enabled, transport="inline",
             )
             partials.append(partial)
         return tree_reduce(partials)

@@ -119,7 +119,6 @@ class ThreadsBackend(ExecutionBackend):
         pool = self._pool(len(streams))
         anchor = tel.current_span_id()
         t_dispatch = tel.now()
-        launched = time.monotonic()
         futures = [
             pool.submit(
                 _chaos_worker, stream, fmats, mode, partial, cfg.chunk, i,
@@ -130,10 +129,12 @@ class ThreadsBackend(ExecutionBackend):
             for i, (stream, partial) in enumerate(zip(streams, partials))
         ]
         for i, future in enumerate(futures):
-            budget = None
+            # Each shard's straggler budget is anchored when its own
+            # collection begins (matching the processes watchdog): time
+            # spent waiting on — or serially redoing — earlier shards
+            # never erodes a later, healthy shard's deadline.
+            budget = cfg.shard_timeout if cfg.shard_timeout > 0.0 else None
             redone = False
-            if cfg.shard_timeout > 0.0:
-                budget = max(0.0, cfg.shard_timeout - (time.monotonic() - launched))
             try:
                 partials[i], batch = future.result(timeout=budget)
             except concurrent.futures.TimeoutError:
@@ -175,5 +176,6 @@ class ThreadsBackend(ExecutionBackend):
             self._finish_shard(
                 tel, anchor, t_dispatch, i, streams[i].nnz, [batch],
                 redone=redone, captured=tel.enabled,
+                transport="inline" if redone else "threads",
             )
         return tree_reduce(partials)

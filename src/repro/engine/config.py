@@ -18,6 +18,7 @@ __all__ = ["EngineConfig", "resolve_engine"]
 
 _VALIDATE = ("off", "cheap", "full")
 _BACKENDS = ("serial", "threads", "processes")
+_SHM = ("auto", "on", "off")
 
 
 @dataclass(frozen=True)
@@ -42,8 +43,11 @@ class EngineConfig:
         disjoint, sharded results equal serial results bitwise.
     shard_timeout:
         Per-shard wall-clock budget in seconds for the sharded path
-        (``0.0`` disables timeout detection). A shard that has not
-        finished this long after the launch of its batch is declared a
+        (``0.0`` disables timeout detection). Each shard's deadline is
+        anchored when the dispatcher begins collecting *that* shard —
+        never at batch launch, so time spent collecting (or serially
+        redoing) earlier shards cannot erode a later shard's budget. A
+        shard that has not delivered within the budget is declared a
         straggler: its in-flight result is abandoned (the ``processes``
         backend kills the worker outright) and the shard is re-executed
         serially on the dispatching thread — bit-identical, since each
@@ -58,6 +62,18 @@ class EngineConfig:
         or aborted worker is detected, respawned, and its shard redone
         serially). All backends are bitwise identical to serial
         execution; only failure isolation and wall-clock differ.
+    shm:
+        Shard transport of the ``processes`` backend: ``"auto"`` (default;
+        zero-copy ``multiprocessing.shared_memory`` transport where POSIX
+        shared memory works, pipe pickling otherwise), ``"on"`` (require
+        shared memory; raise where unavailable), or ``"off"`` (always
+        pickle over the task pipes). With shm, factor matrices are
+        published once per MTTKRP dispatch (one write, N readers) and
+        each shard's accumulator is a parent-allocated segment the worker
+        fills in place — bit-identical to the pipe transport and to
+        serial execution across every fault-recovery path. Ignored by
+        the ``serial``/``threads`` backends (shared address space
+        already). Booleans are accepted and normalized to on/off.
     plan_store:
         Optional path of an on-disk :class:`~repro.engine.plan_store.
         PlanStore` directory (``None`` disables the store tier). Built
@@ -69,7 +85,8 @@ class EngineConfig:
     plan_store_bytes:
         On-disk budget for the plan store in bytes (``0`` = unbounded,
         the default). When set, every save evicts least-recently-used
-        entries (mtime order; loads touch entries) until the store —
+        entries (mtime order; loads *and* in-memory plan-cache hits both
+        refresh an entry's recency) until the store —
         including quarantine residue, which is evicted first — fits the
         budget. Evictions are counted (``engine.store.evictions``).
         Ignored when ``plan_store`` is ``None``.
@@ -97,6 +114,7 @@ class EngineConfig:
     shards: int = 1
     shard_timeout: float = 0.0
     backend: str = "threads"
+    shm: str = "auto"
     plan_store: str | None = None
     plan_store_bytes: int = 0
     gram_rescale: bool = False
@@ -113,6 +131,15 @@ class EngineConfig:
             self.backend in _BACKENDS,
             f"backend must be one of {_BACKENDS}, got {self.backend!r}",
         )
+        shm = self.shm
+        if shm is True:
+            shm = "on"
+        elif shm is False:
+            shm = "off"
+        require(
+            shm in _SHM, f"shm must be one of {_SHM}, got {self.shm!r}"
+        )
+        object.__setattr__(self, "shm", shm)
         if self.plan_store is not None:
             object.__setattr__(self, "plan_store", os.fspath(self.plan_store))
         require(int(self.plan_store_bytes) >= 0, "plan_store_bytes must be >= 0")

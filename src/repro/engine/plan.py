@@ -371,6 +371,12 @@ class PlanCache:
                     plan.store_key = skey
                 except OSError:
                     pass
+            elif self.store is not None and plan.store_key is not None:
+                # LRU touch: an in-memory hit never re-reads the file, so
+                # without this the budget enforcer sees the hottest plan
+                # as the coldest entry and evicts it first under pressure
+                # (from this process's saves or a sibling's).
+                self.store.touch(plan.store_key)
         return plan
 
     def block_plans(

@@ -80,8 +80,9 @@ class PlanStore:
     """Content-keyed directory of serialized :class:`MttkrpPlan` entries.
 
     ``max_bytes`` bounds the on-disk footprint: after every save the store
-    evicts entries least-recently-*used* first (mtime order — loads touch
-    the entry, so a hot plan survives) until the live ``.npz`` payload
+    evicts entries least-recently-*used* first (mtime order — loads *and*
+    in-memory plan-cache hits :meth:`touch` the entry, so a hot plan
+    survives) until the live ``.npz`` payload
     plus any ``.quarantine`` residue fits the budget. Quarantined files
     count against the budget and are evicted before any live entry — dead
     bytes go first. Evictions are counted (``engine.store.evictions``) and
@@ -248,13 +249,24 @@ class PlanStore:
             return None
         self.hits += 1
         tel.counter("engine.store.hits")
-        try:
-            # LRU touch: a loaded entry is "recently used", so the budget
-            # enforcer evicts cold plans before hot ones.
-            os.utime(path)
-        except OSError:  # pragma: no cover - read-only store is still usable
-            pass
+        # LRU touch: a loaded entry is "recently used", so the budget
+        # enforcer evicts cold plans before hot ones.
+        self.touch(key)
         return plan
+
+    def touch(self, key: str) -> None:
+        """Refresh *key*'s recency (mtime) without loading it.
+
+        The eviction order is mtime, so every use of an entry must leave a
+        recency mark — loads do this implicitly, and the in-memory
+        :class:`~repro.engine.plan.PlanCache` calls this on cache hits
+        (which never re-read the disk) so a hot plan does not age like a
+        cold one. Missing keys and read-only stores are silent no-ops.
+        """
+        try:
+            os.utime(self.path(key))
+        except OSError:
+            pass
 
     def _quarantine(self, key: str, path: Path, exc: Exception, events) -> None:
         """Move a bad entry aside so the next save can republish the key."""

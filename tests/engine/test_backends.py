@@ -20,6 +20,7 @@ from repro.engine import (
     shutdown_pools,
 )
 from repro.engine.backends import BACKEND_NAMES
+from repro.engine.backends.base import tree_reduce
 from repro.engine.backends.serial import SerialBackend
 from repro.engine.backends.threads import ThreadsBackend
 from repro.kernels.mttkrp_coo import mttkrp_coo
@@ -84,6 +85,16 @@ class TestConfig:
         assert cfg.plan_store == str(tmp_path / "plans")
         assert EngineConfig().plan_store is None
 
+    def test_shm_validated_and_normalized(self):
+        assert EngineConfig().shm == "auto"
+        for value in ("auto", "on", "off"):
+            assert EngineConfig(shm=value).shm == value
+        # Booleans normalize to the string form.
+        assert EngineConfig(shm=True).shm == "on"
+        assert EngineConfig(shm=False).shm == "off"
+        with pytest.raises(ValueError, match="shm must be one of"):
+            EngineConfig(shm="maybe")
+
     def test_resolve_engine_processes(self):
         cfg = resolve_engine("processes")
         assert cfg.backend == "processes"
@@ -96,6 +107,22 @@ class TestConfig:
         assert cfg.shards == 3
         assert cfg.backend == "serial"
         assert cfg.plan_store == str(tmp_path)
+
+
+class TestTreeReduce:
+    def test_empty_input_rejected(self):
+        """An empty shard list has no well-defined shape or dtype; the
+        reduce refuses it instead of crashing deep inside pairwise math."""
+        with pytest.raises(ValueError, match="at least one shard partial"):
+            tree_reduce([])
+
+    def test_single_partial_is_identity(self):
+        only = np.arange(6, dtype=np.float64).reshape(2, 3)
+        assert np.array_equal(tree_reduce([only]), only)
+
+    def test_sums_all_partials(self):
+        partials = [np.full((2, 2), float(i)) for i in range(5)]
+        assert np.array_equal(tree_reduce(partials), np.full((2, 2), 10.0))
 
 
 class TestBitIdentity:
@@ -171,3 +198,17 @@ class TestCliFlags:
         )
         assert setting == {"plan_store": str(tmp_path / "plans")}
         assert resolve_engine(setting).plan_store == str(tmp_path / "plans")
+
+    def test_shm_flag(self):
+        setting = _engine_setting(
+            self._args("--backend", "processes", "--shm", "off")
+        )
+        assert setting["shm"] == "off"
+        assert resolve_engine(setting).shm == "off"
+        # --shm alone also implies the engine (like the other engine flags).
+        assert _engine_setting(self._args("--shm", "on")) == {"shm": "on"}
+
+    def test_shm_defaults_to_config_auto(self):
+        setting = _engine_setting(self._args("--backend", "processes"))
+        assert "shm" not in setting
+        assert resolve_engine(setting).shm == "auto"

@@ -173,6 +173,49 @@ class TestSizeBudget:
         counters = tel.metrics.summary()["counters"]
         assert counters["engine.store.evictions"] == 1
 
+    def test_repeatedly_hit_entry_survives_eviction_pressure(
+        self, tensor, tmp_path
+    ):
+        """Regression: eviction ranked entries by *write* mtime only, so a
+        hot entry that was merely loaded (never re-saved) aged like a cold
+        one — FIFO masquerading as LRU. Hits now refresh recency."""
+        import os
+        import time
+
+        size = self._entry_size(tensor, tmp_path)
+        store = PlanStore(tmp_path / "store", max_bytes=int(size * 2.5))
+        store.save(_key(tensor, 0), _plan(tensor, 0))  # written first
+        store.save(_key(tensor, 1), _plan(tensor, 1))  # written second
+        # Age both entries, mode 0 more: under write-order (FIFO) eviction
+        # mode 0 is the victim no matter how often it is hit.
+        now = time.time()
+        os.utime(store.path(_key(tensor, 0)), (now - 120, now - 120))
+        os.utime(store.path(_key(tensor, 1)), (now - 60, now - 60))
+        for _ in range(3):
+            assert store.load(_key(tensor, 0)) is not None  # hot entry
+        store.save(_key(tensor, 2), _plan(tensor, 2))
+        assert store.evictions == 1
+        assert _key(tensor, 0) in store  # repeatedly hit: survives
+        assert _key(tensor, 1) not in store  # never hit: the true LRU victim
+        assert _key(tensor, 2) in store
+
+    def test_touch_refreshes_recency_without_counting_a_hit(
+        self, tensor, tmp_path
+    ):
+        import os
+        import time
+
+        store = PlanStore(tmp_path)
+        key = _key(tensor, 0)
+        store.save(key, _plan(tensor, 0))
+        past = time.time() - 120
+        os.utime(store.path(key), (past, past))
+        hits_before = store.hits
+        store.touch(key)
+        assert store.path(key).stat().st_mtime > past + 60
+        assert store.hits == hits_before
+        store.touch("absent-coo-m0")  # missing keys are a silent no-op
+
     def test_just_written_entry_survives_tiny_budget(self, tensor, tmp_path):
         store = PlanStore(tmp_path, max_bytes=1)
         store.save(_key(tensor, 0), _plan(tensor, 0))
@@ -251,6 +294,24 @@ class TestCacheStoreTier:
         assert again is plan
         assert cache.store.writes == 1
         assert plan.store_key == _key(tensor)
+
+    def test_in_memory_hit_refreshes_store_recency(self, tensor, tmp_path):
+        """Regression: a plan served from the in-memory cache never touched
+        its on-disk entry, so the store's busiest plans looked coldest and
+        were evicted first. An in-memory hit now refreshes the entry's
+        mtime — without a load and without counting a store hit."""
+        import os
+        import time
+
+        store = PlanStore(tmp_path)
+        cache = PlanCache(store=store)
+        cache.plan(tensor, 0)  # miss: built and persisted
+        key = _key(tensor, 0)
+        past = time.time() - 120
+        os.utime(store.path(key), (past, past))
+        cache.plan(tensor, 0)  # in-memory hit
+        assert store.path(key).stat().st_mtime > past + 60
+        assert store.hits == 0  # touched, never re-loaded
 
     def test_override_arrays_skip_store(self, tensor, tmp_path):
         store = PlanStore(tmp_path)

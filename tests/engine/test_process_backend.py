@@ -8,7 +8,10 @@ every recovery path — watchdog-detected worker death, straggler kill,
 in-worker exception — produces bits identical to serial execution.
 """
 
+import multiprocessing
 import signal
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -20,7 +23,7 @@ from repro.engine import (
     get_backend,
     shutdown_backends,
 )
-from repro.engine.backends.processes import ProcessBackend
+from repro.engine.backends.processes import _PLAN_MEMO_LIMIT, ProcessBackend
 from repro.kernels.mttkrp_coo import mttkrp_coo
 from repro.obs import telemetry_session
 from repro.resilience import EventLog, FaultInjector, FaultSpec
@@ -151,6 +154,215 @@ class TestStraggler:
         assert np.array_equal(ref, got)
         assert len(events.of_kind("shard_timeout")) == 1
         assert tel.metrics.summary()["counters"]["engine.shard.timeouts"] == 1
+
+
+class TestStragglerDeadlineAnchoring:
+    def test_slow_shard_zero_does_not_time_out_shard_one(self, monkeypatch):
+        """Regression: shard deadlines used to be anchored at batch launch,
+        so the time the watchdog spent collecting a slow-but-healthy shard 0
+        ate shard 1's budget and killed it as a spurious straggler. Each
+        deadline is now anchored when *that* shard's collection begins."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork so workers inherit the patched kernel")
+        shutdown_backends()
+
+        # Mode-0 rows with very different weights, so the two LPT shards
+        # have distinguishable nnz (the patched kernel keys its sleep on it).
+        rng = np.random.default_rng(17)
+        big = np.column_stack(
+            [np.zeros(60, dtype=np.int64),
+             rng.integers(0, 10, 60), rng.integers(0, 8, 60)]
+        )
+        small = np.column_stack(
+            [np.ones(6, dtype=np.int64),
+             rng.integers(0, 10, 6), rng.integers(0, 8, 6)]
+        )
+        from repro.tensor.coo import SparseTensor
+
+        tensor = SparseTensor(
+            np.vstack([big, small]), rng.random(66), (2, 10, 8)
+        )
+        fmats = [rng.random((d, 4)) for d in tensor.shape]
+        ref = mttkrp_coo(tensor, fmats, 0)
+        streams = PlanCache().plan(tensor, 0).shard_streams(2)
+        assert streams[0].nnz != streams[1].nnz
+        # Shard 0 finishes inside its own budget; shard 1 takes longer than
+        # one budget from launch but less than one budget from the moment
+        # its collection begins (~ when shard 0 delivers).
+        sleeps = {streams[0].nnz: 0.9, streams[1].nnz: 2.0}
+
+        import repro.engine.execute as execute_mod
+
+        real_run_stream = execute_mod.run_stream
+
+        def sleepy_run_stream(stream, mats, mode, out, chunk):
+            time.sleep(sleeps.get(stream.nnz, 0.0))
+            return real_run_stream(stream, mats, mode, out, chunk)
+
+        # Patched before the pool forks, so workers inherit the slow kernel.
+        monkeypatch.setattr(execute_mod, "run_stream", sleepy_run_stream)
+        backend = ProcessBackend()
+        events = EventLog()
+        try:
+            got = backend.run_shards(
+                streams, [np.asarray(f) for f in fmats], 0,
+                tensor.shape[0], 4,
+                EngineConfig(shards=2, backend="processes", shard_timeout=1.5),
+                events=events,
+            )
+        finally:
+            backend.shutdown()
+        assert np.array_equal(ref, got)
+        assert events.of_kind("shard_timeout") == []
+        assert events.of_kind("worker_lost") == []
+
+
+class TestBrokenPipe:
+    class _WedgeShardZero:
+        """Fault stub: shard 0 sleeps far longer than the test tolerates."""
+
+        def draw_shard_faults(self, n_shards, *, mode=None, events=None):
+            return {"slow_shard": 0}
+
+        def slow_shard_delay(self):
+            return 5.0
+
+    def test_dead_pipe_with_live_worker_is_a_lost_worker(
+        self, tensor, factors
+    ):
+        """Regression: a broken task pipe whose worker process was still
+        alive used to poll forever under ``shard_timeout=0`` (liveness
+        checks pass, the reply can never arrive). A dead pipe is now
+        treated as a lost worker immediately: record, respawn, redo."""
+        ref = mttkrp_coo(tensor, factors, 0)
+        backend = ProcessBackend()
+        streams = PlanCache().plan(tensor, 0).shard_streams(2)
+        workers = backend._ensure_workers(2)
+        # Sever worker 0's pipe while it is wedged mid-shard (and provably
+        # still alive).
+        timer = threading.Timer(0.4, workers[0].conn.close)
+        events = EventLog()
+        t0 = time.monotonic()
+        timer.start()
+        try:
+            with telemetry_session() as tel:
+                got = backend.run_shards(
+                    streams, [np.asarray(f) for f in factors], 0,
+                    tensor.shape[0], 6,
+                    EngineConfig(
+                        shards=2, backend="processes", shard_timeout=0.0
+                    ),
+                    faults=self._WedgeShardZero(), events=events,
+                )
+            elapsed = time.monotonic() - t0
+        finally:
+            timer.cancel()
+            backend.shutdown()
+        assert np.array_equal(ref, got)
+        assert elapsed < 3.0  # did not wait out the wedged worker's sleep
+        (lost,) = events.of_kind("worker_lost")
+        assert "task pipe broke" in lost.detail
+        assert events.of_kind("shard_timeout") == []
+        counters = tel.metrics.summary()["counters"]
+        assert counters["engine.backend.workers_lost"] == 1
+        assert counters["engine.backend.respawns"] >= 1
+
+
+class TestForkSafety:
+    def test_forked_child_closes_inherited_pipe_fds(self):
+        """Regression: a forked child used to keep the inherited parent
+        ends of every worker pipe open — one leaked FD per worker, holding
+        the real parent's pipes half-open for the child's lifetime."""
+        backend = ProcessBackend()
+        backend._ensure_workers(1)
+        inherited = backend._workers[0]
+        pool = backend._segment_pool()
+        lease = pool.lease(64)
+        name = lease.name
+        backend._pid = -1  # simulate: this process is a fork of the owner
+        backend._ensure_workers(1)
+        try:
+            assert inherited.conn.closed
+            assert backend._workers[0] is not inherited
+            # The inherited shm pool is forgotten, never unlinked — its
+            # segments still belong to the real parent.
+            assert backend._shm_pool is None
+            from repro.engine.backends.shm import attach_segment
+
+            probe = attach_segment(name)  # still linked
+            probe.close()
+        finally:
+            backend.shutdown()
+            pool.close()  # the "real parent" reaps its own segments
+            inherited.proc.kill()
+            inherited.proc.join(timeout=2.0)
+
+
+class TestWorkerPlanMemo:
+    def test_memo_is_bounded_and_reloads_evicted_plans(self, tmp_path):
+        """Regression: the worker-side plan memo grew without bound. It is
+        now an LRU capped at ``_PLAN_MEMO_LIMIT``; a plan evicted from the
+        memo is transparently re-loaded from the on-disk store. The
+        worker's plan-store hit counters (shipped in telemetry batches)
+        make both behaviours observable from the parent side."""
+        from repro.engine import PlanStore
+        from repro.engine.backends.processes import _worker_main
+        from repro.engine.plan import MttkrpPlan
+
+        store = PlanStore(tmp_path / "plans")
+        rng = np.random.default_rng(0)
+        tensors, keys = [], []
+        for s in range(_PLAN_MEMO_LIMIT + 3):
+            t = random_sparse((12, 10, 8), nnz=200, seed=100 + s)
+            key = f"memo{s:02d}-coo-m0"
+            store.save(
+                key,
+                MttkrpPlan.from_arrays(t.indices, t.values, t.shape, 0),
+            )
+            tensors.append(t)
+            keys.append(key)
+
+        def task_for(i):
+            return {
+                "mode": 0, "out_rows": tensors[i].shape[0], "rank": 4,
+                "chunk": 128, "shard": 0, "n_shards": 1, "telemetry": True,
+                "stream": None, "store": str(tmp_path / "plans"),
+                "key": keys[i], "fmats": fmats_for[i],
+            }
+
+        fmats_for = [
+            [rng.random((d, 4)) for d in t.shape] for t in tensors
+        ]
+        # Drive the worker loop in a thread over a real pipe: no fork, so
+        # the memo's state is directly exercised end to end.
+        parent, child = multiprocessing.Pipe(duplex=True)
+        thread = threading.Thread(
+            target=_worker_main, args=(child, 0), daemon=True
+        )
+        thread.start()
+
+        def roundtrip(i):
+            parent.send(task_for(i))
+            status, payload, batch = parent.recv()
+            assert status == "ok"
+            assert np.array_equal(
+                payload, mttkrp_coo(tensors[i], fmats_for[i], 0)
+            )
+            return (batch or {}).get("counters", {}).get(
+                "engine.store.hits", 0
+            )
+
+        hits = sum(roundtrip(i) for i in range(len(keys)))
+        assert hits == len(keys)  # every plan loaded from the store once
+        # The most recent plan is still memoized: no store load.
+        assert roundtrip(len(keys) - 1) == 0
+        # The oldest plan was evicted from the bounded memo: re-loaded.
+        assert roundtrip(0) == 1
+        parent.send(None)
+        reply = parent.recv()
+        assert reply[0] == "flush"
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
 
 
 class TestPlanRefShipping:
