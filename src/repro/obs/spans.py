@@ -206,8 +206,16 @@ class Telemetry:
         return self._now()
 
     def _emit(self, obj: dict) -> None:
-        if self._sink is not None:
-            self._sink.emit(obj)
+        sink = self._sink
+        if sink is None:
+            return
+        sink.emit(obj)
+        if getattr(sink, "degraded", False):
+            # The sink swallowed a write failure (ENOSPC and friends) and is
+            # now a null sink. Count the dropped line registry-only: the
+            # summary still reports the loss, and going through
+            # ``self.counter`` here would recurse into the dead sink.
+            self.metrics.count("obs.sink.dropped")
 
     # ------------------------------------------------------------------ #
     # Spans
@@ -425,6 +433,15 @@ class Telemetry:
         """Mirror a resilience :class:`EventLog` into this session."""
         event_log.subscribe(self.on_resilience_event)
 
+    def inject_sink_failure(self) -> None:
+        """Arm the JSONL sink to fail its next write (``disk_full`` chaos).
+
+        A no-op without a sink; with one, the next emitted line takes the
+        real ENOSPC degradation path (null sink + ``obs.sink.dropped``).
+        """
+        if self._sink is not None:
+            self._sink.fail_next_write = True
+
     def on_resilience_event(self, ev) -> None:
         self.metrics.count(f"resilience.{ev.kind}")
         self.event(
@@ -462,9 +479,14 @@ class Telemetry:
             self.close_span(self._stack[-1])
         self.record.metrics_summary = self.metrics.summary()
         if self._sink is not None:
-            self._sink.emit({"type": "summary", "metrics": self.record.metrics_summary})
+            self._emit({"type": "summary", "metrics": self.record.metrics_summary})
+            degraded = getattr(self._sink, "degraded", False)
             self._sink.close()
             self._sink = None
+            if degraded:
+                # The summary line itself was dropped; re-snapshot so the
+                # in-memory record reflects the final obs.sink.dropped tally.
+                self.record.metrics_summary = self.metrics.summary()
 
 
 def _jsonable(obj):

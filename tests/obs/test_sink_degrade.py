@@ -1,0 +1,118 @@
+"""JsonlSink must be non-fatal: write failures degrade to a null sink."""
+
+import errno
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.sinks import JsonlSink, read_jsonl
+
+pytestmark = pytest.mark.telemetry
+
+
+class FlakyFile:
+    """Text-file stand-in whose writes start failing after `ok_writes`."""
+
+    def __init__(self, ok_writes):
+        self.ok_writes = ok_writes
+        self.writes = 0
+        self.lines = []
+        self.closed = False
+        self.flushes = 0
+
+    def write(self, text):
+        self.writes += 1
+        if self.writes > self.ok_writes:
+            raise OSError(errno.ENOSPC, "No space left on device")
+        self.lines.append(text)
+
+    def flush(self):
+        self.flushes += 1
+
+    def close(self):
+        self.closed = True
+
+
+class TestSinkDegrade:
+    def test_emit_never_propagates_oserror(self):
+        fh = FlakyFile(ok_writes=2)
+        sink = JsonlSink(fh)
+        sink.emit({"a": 1})
+        sink.emit({"a": 2})
+        sink.emit({"a": 3})  # first failure: must not raise
+        sink.emit({"a": 4})  # already degraded: null-sink path
+        assert sink.degraded
+        assert sink.lines_written == 2
+        assert sink.dropped == 2
+        # Lines written before the failure stayed intact JSONL.
+        assert [json.loads(line) for line in fh.lines] == [{"a": 1}, {"a": 2}]
+
+    def test_degraded_sink_survives_flush_and_close(self):
+        sink = JsonlSink(FlakyFile(ok_writes=0))
+        sink.emit({"a": 1})
+        assert sink.degraded
+        sink.flush()
+        sink.close()
+        sink.emit({"a": 2})
+        assert sink.dropped == 2
+
+    def test_flush_failure_degrades(self):
+        fh = FlakyFile(ok_writes=100)
+        fh.flush = lambda: (_ for _ in ()).throw(OSError(errno.ENOSPC, "full"))
+        sink = JsonlSink(fh)
+        sink.emit({"a": 1})
+        sink.flush()
+        assert sink.degraded
+
+    def test_fail_next_write_arm_is_one_shot(self):
+        fh = FlakyFile(ok_writes=100)
+        sink = JsonlSink(fh)
+        sink.fail_next_write = True
+        sink.emit({"a": 1})
+        assert sink.degraded and sink.dropped == 1
+        assert not sink.fail_next_write
+
+
+class TestTelemetryWithDegradedSink:
+    def test_run_survives_and_counts_dropped_lines(self):
+        fh = FlakyFile(ok_writes=3)
+        tel = Telemetry(jsonl_path=fh)  # meta line consumes one write
+        with tel.span("outer"):
+            tel.counter("work.units", 2.0)
+            for i in range(5):
+                tel.gauge("pressure", float(i))
+        tel.close()
+        summary = tel.record.metrics_summary
+        dropped = summary["counters"]["obs.sink.dropped"]
+        assert dropped >= 5  # gauges past the failure + span + summary lines
+        # Everything that made it out before the failure is parseable.
+        records = [json.loads(line) for line in fh.lines]
+        assert records[0]["type"] == "meta"
+        assert len(records) == 3
+        # The in-memory record is complete regardless of the dead sink.
+        assert summary["counters"]["work.units"] == 2.0
+        assert len(tel.record.spans_named("outer")) == 1
+
+    def test_inject_sink_failure_arms_disk_full_path(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tel = Telemetry(jsonl_path=str(path))
+        tel.counter("before", 1.0)
+        tel.inject_sink_failure()
+        tel.counter("after", 1.0)  # this line dies; run continues
+        tel.counter("after", 1.0)
+        tel.close()
+        summary = tel.record.metrics_summary
+        assert summary["counters"]["obs.sink.dropped"] >= 2
+        assert summary["counters"]["after"] == 2.0
+        records = read_jsonl(path)
+        names = [r.get("name") for r in records if r.get("type") == "metric"]
+        assert "before" in names and "after" not in names
+
+    def test_healthy_sink_reports_no_drops(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tel = Telemetry(jsonl_path=str(path))
+        tel.counter("work.units")
+        tel.close()
+        assert "obs.sink.dropped" not in tel.record.metrics_summary["counters"]
+        assert read_jsonl(path)[-1]["type"] == "summary"
