@@ -17,6 +17,7 @@ The same code path serves concrete tensors and paper-scale
 
 from __future__ import annotations
 
+import errno
 import warnings
 from dataclasses import dataclass, field
 
@@ -48,6 +49,7 @@ from repro.resilience.events import (
     CHECKPOINT_CORRUPT,
     CHECKPOINT_RESUMED,
     CHECKPOINT_SAVED,
+    CHECKPOINT_SKIPPED,
     ResilienceEvent,
 )
 from repro.resilience.guards import ensure_finite
@@ -479,6 +481,16 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
             ):
                 converged = True
 
+        if injector is not None and tel.enabled and injector.draw_disk_full(
+            "sink", iteration=iterations,
+            events=ctx.events if ctx is not None else None,
+        ):
+            # The telemetry sink's turn to hit ENOSPC: arm the real
+            # degradation path (null sink + obs.sink.dropped) and carry on.
+            arm = getattr(tel, "inject_sink_failure", None)
+            if arm is not None:
+                arm()
+
         if (
             config.checkpoint_every > 0
             and not analytic
@@ -519,25 +531,49 @@ def _cstf_run(tensor, config: CstfConfig, tel) -> CstfResult:
 
 def _write_checkpoint(config, update, shape, rank, iteration, factors, weights,
                       grams, fits, state, ctx, tel) -> None:
-    """Persist the AO-loop state atomically and log the save."""
+    """Persist the AO-loop state atomically and log the save.
+
+    Persistence never fails a run that can still compute: a write
+    ``OSError`` (ENOSPC and friends) is recorded as a ``checkpoint_skipped``
+    event and swallowed — ``save_checkpoint`` rotates generations only
+    after the temp write succeeds, so the last completed checkpoint (and
+    its ``.prev``) survive intact.
+    """
     injector = config.fault_injector
     state_arrays = {k: v for k, v in state.items() if k != STATE_KEY}
-    save_checkpoint(
-        config.checkpoint_path,
-        iteration=iteration,
-        factors=factors,
-        weights=weights,
-        grams=grams,
-        fits=fits,
-        state_arrays=state_arrays,
-        rng_state=injector.rng_state() if injector is not None else None,
-        telemetry_state=tel.metrics.state_dict() if tel.enabled else None,
-        meta={
-            "shape": [int(d) for d in shape],
-            "rank": int(rank),
-            "update": getattr(update, "name", str(config.update)),
-        },
-    )
+    events = ctx.events if ctx is not None else None
+    try:
+        if injector is not None and injector.draw_disk_full(
+            "checkpoint", iteration=iteration, events=events
+        ):
+            raise OSError(errno.ENOSPC, "injected disk_full fault")
+        save_checkpoint(
+            config.checkpoint_path,
+            iteration=iteration,
+            factors=factors,
+            weights=weights,
+            grams=grams,
+            fits=fits,
+            state_arrays=state_arrays,
+            rng_state=injector.rng_state() if injector is not None else None,
+            telemetry_state=tel.metrics.state_dict() if tel.enabled else None,
+            meta={
+                "shape": [int(d) for d in shape],
+                "rank": int(rank),
+                "update": getattr(update, "name", str(config.update)),
+            },
+        )
+    except OSError as exc:
+        tel.counter("resilience.checkpoint.skips")
+        if ctx is not None:
+            ctx.events.record(
+                CHECKPOINT_SKIPPED, "CHECKPOINT", iteration=iteration,
+                detail=f"checkpoint write to {config.checkpoint_path} failed "
+                       f"({type(exc).__name__}: {exc}); keeping the last "
+                       f"completed checkpoint and continuing",
+                error=str(exc),
+            )
+        return
     if ctx is not None:
         ctx.events.record(
             CHECKPOINT_SAVED, "CHECKPOINT", iteration=iteration,

@@ -90,6 +90,30 @@ class EngineConfig:
         including quarantine residue, which is evicted first — fits the
         budget. Evictions are counted (``engine.store.evictions``).
         Ignored when ``plan_store`` is ``None``.
+    memory_budget_bytes:
+        Resource-pressure memory budget in bytes (``0`` = unbounded, the
+        default). Two enforcement points, both on the ``processes``
+        backend: (1) the watchdog samples each worker's RSS
+        (``/proc/<pid>/statm``) every heartbeat and emits
+        ``engine.proc.worker_rss`` gauges — a worker whose peak RSS
+        breaches the budget is proactively recycled at the next shard
+        boundary (``worker_recycled`` event; the shard result is already
+        collected, so bit-identity is untouched); (2) the shared-memory
+        :class:`~repro.engine.backends.shm.SegmentPool` bounds its live
+        /dev/shm bytes by the same budget, trimming idle segments under
+        pressure and — when a lease still cannot fit — downgrading that
+        dispatch to pipe transport (``transport_downgraded`` event)
+        instead of erroring.
+    disk_budget_bytes:
+        Resource-pressure disk budget in bytes (``0`` = unbounded, the
+        default). Acts as the default on-disk bound for cached artifacts:
+        when ``plan_store_bytes`` is unset, the plan store evicts down to
+        this budget instead. Persistence failures under real disk
+        pressure (ENOSPC) are always survived regardless of budget —
+        plan-store writes are skipped (``store_skipped``), checkpoint
+        writes keep the last completed generation
+        (``checkpoint_skipped``), and the telemetry sink degrades to a
+        null sink (``obs.sink.dropped``).
     gram_rescale:
         Reuse the Gram matrix of the *unnormalized* update result via a
         rank-one λ-rescale (``G(H/λ) = G(H)/(λλᵀ)``) instead of a separate
@@ -117,6 +141,8 @@ class EngineConfig:
     shm: str = "auto"
     plan_store: str | None = None
     plan_store_bytes: int = 0
+    memory_budget_bytes: int = 0
+    disk_budget_bytes: int = 0
     gram_rescale: bool = False
     max_tensors: int = 16
     validate: str = "cheap"
@@ -144,6 +170,14 @@ class EngineConfig:
             object.__setattr__(self, "plan_store", os.fspath(self.plan_store))
         require(int(self.plan_store_bytes) >= 0, "plan_store_bytes must be >= 0")
         object.__setattr__(self, "plan_store_bytes", int(self.plan_store_bytes))
+        require(
+            int(self.memory_budget_bytes) >= 0, "memory_budget_bytes must be >= 0"
+        )
+        object.__setattr__(
+            self, "memory_budget_bytes", int(self.memory_budget_bytes)
+        )
+        require(int(self.disk_budget_bytes) >= 0, "disk_budget_bytes must be >= 0")
+        object.__setattr__(self, "disk_budget_bytes", int(self.disk_budget_bytes))
         object.__setattr__(
             self, "max_tensors", check_positive_int(self.max_tensors, "max_tensors")
         )

@@ -212,12 +212,25 @@ def engine_mttkrp(
     ):
         from repro.engine.plan_store import PlanStore
 
+        # The explicit per-store budget wins; the engine-wide disk budget
+        # is the default bound for cached artifacts.
         cache.store = PlanStore(
-            cfg.plan_store, max_bytes=cfg.plan_store_bytes or None
+            cfg.plan_store,
+            max_bytes=cfg.plan_store_bytes or cfg.disk_budget_bytes or None,
         )
 
     if faults is not None and faults.draw_plan_fault(mode=mode, events=events):
         cache.corrupt(tensor)
+
+    if (
+        faults is not None
+        and cache.store is not None
+        and faults.draw_disk_full("store", mode=mode, events=events)
+    ):
+        # The next store publish hits a synthetic ENOSPC; the store must
+        # skip persistence (store_skipped) and the run keeps its in-memory
+        # plan.
+        cache.store.fail_next_write = True
 
     if (
         faults is not None

@@ -347,11 +347,10 @@ class PlanCache:
                     mode,
                 )
                 if skey is not None:
-                    try:
-                        self.store.save(skey, plan)
+                    # Store tier is best-effort: save() swallows write
+                    # failures (ENOSPC) itself and returns None.
+                    if self.store.save(skey, plan, events=events) is not None:
                         plan.store_key = skey
-                    except OSError:  # store tier is best-effort
-                        pass
             entry.plans[key] = plan
         else:
             self.hits += 1
@@ -366,11 +365,8 @@ class PlanCache:
                 and values is None
             ):
                 skey = _store_key(entry.content, fmt, mode)
-                try:
-                    self.store.save(skey, plan)
+                if self.store.save(skey, plan, events=events) is not None:
                     plan.store_key = skey
-                except OSError:
-                    pass
             elif self.store is not None and plan.store_key is not None:
                 # LRU touch: an in-memory hit never re-reads the file, so
                 # without this the budget enforcer sees the hottest plan

@@ -34,6 +34,7 @@ footprint with LRU-by-mtime eviction (quarantine residue goes first).
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -42,7 +43,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import current_telemetry
-from repro.resilience.events import PLAN_REPAIRED
+from repro.resilience.events import PLAN_REPAIRED, STORE_SKIPPED
 
 __all__ = ["PlanStore", "store_key"]
 
@@ -98,6 +99,10 @@ class PlanStore:
         self.writes = 0
         self.quarantined = 0
         self.evictions = 0
+        self.write_errors = 0
+        #: Chaos arm: the next :meth:`save` fails with a synthetic ENOSPC
+        #: and takes the real skip-store path (the ``disk_full`` fault).
+        self.fail_next_write = False
 
     # ------------------------------------------------------------------ #
     def path(self, key: str) -> Path:
@@ -115,39 +120,62 @@ class PlanStore:
         return sorted(p.name[: -len(".npz")] for p in self.root.glob("*.npz"))
 
     # ------------------------------------------------------------------ #
-    def save(self, key: str, plan) -> Path:
+    def save(self, key: str, plan, *, events=None) -> Path | None:
         """Atomically persist *plan* under *key*; returns the entry path.
 
-        Failures are deliberately non-fatal to callers that treat the store
-        as a cache tier (see :meth:`PlanCache.plan`) — they catch and keep
-        the in-memory plan.
+        Persistence is a cache tier, never a requirement: a write
+        ``OSError`` (ENOSPC, read-only volume, vanished directory) is
+        swallowed — the temp file is cleaned up, the failure is counted
+        (``engine.store.write_errors``) and logged as a ``store_skipped``
+        resilience event, and ``None`` is returned. The caller keeps its
+        in-memory plan and the run continues.
         """
-        self.root.mkdir(parents=True, exist_ok=True)
-        stream = plan.stream
-        arrays: dict[str, np.ndarray] = {
-            "values": stream.values,
-            "starts": stream.starts,
-            "out_index": stream.out_index,
-        }
-        for m, col in enumerate(stream.cols):
-            arrays[f"col_{m}"] = col
-        meta = {
-            "format_version": STORE_VERSION,
-            "key": key,
-            "mode": int(plan.mode),
-            "out_rows": int(plan.out_rows),
-            "ncols": len(stream.cols),
-            "checksum": _payload_digest(arrays),
-        }
-        arrays["meta_json"] = np.array(json.dumps(meta))
-
         path = self.path(key)
         tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as fh:
-            np.savez_compressed(fh, **arrays)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        try:
+            if self.fail_next_write:
+                self.fail_next_write = False
+                raise OSError(errno.ENOSPC, "injected disk_full fault")
+            self.root.mkdir(parents=True, exist_ok=True)
+            stream = plan.stream
+            arrays: dict[str, np.ndarray] = {
+                "values": stream.values,
+                "starts": stream.starts,
+                "out_index": stream.out_index,
+            }
+            for m, col in enumerate(stream.cols):
+                arrays[f"col_{m}"] = col
+            meta = {
+                "format_version": STORE_VERSION,
+                "key": key,
+                "mode": int(plan.mode),
+                "out_rows": int(plan.out_rows),
+                "ncols": len(stream.cols),
+                "checksum": _payload_digest(arrays),
+            }
+            arrays["meta_json"] = np.array(json.dumps(meta))
+
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            self.write_errors += 1
+            current_telemetry().counter("engine.store.write_errors")
+            if events is not None:
+                events.record(
+                    STORE_SKIPPED, _PHASE,
+                    detail=f"plan-store write of {key} failed "
+                           f"({type(exc).__name__}: {exc}); keeping the "
+                           f"in-memory plan and skipping persistence",
+                    key=key, error=str(exc),
+                )
+            return None
         self.writes += 1
         current_telemetry().counter("engine.store.writes")
         if self.max_bytes is not None:
@@ -315,6 +343,7 @@ class PlanStore:
             "writes": self.writes,
             "quarantined": self.quarantined,
             "evictions": self.evictions,
+            "write_errors": self.write_errors,
             "bytes": self._total_bytes(),
             "max_bytes": self.max_bytes,
         }

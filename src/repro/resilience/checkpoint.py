@@ -142,10 +142,20 @@ def save_checkpoint(
     arrays["meta_json"] = np.array(json.dumps(meta, default=_json_default))
 
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
-        fh.flush()
-        os.fsync(fh.fileno())
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError:
+        # ENOSPC (or any write failure) before the rotation below: both
+        # existing generations are untouched — clean up the partial temp
+        # file and let the caller decide to skip this checkpoint.
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
     if path.exists():
         # Keep one known-good generation: the checkpoint being replaced
         # becomes <name>.prev, the load-time fallback for torn writes.

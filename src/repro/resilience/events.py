@@ -42,6 +42,12 @@ EXECUTION_DEGRADED = "execution_degraded"
 FORMAT_FALLBACK = "format_fallback"
 DEADLINE_EXCEEDED = "deadline_exceeded"
 
+# Resource-pressure kinds (memory/disk budgets and their degradations).
+WORKER_RECYCLED = "worker_recycled"
+TRANSPORT_DOWNGRADED = "transport_downgraded"
+CHECKPOINT_SKIPPED = "checkpoint_skipped"
+STORE_SKIPPED = "store_skipped"
+
 
 @dataclass(frozen=True)
 class ResilienceEvent:

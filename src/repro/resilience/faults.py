@@ -34,6 +34,19 @@ layer* itself (the PR 4 host engine) rather than any array:
   would read is damaged in place; the store must quarantine it on load
   and the cache must replan.
 
+Resource-pressure kinds (the PR 10 budget layer) simulate the faults that
+kill long factorizations on real hosts:
+
+- ``"oom_worker"`` — one shard worker dies as if OOM-killed by the host:
+  a real SIGKILL on the ``processes`` backend (the watchdog must respawn
+  and redo the shard), a ``MemoryError`` on thread backends.
+- ``"disk_full"`` — the next persistence write (plan store, checkpoint,
+  or JSONL sink, drawn independently per target) fails with a synthetic
+  ENOSPC; the run must skip-store / keep the last checkpoint / degrade
+  the sink and keep computing.
+- ``"shm_exhausted"`` — the next shared-memory lease fails as if /dev/shm
+  were full; the dispatch must fall back to pipe transport.
+
 Execution faults are drawn from the same seeded generator as the numeric
 kinds, so a chaos campaign (``scripts/run_fault_suite.py``'s chaos stage)
 is exactly reproducible from its seed.
@@ -75,7 +88,8 @@ INJECTABLE_PHASES = NUMERIC_PHASES + ("EXECUTE",)
 
 _KINDS = ("nan", "inf", "perturb", "indefinite")
 _EXEC_KINDS = (
-    "worker_crash", "slow_shard", "corrupt_plan", "kill_worker", "corrupt_store"
+    "worker_crash", "slow_shard", "corrupt_plan", "kill_worker",
+    "corrupt_store", "oom_worker", "disk_full", "shm_exhausted",
 )
 
 
@@ -211,15 +225,15 @@ class FaultInjector:
         """Which execution faults fire for an upcoming *n_shards* launch.
 
         Returns ``{kind: shard_index}`` for every firing ``worker_crash`` /
-        ``slow_shard`` / ``kill_worker`` spec. Must be called from the
-        dispatching (main) thread *before* workers launch, so the RNG
-        stream order — and with it the whole chaos campaign — stays
-        deterministic.
+        ``slow_shard`` / ``kill_worker`` / ``oom_worker`` spec. Must be
+        called from the dispatching (main) thread *before* workers launch,
+        so the RNG stream order — and with it the whole chaos campaign —
+        stays deterministic.
         """
         fired: dict[str, int] = {}
         for spec in self.specs:
             if spec.phase != "EXECUTE" or spec.kind not in (
-                "worker_crash", "slow_shard", "kill_worker"
+                "worker_crash", "slow_shard", "kill_worker", "oom_worker"
             ):
                 continue
             if not (self.rng.random() < spec.probability):
@@ -281,6 +295,58 @@ class FaultInjector:
                         FAULT_INJECTED, "EXECUTE", mode=mode,
                         detail="corrupted the on-disk plan-store entry "
                                "before lookup",
+                        fault_kind=spec.kind,
+                    )
+        return fired
+
+    def draw_disk_full(
+        self,
+        target: str,
+        *,
+        mode: int | None = None,
+        iteration: int | None = None,
+        events: EventLog | None = None,
+    ) -> bool:
+        """Whether a ``disk_full`` fault fires for the next *target* write.
+
+        *target* names the persistence surface about to write
+        (``"store"`` / ``"checkpoint"`` / ``"sink"``) so each surface draws
+        independently from the shared stream — one campaign can starve all
+        three at different moments, deterministically.
+        """
+        fired = False
+        for spec in self.specs:
+            if spec.phase != "EXECUTE" or spec.kind != "disk_full":
+                continue
+            if self.rng.random() < spec.probability:
+                fired = True
+                self.injected += 1
+                if events is not None:
+                    events.record(
+                        FAULT_INJECTED, "EXECUTE", mode=mode,
+                        iteration=iteration,
+                        detail=f"injected ENOSPC on the next {target} write",
+                        fault_kind=spec.kind, target=target,
+                    )
+        return fired
+
+    def draw_shm_fault(
+        self, *, mode: int | None = None, events: EventLog | None = None
+    ) -> bool:
+        """Whether a ``shm_exhausted`` fault fires for the next dispatch's
+        shared-memory lease (the pool then fails it as if /dev/shm were
+        full, forcing the pipe-transport downgrade)."""
+        fired = False
+        for spec in self.specs:
+            if spec.phase != "EXECUTE" or spec.kind != "shm_exhausted":
+                continue
+            if self.rng.random() < spec.probability:
+                fired = True
+                self.injected += 1
+                if events is not None:
+                    events.record(
+                        FAULT_INJECTED, "EXECUTE", mode=mode,
+                        detail="exhausted /dev/shm for the next segment lease",
                         fault_kind=spec.kind,
                     )
         return fired

@@ -1,0 +1,194 @@
+"""ENOSPC-safe persistence: checkpoints, the plan store, and resume.
+
+Persistence failures must never fail a run that can still compute — the
+checkpoint layer keeps its last completed generation (and its ``.prev``)
+and records ``checkpoint_skipped``; the plan store skips the write and
+records ``store_skipped``; resume after the failure is bit-identical.
+"""
+
+import errno
+import warnings
+
+import numpy as np
+import pytest
+
+import sys
+
+from repro.core.cstf import cstf
+
+# The package re-exports the `cstf` function under the same dotted name, so
+# fetch the module object itself for monkeypatching.
+cstf_mod = sys.modules["repro.core.cstf"]
+from repro.engine.config import EngineConfig
+from repro.engine.driver import engine_mttkrp
+from repro.engine.plan import PlanCache, _content_hash
+from repro.engine.plan_store import PlanStore, store_key
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.resilience import FaultInjector, FaultSpec, load_checkpoint
+from repro.resilience.checkpoint import save_checkpoint
+from repro.resilience.events import CHECKPOINT_SKIPPED, STORE_SKIPPED, EventLog
+from repro.tensor.synthetic import random_sparse
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture
+def tensor():
+    return random_sparse((14, 11, 9), nnz=260, seed=7)
+
+
+def _enospc(*_a, **_k):
+    raise OSError(errno.ENOSPC, "No space left on device")
+
+
+class TestCheckpointEnospc:
+    def test_failed_write_preserves_both_generations(self, tmp_path, monkeypatch):
+        path = tmp_path / "run.npz"
+
+        def write(it):
+            save_checkpoint(
+                path, iteration=it, factors=[np.full((2, 2), float(it))],
+                weights=np.ones(2), grams=[np.eye(2)], fits=[],
+                state_arrays={}, rng_state=None, meta={"shape": [2], "rank": 2},
+            )
+
+        write(2)
+        write(4)  # rotates iter-2 to .prev
+        monkeypatch.setattr(np, "savez_compressed", _enospc)
+        with pytest.raises(OSError):
+            write(6)
+        # No temp debris, and both generations survived untouched.
+        assert not list(tmp_path.glob("*.tmp"))
+        assert load_checkpoint(path).iteration == 4
+        prev = path.with_name(path.name + ".prev")
+        assert load_checkpoint(prev).iteration == 2
+
+    def test_run_survives_enospc_and_records_skip(self, tmp_path, monkeypatch):
+        tensor = random_sparse((14, 11, 9), nnz=260, seed=7)
+        path = tmp_path / "ck.npz"
+        calls = {"n": 0}
+        real = cstf_mod.save_checkpoint
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 3:  # iterations 2 and 4 persist, 6+ hit ENOSPC
+                _enospc()
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cstf_mod, "save_checkpoint", flaky)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a warning leak fails the test
+            result = cstf(
+                tensor, rank=4, max_iters=8, seed=0, tol=0.0,
+                checkpoint_every=2, checkpoint_path=str(path),
+            )
+        assert result.iterations == 8
+        skips = [e for e in result.events if e.kind == CHECKPOINT_SKIPPED]
+        assert [e.iteration for e in skips] == [6, 8]
+        assert load_checkpoint(path).iteration == 4
+        prev = path.with_name(path.name + ".prev")
+        assert load_checkpoint(prev).iteration == 2
+
+    def test_resume_after_enospc_is_bit_identical(self, tmp_path, monkeypatch):
+        tensor = random_sparse((14, 11, 9), nnz=260, seed=7)
+        baseline = cstf(tensor, rank=4, max_iters=8, seed=0, tol=0.0)
+
+        path = tmp_path / "ck.npz"
+        calls = {"n": 0}
+        real = cstf_mod.save_checkpoint
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                _enospc()
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cstf_mod, "save_checkpoint", flaky)
+        cstf(
+            tensor, rank=4, max_iters=8, seed=0, tol=0.0,
+            checkpoint_every=2, checkpoint_path=str(path),
+        )
+        monkeypatch.setattr(cstf_mod, "save_checkpoint", real)
+        # The last completed checkpoint is iteration 4; resuming from it
+        # must land bit-identically on the uninterrupted trajectory.
+        resumed = cstf(
+            tensor, rank=4, max_iters=8, seed=0, tol=0.0, resume_from=str(path),
+        )
+        assert resumed.iterations == 8
+        for a, b in zip(resumed.kruskal.factors, baseline.kruskal.factors):
+            assert np.array_equal(a, b)
+        assert np.array_equal(resumed.kruskal.weights, baseline.kruskal.weights)
+
+    def test_injected_disk_full_skips_checkpoints(self, tmp_path):
+        tensor = random_sparse((14, 11, 9), nnz=260, seed=7)
+        path = tmp_path / "ck.npz"
+        injector = FaultInjector(
+            FaultSpec(phase="EXECUTE", kind="disk_full", probability=1.0), seed=3
+        )
+        result = cstf(
+            tensor, rank=4, max_iters=6, seed=0, tol=0.0,
+            checkpoint_every=2, checkpoint_path=str(path),
+            fault_injector=injector,
+        )
+        assert result.iterations == 6
+        assert not path.exists()  # every write drew the fault
+        assert [e.iteration for e in result.events
+                if e.kind == CHECKPOINT_SKIPPED] == [2, 4, 6]
+        # The injected fault itself is on the audit trail.
+        assert any(
+            e.kind == "fault_injected" and e.data.get("target") == "checkpoint"
+            for e in result.events
+        )
+
+
+class TestPlanStoreEnospc:
+    def test_save_skips_on_oserror(self, tmp_path, monkeypatch):
+        tensor = random_sparse((10, 8, 6), nnz=120, seed=1)
+        cache = PlanCache()
+        cache.store = PlanStore(tmp_path / "store")
+        events = EventLog()
+        monkeypatch.setattr(np, "savez_compressed", _enospc)
+        plan = cache.plan(tensor, 0, events=events)  # must not raise
+        assert plan is not None
+        assert plan.store_key is None
+        assert cache.store.write_errors == 1
+        assert len(cache.store) == 0
+        assert not list((tmp_path / "store").glob("*.tmp"))
+        skips = events.of_kind(STORE_SKIPPED)
+        assert len(skips) == 1 and "skipping persistence" in skips[0].detail
+
+    def test_fail_next_write_arm_is_one_shot(self, tmp_path):
+        tensor = random_sparse((10, 8, 6), nnz=120, seed=1)
+        cache = PlanCache()
+        cache.store = PlanStore(tmp_path / "store")
+        cache.store.fail_next_write = True
+        events = EventLog()
+        plan = cache.plan(tensor, 0, events=events)
+        assert plan.store_key is None and len(cache.store) == 0
+        assert not cache.store.fail_next_write
+        # Next lookup backfills the entry now that the "disk" has space.
+        plan2 = cache.plan(tensor, 0, events=events)
+        assert plan2 is plan
+        assert plan2.store_key == store_key(_content_hash(tensor), "coo", 0)
+        assert len(cache.store) == 1
+        assert cache.store.stats()["write_errors"] == 1
+
+    def test_engine_dispatch_survives_injected_store_disk_full(self, tmp_path):
+        tensor = random_sparse((14, 11, 9), nnz=260, seed=7)
+        rng = np.random.default_rng(0)
+        factors = [rng.random((d, 4)) for d in tensor.shape]
+        cfg = EngineConfig(chunk=64, plan_store=str(tmp_path / "store"))
+        injector = FaultInjector(
+            FaultSpec(phase="EXECUTE", kind="disk_full", probability=1.0), seed=5
+        )
+        events = EventLog()
+        cache = PlanCache()
+        for mode in range(tensor.ndim):
+            got = engine_mttkrp(
+                tensor, factors, mode, "coo", cfg, cache,
+                faults=injector, events=events,
+            )
+            assert np.array_equal(got, mttkrp_coo(tensor, factors, mode))
+        assert not list((tmp_path / "store").glob("*.npz"))
+        assert len(events.of_kind(STORE_SKIPPED)) == tensor.ndim
+        assert cache.store.write_errors == tensor.ndim
