@@ -18,6 +18,14 @@ transports (``inline``/``threads``/``pipe``/``shm``), so a trace *proves*
 which shard transport actually ran (e.g. that an shm-enabled chaos run did
 not silently fall back to pipes).
 
+``--require-pressure-events`` adds the pressure-evidence gate for the
+resource chaos stage: the trace must contain at least one
+pressure-degradation event (``worker_recycled``/``transport_downgraded``/
+``checkpoint_skipped``/``store_skipped``) or, as a fallback for runs whose
+sink itself degraded, a nonzero pressure counter in the summary snapshot —
+proof that injected resource pressure actually exercised the degraded
+paths.
+
 Each file is read exactly once: the parsed records feed the schema check
 (which counts them), the completeness gate, and the Chrome-trace
 conversion.
@@ -89,9 +97,55 @@ def check_transport_attrs(records) -> list[str]:
     return problems
 
 
+#: Resilience event kinds that prove pressure-triggered degradation ran.
+_PRESSURE_KINDS = (
+    "worker_recycled",
+    "transport_downgraded",
+    "checkpoint_skipped",
+    "store_skipped",
+)
+
+#: Summary counters accepted as fallback evidence (a degraded sink drops
+#: event records, but the final metrics snapshot still carries the tally).
+_PRESSURE_COUNTERS = (
+    "engine.proc.workers_recycled",
+    "engine.shm.downgrades",
+    "resilience.checkpoint.skips",
+    "engine.store.write_errors",
+    "obs.sink.dropped",
+)
+
+
+def check_pressure_events(records) -> list[str]:
+    """The pressure-evidence gate: the trace must prove degradation fired.
+
+    A resource-pressure chaos run that shows no ``worker_recycled`` /
+    ``transport_downgraded`` / ``checkpoint_skipped`` / ``store_skipped``
+    event — and no pressure counter in the summary snapshot — means the
+    injected pressure silently did nothing, which is exactly the failure
+    this gate exists to catch.
+    """
+    if any(
+        r.get("type") == "event" and r.get("kind") in _PRESSURE_KINDS
+        for r in records
+    ):
+        return []
+    for r in records:
+        if r.get("type") != "summary":
+            continue
+        counters = (r.get("metrics") or {}).get("counters") or {}
+        if any(counters.get(c, 0) > 0 for c in _PRESSURE_COUNTERS):
+            return []
+    return [
+        "--require-pressure-events: trace contains no pressure-degradation "
+        f"events ({'/'.join(_PRESSURE_KINDS)}) and no pressure counters "
+        f"({'/'.join(_PRESSURE_COUNTERS)}) in the summary"
+    ]
+
+
 def check_file(
     path: str, *, require_worker_spans: bool = False,
-    require_transport_attr: bool = False,
+    require_transport_attr: bool = False, require_pressure_events: bool = False,
 ) -> tuple[list[str], int]:
     """Validate *path*; returns ``(problems, record_count)``.
 
@@ -116,6 +170,10 @@ def check_file(
         errors = check_transport_attrs(records)
         if errors:
             return errors, len(records)
+    if require_pressure_events:
+        errors = check_pressure_events(records)
+        if errors:
+            return errors, len(records)
     try:
         trace = telemetry_to_chrome_trace(records)
     except Exception as exc:  # defensive: schema-valid should always convert
@@ -138,6 +196,12 @@ def main(argv=None) -> int:
                         help="fail unless every shard span carries a "
                              "transport attr naming a known transport "
                              "(inline/threads/pipe/shm)")
+    parser.add_argument("--require-pressure-events", action="store_true",
+                        help="fail unless the trace shows pressure-triggered "
+                             "degradation: a worker_recycled/"
+                             "transport_downgraded/checkpoint_skipped/"
+                             "store_skipped event, or a pressure counter in "
+                             "the summary snapshot")
     args = parser.parse_args(argv)
 
     failed = 0
@@ -149,6 +213,7 @@ def main(argv=None) -> int:
         problems, count = check_file(
             path, require_worker_spans=args.require_worker_spans,
             require_transport_attr=args.require_transport_attr,
+            require_pressure_events=args.require_pressure_events,
         )
         if problems:
             failed += 1

@@ -25,6 +25,18 @@ carry at least one worker-attributed kernel span, even across kills and
 respawns) and ``--require-transport-attr`` (transport provenance: every
 shard span proves which transport actually ran).
 
+``--backend processes`` also runs the **resource-pressure stage**: the
+``pressure``-marked tests (real worker processes under memory budgets;
+excluded from tier-1) plus a supervised chaos run that injects
+``oom_worker`` (real SIGKILL dressed as the kernel OOM killer),
+``disk_full`` (synthetic ENOSPC on plan-store/checkpoint/sink writes) and
+``shm_exhausted`` (refused /dev/shm leases) under a deliberately tiny
+memory budget, asserting bit-identical convergence, pressure-degradation
+events, a clean run with zero pressure events, and no leaked /dev/shm
+segments; each trace is checked with ``--require-pressure-events``. The
+stage runs twice, once per shard transport (``shm on``/``off``).
+``--stage resource`` runs only that stage.
+
 Extra arguments are forwarded to pytest, e.g.::
 
     python scripts/run_fault_suite.py -k checkpoint -x
@@ -229,6 +241,128 @@ print("process chaos OK (shm=%s): faults=%d, kinds=%s" % (
 """
 
 
+# Resource-pressure chaos gate: a supervised processes-backend run with a
+# deliberately tiny memory budget and every resource fault kind injected —
+# workers OOM-SIGKILLed mid-shard, plan-store/checkpoint writes hitting
+# synthetic ENOSPC, shm leases refused. The run must complete bit-identical
+# to an uninjected serial run, its events must prove the degraded paths
+# fired (worker_recycled, checkpoint/store skips, transport downgrades on
+# the shm transport), a clean run must show zero pressure events, and the
+# shared-memory pool must leak nothing into /dev/shm.
+_RESOURCE_CHAOS_SNIPPET = """
+import glob
+import numpy as np
+from repro.core.config import CstfConfig
+from repro.core.cstf import cstf
+from repro.engine import shutdown_pools
+from repro.obs import Telemetry
+from repro.resilience import FaultInjector, FaultSpec, supervised_cstf
+from repro.resilience.checkpoint import load_checkpoint
+from repro.tensor.coo import SparseTensor
+
+shm_before = set(glob.glob("/dev/shm/*"))
+
+rng = np.random.default_rng(0)
+idx = rng.integers(0, [40, 30, 20], size=(2500, 3))
+vals = rng.random(2500)
+X = SparseTensor(idx, vals, (40, 30, 20))
+base = dict(rank=5, max_iters=3, update="admm", device="cpu",
+            mttkrp_format="coo", seed=11)
+
+serial = cstf(X, CstfConfig(
+    **base, engine={"shards": 3, "backend": "serial"},
+))
+
+# An 8 MB budget: far above the dispatch's segment needs (the shm path
+# stays viable), far below any real worker's RSS (every collected shard
+# recycles its worker).
+injector = FaultInjector(
+    [FaultSpec(phase="EXECUTE", kind="oom_worker", probability=0.4),
+     FaultSpec(phase="EXECUTE", kind="disk_full", probability=0.5),
+     FaultSpec(phase="EXECUTE", kind="shm_exhausted", probability=0.5)],
+    seed=31,
+)
+chaos = supervised_cstf(X, CstfConfig(
+    **base,
+    engine={"shards": 3, "backend": "processes", "shm": SHM_MODE,
+            "memory_budget_bytes": 8_000_000, "plan_store": STORE_DIR},
+    checkpoint_every=1, checkpoint_path=CK_PATH,
+    fault_injector=injector,
+    telemetry=Telemetry(jsonl_path=TRACE_PATH),
+))
+assert injector.injected > 0, "resource chaos run injected no faults"
+for mode, (a, b) in enumerate(zip(serial.kruskal.factors, chaos.kruskal.factors)):
+    assert np.array_equal(a, b), (
+        f"factor {mode} differs from serial under resource pressure"
+    )
+assert np.array_equal(serial.kruskal.weights, chaos.kruskal.weights), (
+    "weights differ from serial under resource pressure"
+)
+kinds = {e.kind for e in chaos.events}
+assert "worker_recycled" in kinds, (
+    f"no worker_recycled event despite a 8 MB budget (saw {sorted(kinds)})"
+)
+assert kinds & {"checkpoint_skipped", "store_skipped"}, (
+    f"no persistence skips despite disk_full faults (saw {sorted(kinds)})"
+)
+if SHM_MODE == "on":
+    assert "transport_downgraded" in kinds, (
+        f"no transport_downgraded despite shm_exhausted faults "
+        f"(saw {sorted(kinds)})"
+    )
+ck = load_checkpoint(CK_PATH)
+assert ck.iteration >= 1, "no checkpoint generation survived the skips"
+
+# A clean supervised run (no faults, no budget) must pay nothing.
+clean = supervised_cstf(X, CstfConfig(
+    **base, engine={"shards": 3, "backend": "processes", "shm": SHM_MODE},
+))
+for a, b in zip(serial.kruskal.factors, clean.kruskal.factors):
+    assert np.array_equal(a, b), "clean processes run is not bit-identical"
+clean_kinds = {e.kind for e in clean.events}
+pressure = {"worker_recycled", "transport_downgraded",
+            "checkpoint_skipped", "store_skipped"}
+assert not (clean_kinds & pressure), (
+    f"clean run shows pressure events: {sorted(clean_kinds & pressure)}"
+)
+
+shutdown_pools()
+leaked = set(glob.glob("/dev/shm/*")) - shm_before
+assert not leaked, f"/dev/shm leaked segments: {sorted(leaked)}"
+print("resource chaos OK (shm=%s): faults=%d, kinds=%s" % (
+    SHM_MODE, injector.injected, ",".join(sorted(kinds & pressure))))
+"""
+
+
+def _check_resource_chaos(env, shm_mode: str) -> int:
+    """Resource-pressure chaos: OOM + ENOSPC + shm exhaustion, degraded
+    but bit-identical; the trace must prove the pressure paths fired."""
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "resource_chaos.jsonl"
+        store = Path(tmp) / "plan_store"
+        ck = Path(tmp) / "resource_chaos.npz"
+        snippet = (
+            _RESOURCE_CHAOS_SNIPPET
+            .replace("TRACE_PATH", repr(str(trace)))
+            .replace("STORE_DIR", repr(str(store)))
+            .replace("CK_PATH", repr(str(ck)))
+            .replace("SHM_MODE", repr(shm_mode))
+        )
+        code = subprocess.call(
+            [sys.executable, "-c", snippet], cwd=REPO_ROOT, env=env,
+        )
+        if code != 0:
+            print(f"resource chaos run failed (shm={shm_mode})")
+            return code
+        # No worker-span/transport gates here: a run whose sink degrades
+        # under an injected sink fault legitimately truncates its stream.
+        return subprocess.call(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_trace.py"),
+             "--quiet", "--require-pressure-events", str(trace)],
+            cwd=REPO_ROOT, env=env,
+        )
+
+
 def _check_process_chaos(env, shm_mode: str) -> int:
     """Process-backend chaos: SIGKILL + store corruption, bit-identical.
 
@@ -363,6 +497,18 @@ def main(extra_args: list[str]) -> int:
         if backend not in ("threads", "processes"):
             print(f"unknown --backend {backend!r} (expected threads or processes)")
             return 2
+    stage = None
+    if "--stage" in extra_args:
+        at = extra_args.index("--stage")
+        try:
+            stage = extra_args[at + 1]
+        except IndexError:
+            print("--stage requires a value (resource)")
+            return 2
+        del extra_args[at:at + 2]
+        if stage != "resource":
+            print(f"unknown --stage {stage!r} (expected resource)")
+            return 2
 
     env = dict(os.environ)
     # Pin every environmental source of nondeterminism: fixed hash seed,
@@ -375,7 +521,9 @@ def main(extra_args: list[str]) -> int:
     )
     markers = ["faults", "chaos"]
     if backend == "processes":
-        markers.append("procfaults")
+        markers.extend(["procfaults", "pressure"])
+    if stage == "resource":
+        markers = ["pressure"]
     for marker in markers:
         cmd = [
             sys.executable, "-m", "pytest",
@@ -389,6 +537,14 @@ def main(extra_args: list[str]) -> int:
         code = subprocess.call(cmd, cwd=REPO_ROOT, env=env)
         if code != 0:
             return code
+    if stage == "resource":
+        for shm_mode in ("on", "off"):
+            print(f"\nrunning the resource-pressure chaos gate "
+                  f"(OOM + ENOSPC + shm exhaustion, traced, shm={shm_mode})")
+            code = _check_resource_chaos(env, shm_mode)
+            if code != 0:
+                return code
+        return 0
     print("\nrunning the supervised chaos gate (execution faults, traced)")
     code = _check_chaos(env)
     if code != 0:
@@ -398,6 +554,12 @@ def main(extra_args: list[str]) -> int:
             print(f"\nrunning the process-backend chaos gate "
                   f"(real SIGKILL + store corruption, traced, shm={shm_mode})")
             code = _check_process_chaos(env, shm_mode)
+            if code != 0:
+                return code
+        for shm_mode in ("on", "off"):
+            print(f"\nrunning the resource-pressure chaos gate "
+                  f"(OOM + ENOSPC + shm exhaustion, traced, shm={shm_mode})")
+            code = _check_resource_chaos(env, shm_mode)
             if code != 0:
                 return code
     print("\nvalidating fault-run telemetry against the schema")

@@ -186,6 +186,17 @@ def _add_engine_args(p) -> None:
                         "--engine): auto (default; zero-copy shared-memory "
                         "segments where available, pipe fallback), on "
                         "(require shared memory), off (pickle over pipes)")
+    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                   help="resource-pressure memory budget in bytes (implies "
+                        "--engine): processes-backend workers breaching it "
+                        "are recycled at shard boundaries, and the "
+                        "shared-memory transport trims/downgrades instead "
+                        "of exceeding it (0 = unbounded)")
+    p.add_argument("--disk-budget", type=int, default=None, metavar="BYTES",
+                   help="resource-pressure disk budget in bytes (implies "
+                        "--engine): default on-disk bound for the plan "
+                        "store when --plan-store-bytes is unset "
+                        "(0 = unbounded)")
 
 
 def _engine_setting(args):
@@ -205,6 +216,10 @@ def _engine_setting(args):
             overrides["plan_store_bytes"] = args.plan_store_bytes
     if getattr(args, "shm", None) is not None:
         overrides["shm"] = args.shm
+    if getattr(args, "memory_budget", None) is not None:
+        overrides["memory_budget_bytes"] = args.memory_budget
+    if getattr(args, "disk_budget", None) is not None:
+        overrides["disk_budget_bytes"] = args.disk_budget
     if overrides:
         return overrides
     engine = getattr(args, "engine", "off")

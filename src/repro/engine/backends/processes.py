@@ -77,12 +77,37 @@ import numpy as np
 from repro.engine.backends.base import ExecutionBackend, tree_reduce
 from repro.obs import current_telemetry
 from repro.obs.worker import merge_worker_batch
-from repro.resilience.events import SHARD_RETRY, SHARD_TIMEOUT, WORKER_LOST
+from repro.resilience.events import (
+    SHARD_RETRY,
+    SHARD_TIMEOUT,
+    TRANSPORT_DOWNGRADED,
+    WORKER_LOST,
+    WORKER_RECYCLED,
+)
 
 __all__ = ["ProcessBackend"]
 
 #: Watchdog poll beat while a shard result is outstanding, in seconds.
 HEARTBEAT = 0.02
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover - exotic host
+    _PAGE_SIZE = 4096
+
+
+def _read_rss(pid: int) -> int:
+    """Resident set size of *pid* in bytes via procfs (0 where unreadable).
+
+    ``/proc/<pid>/statm`` field 1 is resident pages; a vanished process,
+    a non-procfs host, or a malformed read all report 0 — the watchdog
+    treats that as "no pressure signal", never as an error.
+    """
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return 0
 
 #: Liveness budget for a shard when ``shard_timeout`` is disabled: the
 #: watchdog still detects dead workers on every beat, it just never
@@ -429,6 +454,9 @@ class ProcessBackend(ExecutionBackend):
 
         tel = current_telemetry()
         use_shm = self._use_shm(cfg)
+        budget = int(getattr(cfg, "memory_budget_bytes", 0) or 0)
+        if budget > 0 and tel.enabled:
+            tel.gauge("engine.proc.memory_budget", float(budget))
         anchor = tel.current_span_id()
         t_dispatch = tel.now()
         pending: list[bool] = [False] * len(streams)
@@ -439,28 +467,29 @@ class ProcessBackend(ExecutionBackend):
         pool = None
         shm_base = None
         if use_shm:
+            from repro.engine.backends.shm import ShmExhausted
+
             pool = self._segment_pool()
-            # One write, N readers: each factor matrix is published once
-            # per dispatch; every task carries only names and shapes.
-            fmat_descs = []
-            for f in fmats:
-                lease = pool.lease(f.nbytes)
-                fmat_leases.append(lease)
-                lease.view(f.shape)[...] = f
-                fmat_descs.append({"name": lease.name, "shape": f.shape})
-            shm_base = {"gen": pool.next_generation(), "fmats": fmat_descs}
-        try:
-            for i, stream in enumerate(streams):
-                task = {
-                    "mode": mode, "out_rows": out_rows, "rank": rank,
-                    "chunk": cfg.chunk, "shard": i,
-                    "n_shards": cfg.shards,
-                    "telemetry": tel.enabled,
-                    "kill": injected.get("kill_worker") == i,
-                    "crash": injected.get("worker_crash") == i,
-                    "delay": delay if injected.get("slow_shard") == i else 0.0,
-                }
-                if use_shm:
+            pool.budget_bytes = budget
+            # getattr: chaos-suite test doubles implement only the draw
+            # hooks they exercise.
+            draw_shm = getattr(faults, "draw_shm_fault", None)
+            if draw_shm is not None and draw_shm(mode=mode, events=events):
+                pool.fail_next_lease = True
+            try:
+                # One write, N readers: each factor matrix is published
+                # once per dispatch; every task carries only names and
+                # shapes. Every segment of the dispatch — factors and the
+                # per-shard accumulators — is leased up front, so a lease
+                # failure downgrades the whole dispatch before any task
+                # ships with a half-published descriptor set.
+                fmat_descs = []
+                for f in fmats:
+                    lease = pool.lease(f.nbytes)
+                    fmat_leases.append(lease)
+                    lease.view(f.shape)[...] = f
+                    fmat_descs.append({"name": lease.name, "shape": f.shape})
+                for i in range(len(streams)):
                     lease = pool.lease(out_rows * rank * 8)
                     out_leases[i] = lease
                     out_views[i] = lease.view((out_rows, rank))
@@ -468,6 +497,43 @@ class ProcessBackend(ExecutionBackend):
                     # rows no nonzero touches must be exact zeros, and a
                     # reused segment still holds the previous dispatch.
                     out_views[i][...] = 0.0
+                shm_base = {"gen": pool.next_generation(), "fmats": fmat_descs}
+            except ShmExhausted as exc:
+                # /dev/shm pressure (budget, kernel, or injected fault):
+                # this dispatch falls back to pickling over the pipes —
+                # bit-identical, only the transport differs.
+                for lease in fmat_leases:
+                    pool.release(lease)
+                for i, lease in enumerate(out_leases):
+                    out_views[i] = None
+                    if lease is not None:
+                        pool.release(lease)
+                fmat_leases = []
+                out_leases = [None] * len(streams)
+                use_shm = False
+                shm_base = None
+                tel.counter("engine.shm.downgrades")
+                if events is not None:
+                    events.record(
+                        TRANSPORT_DOWNGRADED, "MTTKRP", mode=mode,
+                        detail=f"shm lease failed ({exc}); dispatch fell "
+                               f"back to the pipe transport",
+                        error=str(exc),
+                    )
+        try:
+            for i, stream in enumerate(streams):
+                task = {
+                    "mode": mode, "out_rows": out_rows, "rank": rank,
+                    "chunk": cfg.chunk, "shard": i,
+                    "n_shards": cfg.shards,
+                    "telemetry": tel.enabled,
+                    "kill": injected.get("kill_worker") == i
+                    or injected.get("oom_worker") == i,
+                    "crash": injected.get("worker_crash") == i,
+                    "delay": delay if injected.get("slow_shard") == i else 0.0,
+                }
+                if use_shm:
+                    lease = out_leases[i]
                     task["shm"] = dict(
                         shm_base,
                         out={"name": lease.name, "shape": (out_rows, rank)},
@@ -482,6 +548,7 @@ class ProcessBackend(ExecutionBackend):
                     task["stream"] = stream
                 pending[i] = self._send(workers, i, task)
 
+            dispatch_peak = 0
             for i, stream in enumerate(streams):
                 if not pending[i]:
                     # The task could not even be delivered (worker lost
@@ -491,11 +558,12 @@ class ProcessBackend(ExecutionBackend):
                         stream, fmats, mode, out_rows, rank, cfg.chunk, i,
                         enabled=tel.enabled,
                     )
-                    batches, redone = [batch], True
+                    batches, redone, peak_rss = [batch], True, 0
                 else:
-                    partials[i], batches, redone = self._collect(
+                    partials[i], batches, redone, peak_rss = self._collect(
                         workers, i, stream, fmats, mode, out_rows, rank, cfg,
                         events, out_view=out_views[i],
+                        oom=injected.get("oom_worker") == i,
                     )
                 if redone and use_shm and out_leases[i] is not None:
                     # Fault hygiene: the abandoned shm accumulator (which a
@@ -511,6 +579,25 @@ class ProcessBackend(ExecutionBackend):
                     transport="inline" if redone
                     else ("shm" if use_shm else "pipe"),
                 )
+                dispatch_peak = max(dispatch_peak, peak_rss)
+                if (
+                    budget > 0 and not redone and peak_rss > budget
+                    and workers[i].alive()
+                ):
+                    # Memory pressure: this worker's peak RSS breached the
+                    # budget. Its shard result is already collected, so a
+                    # graceful replacement at the shard boundary cannot
+                    # affect bit-identity — it just returns the memory.
+                    workers[i] = self._recycle(i, peak_rss, budget, mode, events)
+            if tel.enabled and dispatch_peak > 0:
+                # Gauges keep last-value semantics; the peak gauge is kept
+                # monotone across dispatches so end-of-run summaries (and
+                # the doctor) see the run's true high-water mark.
+                prior = tel.metrics.gauges.get("engine.proc.worker_rss_peak", 0.0)
+                if dispatch_peak > prior:
+                    tel.gauge(
+                        "engine.proc.worker_rss_peak", float(dispatch_peak)
+                    )
             reduced = tree_reduce(partials)
             if use_shm:
                 # The reduction root may be an shm view; the caller owns
@@ -546,35 +633,48 @@ class ProcessBackend(ExecutionBackend):
 
     def _collect(
         self, workers, i, stream, fmats, mode, out_rows, rank, cfg,
-        events, *, out_view=None,
+        events, *, out_view=None, oom=False,
     ) -> tuple:
         """Watchdog loop for one outstanding shard result.
 
-        Returns ``(partial, batches, redone)``: the shard accumulator, the
-        worker telemetry batches to merge under this shard's span (the
-        piggybacked reply batch; on an in-worker exception, the failed
-        attempt's batch *and* the redo's), and whether the shard was
-        re-executed serially.
+        Returns ``(partial, batches, redone, peak_rss)``: the shard
+        accumulator, the worker telemetry batches to merge under this
+        shard's span (the piggybacked reply batch; on an in-worker
+        exception, the failed attempt's batch *and* the redo's), whether
+        the shard was re-executed serially, and the worker's peak RSS in
+        bytes as sampled over this collection (0 where procfs is
+        unavailable).
 
         The straggler deadline is anchored **here**, when this shard's
         collection begins — never at dispatch — so time spent collecting
         earlier shards (or serially redoing one) can never eat a later,
         healthy shard's budget. *out_view* is the parent-side view of the
         shard's shm accumulator (``None`` on the pipe transport): an
-        ``"ok"`` reply means the worker filled it in place.
+        ``"ok"`` reply means the worker filled it in place. *oom* marks a
+        shard carrying the injected ``oom_worker`` fault, so its silent
+        death is reported as a memory-pressure kill rather than a generic
+        crash.
         """
         tel = current_telemetry()
         worker = workers[i]
+        peak_rss = 0
         deadline = _NO_DEADLINE
         if cfg.shard_timeout > 0.0:
             deadline = time.monotonic() + cfg.shard_timeout
         while True:
+            # One RSS sample per heartbeat: the gauge stream is what the
+            # doctor (and the recycle decision) ranks against the budget.
+            rss = _read_rss(worker.proc.pid)
+            if rss > peak_rss:
+                peak_rss = rss
+                if tel.enabled:
+                    tel.gauge("engine.proc.worker_rss", float(rss), worker=i)
             try:
                 if worker.conn.poll(HEARTBEAT):
                     status, payload, batch = worker.conn.recv()
                     if status == "ok":
                         partial = out_view if out_view is not None else payload
-                        return partial, [batch], False
+                        return partial, [batch], False, peak_rss
                     # In-worker exception: worker survives, shard redone.
                     tel.counter("engine.shard.retries")
                     if isinstance(payload, str) and payload.startswith(
@@ -592,7 +692,7 @@ class ProcessBackend(ExecutionBackend):
                         stream, fmats, mode, out_rows, rank, cfg.chunk, i,
                         enabled=tel.enabled,
                     )
-                    return partial, [batch, redo_batch], True
+                    return partial, [batch, redo_batch], True, peak_rss
             except (EOFError, OSError):
                 # The task pipe broke. The worker may well still be alive
                 # (wedged in a long shard, or its FD closed under it) but
@@ -604,22 +704,28 @@ class ProcessBackend(ExecutionBackend):
                 # its exitcode/signal instead of "became unreachable".
                 worker.proc.join(timeout=0.2)
                 self._record_lost(
-                    worker, i, mode, events, context="task pipe broke"
+                    worker, i, mode, events,
+                    context="OOM-killed (injected memory pressure)"
+                    if oom else "task pipe broke",
                 )
                 workers[i] = self._respawn(i)
                 partial, batch = self._redo_captured(
                     stream, fmats, mode, out_rows, rank, cfg.chunk, i,
                     enabled=tel.enabled,
                 )
-                return partial, [batch], True
+                return partial, [batch], True, peak_rss
             if not worker.alive():
-                self._record_lost(worker, i, mode, events)
+                self._record_lost(
+                    worker, i, mode, events,
+                    context="OOM-killed (injected memory pressure)"
+                    if oom else None,
+                )
                 workers[i] = self._respawn(i)
                 partial, batch = self._redo_captured(
                     stream, fmats, mode, out_rows, rank, cfg.chunk, i,
                     enabled=tel.enabled,
                 )
-                return partial, [batch], True
+                return partial, [batch], True, peak_rss
             if time.monotonic() >= deadline:
                 # Straggler: kill it (its private accumulator dies with it)
                 # and redo the shard serially, bit-identically.
@@ -638,7 +744,39 @@ class ProcessBackend(ExecutionBackend):
                     stream, fmats, mode, out_rows, rank, cfg.chunk, i,
                     enabled=tel.enabled,
                 )
-                return partial, [batch], True
+                return partial, [batch], True, peak_rss
+
+    def _recycle(self, index, rss, budget, mode, events) -> _Worker:
+        """Gracefully replace a worker whose RSS breached the memory budget.
+
+        Unlike :meth:`_respawn` (a dead or wedged worker, killed outright)
+        the recycled worker is healthy and idle — it is stopped with the
+        shutdown sentinel so its final telemetry flush batch merges before
+        the replacement starts, and nothing is lost.
+        """
+        worker = self._workers[index]
+        tel = current_telemetry()
+        try:
+            batch = worker.stop()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            batch = None
+        if batch is not None:
+            merge_worker_batch(tel, batch)
+        if self._shm_pool is not None:
+            # Same hygiene as _respawn: the replacement must never attach
+            # a recycled segment name from a dispatch it did not see.
+            self._shm_pool.flush_free()
+        self._workers[index] = _Worker(self._ctx, index)
+        tel.counter("engine.proc.workers_recycled")
+        if events is not None:
+            events.record(
+                WORKER_RECYCLED, "MTTKRP", mode=mode,
+                detail=f"worker {index} peak RSS {rss} bytes breached the "
+                       f"{budget}-byte memory budget; worker recycled at "
+                       f"the shard boundary",
+                worker=index, rss=int(rss), budget=int(budget),
+            )
+        return self._workers[index]
 
     def _record_lost(self, worker, i, mode, events, *, context=None) -> None:
         exitcode = worker.proc.exitcode

@@ -41,6 +41,7 @@ __all__ = [
     "SegmentLease",
     "SegmentPool",
     "ShmAttachError",
+    "ShmExhausted",
     "attach_segment",
     "segment_view",
     "shm_available",
@@ -57,6 +58,18 @@ class ShmAttachError(RuntimeError):
     in-worker exception; the parent counts ``engine.shm.attach_failures``
     and redoes the shard serially into a private buffer — bit-identical,
     because the shm accumulator was never read.
+    """
+
+
+class ShmExhausted(RuntimeError):
+    """A segment lease could not be satisfied under /dev/shm pressure.
+
+    Raised by :meth:`SegmentPool.lease` when the memory budget (after
+    trimming every idle segment) still cannot fit the request, when the
+    kernel itself refuses the allocation (a genuinely full /dev/shm), or
+    when the ``shm_exhausted`` chaos fault is armed. The process backend
+    catches it per dispatch and downgrades to the pipe transport
+    (``transport_downgraded``) instead of failing the run.
     """
 
 
@@ -162,13 +175,26 @@ class SegmentPool:
     ``release`` returns it to the free list for the next dispatch. The
     pool is single-threaded by construction — one dispatcher leases and
     releases around each ``run_shards`` call — so there is no locking.
+
+    When ``budget_bytes`` is set (> 0) the pool bounds its *live*
+    /dev/shm footprint — free-list segments included — by that budget:
+    a lease that would exceed it first trims idle segments
+    (``engine.shm.trims``), and if the request still cannot fit raises
+    :class:`ShmExhausted`. Kernel-level allocation failures (a really
+    full /dev/shm) surface as :class:`ShmExhausted` too, so callers
+    have exactly one pressure signal to handle.
     """
 
-    def __init__(self):
+    def __init__(self, budget_bytes: int = 0):
         self._free: list[SegmentLease] = []
         self._leased: list[SegmentLease] = []
         self._generation = 0
         self._pid = os.getpid()
+        self.budget_bytes = int(budget_bytes)
+        # Armed by the shm_exhausted chaos fault: the next lease raises
+        # ShmExhausted exactly once, exercising the pipe-downgrade path
+        # without actually filling /dev/shm.
+        self.fail_next_lease = False
 
     # ------------------------------------------------------------------ #
     def next_generation(self) -> int:
@@ -176,8 +202,31 @@ class SegmentPool:
         self._generation += 1
         return self._generation
 
+    def live_bytes(self) -> int:
+        """Total /dev/shm bytes the pool currently holds (free + leased)."""
+        return sum(l.capacity for l in self._free) + sum(
+            l.capacity for l in self._leased
+        )
+
+    def _trim(self, excess: int) -> None:
+        """Destroy idle segments, largest first, to free at least *excess*."""
+        freed = 0
+        tel = current_telemetry()
+        for lease in sorted(self._free, key=lambda l: -l.capacity):
+            if freed >= excess:
+                break
+            self._free.remove(lease)
+            freed += lease.capacity
+            _destroy(lease.seg)
+            tel.counter("engine.shm.trims")
+
     def lease(self, nbytes: int) -> SegmentLease:
         nbytes = max(int(nbytes), 1)
+        if self.fail_next_lease:
+            self.fail_next_lease = False
+            raise ShmExhausted(
+                "injected shm_exhausted fault: /dev/shm lease refused"
+            )
         best = None
         for lease in self._free:
             if lease.capacity >= nbytes and (
@@ -187,9 +236,22 @@ class SegmentPool:
         if best is not None:
             self._free.remove(best)
         else:
+            budget = self.budget_bytes
+            if budget > 0 and self.live_bytes() + nbytes > budget:
+                self._trim(self.live_bytes() + nbytes - budget)
+            if budget > 0 and self.live_bytes() + nbytes > budget:
+                raise ShmExhausted(
+                    f"memory budget of {budget} bytes cannot fit a "
+                    f"{nbytes}-byte segment ({self.live_bytes()} bytes live)"
+                )
             from multiprocessing import shared_memory
 
-            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            try:
+                seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            except OSError as exc:  # pragma: no cover - host /dev/shm full
+                raise ShmExhausted(
+                    f"/dev/shm allocation of {nbytes} bytes failed: {exc}"
+                ) from exc
             best = SegmentLease(seg, seg.size)
             tel = current_telemetry()
             tel.counter("engine.shm.segments")

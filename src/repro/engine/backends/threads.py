@@ -41,7 +41,7 @@ __all__ = ["ThreadsBackend"]
 
 def _chaos_worker(
     stream, fmats, mode, partial, chunk, shard, *,
-    crash=False, delay=0.0, capture=True,
+    crash=False, oom=False, delay=0.0, capture=True,
 ):
     """Shard worker wrapper carrying the injected execution faults.
 
@@ -51,6 +51,10 @@ def _chaos_worker(
     """
     if delay > 0.0:
         time.sleep(delay)
+    if oom:
+        # A thread cannot be OOM-killed on its own; the honest in-process
+        # analogue of memory pressure is the allocator failing.
+        raise MemoryError(f"injected worker OOM on mode-{mode} shard")
     if crash:
         from repro.resilience.faults import InjectedWorkerCrash
 
@@ -123,6 +127,7 @@ class ThreadsBackend(ExecutionBackend):
             pool.submit(
                 _chaos_worker, stream, fmats, mode, partial, cfg.chunk, i,
                 crash=crash_shard == i,
+                oom=injected.get("oom_worker") == i,
                 delay=delay if injected.get("slow_shard") == i else 0.0,
                 capture=tel.enabled,
             )

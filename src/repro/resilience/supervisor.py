@@ -11,6 +11,11 @@ ladder instead of giving up::
 (the ``process engine`` rung exists only when the run starts on the
 ``processes`` execution backend; stepping down re-runs the same sharded
 configuration on in-process threads, losing crash isolation but not bits).
+Memory pressure gets its own intermediate rungs: a tier that exhausts its
+retries on ``MemoryError`` with more than two shards first *halves its
+shard count* — fewer simultaneous accumulators — and only then continues
+the normal descent. Disjoint-row shards reduce to the same sums at any
+shard count, so pressure rungs stay bit-identical too.
 Every path below the starting rung is bit-identical to it (the engine's
 rtol=0 guarantee), so degrading trades wall-clock for robustness and
 nothing else. A :class:`~repro.engine.driver.PlanBuildError` (a format
@@ -191,9 +196,21 @@ class RunSupervisor:
             return tel
         return current_telemetry()
 
-    def _backoff(self, attempt: int) -> float:
+    def _backoff(self, attempt: int, *, start: float | None = None) -> float:
+        """Jittered exponential delay before retry *attempt*, deadline-aware.
+
+        When *start* is given and a deadline is configured, the delay is
+        capped to the remaining wall-clock budget — a supervisor must
+        never sleep through its own deadline (the jitter draw still
+        happens, so capping does not shift the seeded schedule of later
+        retries).
+        """
         delay = min(self.sup.backoff_max, self.sup.backoff_base * (2.0 ** attempt))
-        return delay * (1.0 + self.sup.jitter * float(self.rng.random()))
+        delay *= 1.0 + self.sup.jitter * float(self.rng.random())
+        if start is not None and self.sup.deadline > 0.0:
+            remaining = self.sup.deadline - (self.clock() - start)
+            delay = max(0.0, min(delay, remaining))
+        return delay
 
     def _checkpoint_available(self) -> bool:
         path = self.config.checkpoint_path
@@ -322,7 +339,7 @@ class RunSupervisor:
                     attempt += 1
                     self.retries += 1
                     tel.counter("resilience.retries")
-                    delay = self._backoff(attempt - 1)
+                    delay = self._backoff(attempt - 1, start=start)
                     self.events.record(
                         RUN_RETRY, _PHASE,
                         detail=f"attempt {attempt}/{self.sup.max_retries} at "
@@ -333,13 +350,26 @@ class RunSupervisor:
                         tier=name, attempt=attempt, delay=delay,
                     )
                     self._check_deadline(start, f"retrying tier '{name}'")
-                    if self.sup.deadline > 0.0:
-                        remaining = self.sup.deadline - (self.clock() - start)
-                        delay = max(0.0, min(delay, remaining))
                     if delay > 0.0:
                         self.sleep(delay)
                     continue
                 if self.sup.degrade and rung + 1 < len(rungs):
+                    pressure = (
+                        isinstance(exc, MemoryError)
+                        and engine is not None
+                        and getattr(engine, "shards", 1) > 2
+                    )
+                    if pressure:
+                        # Memory pressure: before abandoning this tier,
+                        # retry it with half the workers — fewer shards
+                        # means fewer simultaneous accumulators, and the
+                        # result stays bit-identical (disjoint-row shards
+                        # reduce to the same sums at any shard count).
+                        halved = replace(engine, shards=engine.shards // 2)
+                        rungs.insert(
+                            rung + 1,
+                            (f"{name} @ {halved.shards} shards", halved),
+                        )
                     rung += 1
                     attempt = 0
                     self.degradations += 1
@@ -348,8 +378,11 @@ class RunSupervisor:
                         EXECUTION_DEGRADED, _PHASE,
                         detail=f"tier '{name}' exhausted its "
                                f"{self.sup.max_retries} retries "
-                               f"({type(exc).__name__}: {exc}); degrading to "
-                               f"'{rungs[rung][0]}'",
+                               f"({type(exc).__name__}: {exc}); "
+                               + (f"halving shard count under memory "
+                                  f"pressure: degrading to "
+                                  if pressure else "degrading to ")
+                               + f"'{rungs[rung][0]}'",
                         from_tier=name, to_tier=rungs[rung][0],
                     )
                     self._check_deadline(start, f"degrading from '{name}'")

@@ -315,6 +315,73 @@ class TestSilentWorkers:
         assert all(f.code != "silent_worker" for f in diagnose(rec))
 
 
+class TestResourcePressure:
+    """The resource-pressure detector: survived degradations, ranked."""
+
+    def _record(self):
+        rec = RunRecord()
+        rec.metrics_summary = {"counters": {}, "gauges": {}, "histograms": {}}
+        return rec
+
+    def test_events_and_counters_aggregate(self):
+        rec = self._record()
+        rec.events.append(ResilienceTraceEvent(
+            kind="worker_recycled", phase="MTTKRP", ts=0.0, mode=0,
+            iteration=1, data={"worker": 2, "rss": 9000000, "budget": 8000000}))
+        rec.events.append(ResilienceTraceEvent(
+            kind="transport_downgraded", phase="MTTKRP", ts=1.0, mode=1,
+            iteration=2, data={}))
+        rec.metrics_summary["counters"]["engine.shm.trims"] = 3
+        rec.metrics_summary["counters"]["obs.sink.dropped"] = 4
+        (finding,) = [f for f in diagnose(rec) if f.code == "resource_pressure"]
+        assert finding.severity == "warn"
+        counters = finding.evidence["counters"]
+        assert counters["workers recycled over the memory budget"] == 1
+        assert counters["shm dispatches downgraded to pipe transport"] == 1
+        assert counters["idle shm segments trimmed"] == 3
+        assert counters["telemetry records dropped by a degraded sink"] == 4
+        assert finding.evidence["iterations"] == [1, 2]
+        assert "bit-identical" in finding.summary
+
+    def test_counter_alone_is_enough(self):
+        rec = self._record()
+        rec.metrics_summary["counters"]["engine.proc.workers_recycled"] = 2
+        (finding,) = [f for f in diagnose(rec) if f.code == "resource_pressure"]
+        assert finding.evidence["counters"][
+            "workers recycled over the memory budget"] == 2
+
+    def test_near_budget_rss_alone_is_info(self):
+        """No degradation fired, but peak RSS is already at 90% of the
+        budget — worth a heads-up before the next run recycles."""
+        rec = self._record()
+        rec.metrics_summary["gauges"]["engine.proc.worker_rss_peak"] = 9.0e6
+        rec.metrics_summary["gauges"]["engine.proc.memory_budget"] = 1.0e7
+        (finding,) = [f for f in diagnose(rec) if f.code == "resource_pressure"]
+        assert finding.severity == "info"
+        assert finding.evidence["rss_budget_ratio"] == pytest.approx(0.9)
+
+    def test_comfortable_rss_is_silent(self):
+        rec = self._record()
+        rec.metrics_summary["gauges"]["engine.proc.worker_rss_peak"] = 5.0e6
+        rec.metrics_summary["gauges"]["engine.proc.memory_budget"] = 1.0e7
+        assert all(f.code != "resource_pressure" for f in diagnose(rec))
+
+    def test_clean_run_is_silent(self):
+        assert all(
+            f.code != "resource_pressure" for f in diagnose(self._record())
+        )
+
+    def test_enospc_skips_counted(self):
+        rec = self._record()
+        rec.metrics_summary["counters"]["resilience.checkpoint.skips"] = 1
+        rec.metrics_summary["counters"]["engine.store.write_errors"] = 2
+        (finding,) = [f for f in diagnose(rec) if f.code == "resource_pressure"]
+        assert finding.evidence["counters"][
+            "checkpoint writes skipped (ENOSPC)"] == 1
+        assert finding.evidence["counters"][
+            "plan-store writes skipped (ENOSPC)"] == 2
+
+
 class TestRanking:
     def test_severity_then_score(self):
         findings = sorted(

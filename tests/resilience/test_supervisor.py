@@ -211,6 +211,136 @@ class TestDegradationLadder:
         assert sup.degradations == 0
 
 
+class _OomAbove(_Flaky):
+    """Stand-in for cstf that OOMs whenever the engine runs too many shards."""
+
+    def __init__(self, max_shards):
+        super().__init__(failures=0)
+        self.max_shards = max_shards
+
+    def __call__(self, tensor, config=None, **kw):
+        self.calls += 1
+        self.configs.append(config)
+        engine = config.engine
+        if engine is not None and getattr(engine, "shards", 1) > self.max_shards:
+            raise MemoryError("worker pool exceeded the memory budget")
+        return cstf(tensor, config, **kw)
+
+
+class TestPressureRungs:
+    def test_memory_error_halves_shards_before_descending(
+        self, tensor, patch_cstf
+    ):
+        flaky = patch_cstf(_OomAbove(max_shards=2))
+        sup = RunSupervisor(
+            _base(engine={"shards": 8}),
+            SupervisorConfig(max_retries=0, backoff_base=0.0),
+            sleep=lambda s: None,
+        )
+        result = sup.run(tensor)
+        # 8 OOMs -> 4 OOMs -> 2 fits: the ladder narrowed, it never
+        # abandoned the sharded tier.
+        assert [c.engine.shards for c in flaky.configs] == [8, 4, 2]
+        degraded = [e for e in result.events if e.kind == "execution_degraded"]
+        assert [e.data["to_tier"] for e in degraded] == [
+            "sharded engine @ 4 shards", "sharded engine @ 4 shards @ 2 shards",
+        ]
+        assert all("memory pressure" in e.detail for e in degraded)
+        assert sup.degradations == 2
+
+    def test_pressure_rung_result_bit_identical(self, tensor, patch_cstf):
+        plain = cstf(tensor, _base())
+        patch_cstf(_OomAbove(max_shards=4))
+        result = RunSupervisor(
+            _base(engine={"shards": 8}),
+            SupervisorConfig(max_retries=0, backoff_base=0.0),
+            sleep=lambda s: None,
+        ).run(tensor)
+        for a, b in zip(plain.kruskal.factors, result.kruskal.factors):
+            assert np.array_equal(a, b)
+        assert np.array_equal(plain.kruskal.weights, result.kruskal.weights)
+
+    def test_two_shards_descend_normally(self, tensor, patch_cstf):
+        # At <= 2 shards there is nothing left to halve: a MemoryError
+        # takes the normal rung down.
+        patch_cstf(_OomAbove(max_shards=1))
+        sup = RunSupervisor(
+            _base(engine={"shards": 2}),
+            SupervisorConfig(max_retries=0, backoff_base=0.0),
+            sleep=lambda s: None,
+        )
+        result = sup.run(tensor)
+        degraded = [e for e in result.events if e.kind == "execution_degraded"]
+        assert [e.data["to_tier"] for e in degraded] == ["chunked engine"]
+        assert not any("@" in e.data["to_tier"] for e in degraded)
+
+    def test_non_memory_errors_never_insert_pressure_rungs(
+        self, tensor, patch_cstf
+    ):
+        patch_cstf(_Flaky(failures=1))
+        sup = RunSupervisor(
+            _base(engine={"shards": 8}),
+            SupervisorConfig(max_retries=0, backoff_base=0.0),
+            sleep=lambda s: None,
+        )
+        result = sup.run(tensor)
+        degraded = [e for e in result.events if e.kind == "execution_degraded"]
+        assert [e.data["to_tier"] for e in degraded] == ["chunked engine"]
+
+
+class TestBackoffDeadlineAware:
+    def test_backoff_caps_at_remaining_budget(self, tensor):
+        t = {"now": 0.0}
+        sup = RunSupervisor(
+            _base(),
+            SupervisorConfig(deadline=10.0, backoff_base=100.0,
+                             backoff_max=100.0, jitter=0.0),
+            clock=lambda: t["now"], sleep=lambda s: None,
+        )
+        start = 0.0
+        t["now"] = 4.0
+        assert sup._backoff(0, start=start) == pytest.approx(6.0)
+        t["now"] = 11.0  # past the deadline: never negative
+        assert sup._backoff(0, start=start) == 0.0
+
+    def test_backoff_uncapped_without_start_or_deadline(self, tensor):
+        sup = RunSupervisor(
+            _base(),
+            SupervisorConfig(deadline=10.0, backoff_base=100.0,
+                             backoff_max=100.0, jitter=0.0),
+            clock=lambda: 1e9, sleep=lambda s: None,
+        )
+        assert sup._backoff(0) == pytest.approx(100.0)
+        no_deadline = RunSupervisor(
+            _base(),
+            SupervisorConfig(backoff_base=100.0, backoff_max=100.0, jitter=0.0),
+            clock=lambda: 1e9, sleep=lambda s: None,
+        )
+        assert no_deadline._backoff(0, start=0.0) == pytest.approx(100.0)
+
+    def test_retry_event_records_the_capped_delay(self, tensor, patch_cstf):
+        patch_cstf(_Flaky(failures=1))
+        t = {"now": 0.0}
+
+        def clock():
+            t["now"] += 1.0
+            return t["now"]
+
+        delays = []
+        sup = RunSupervisor(
+            _base(),
+            SupervisorConfig(max_retries=3, deadline=10.0,
+                             backoff_base=100.0, backoff_max=100.0),
+            clock=clock, sleep=delays.append,
+        )
+        result = sup.run(tensor)
+        retries = [e for e in result.events if e.kind == "run_retry"]
+        assert len(retries) == 1 and len(delays) == 1
+        # The audit trail shows what the supervisor actually slept, not
+        # the uncapped draw.
+        assert retries[0].data["delay"] == delays[0] <= 10.0
+
+
 class TestFormatFallback:
     def test_plan_build_failure_falls_back_to_coo(self, tensor, patch_cstf):
         class _BadPlan(_Flaky):
